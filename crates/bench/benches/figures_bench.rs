@@ -1,0 +1,140 @@
+//! Criterion targets: one per paper figure.
+//!
+//! Each target regenerates that figure's *key points* (not the full sweep,
+//! which the `figures` binary produces) so `cargo bench` finishes in
+//! minutes while still exercising every experiment path. The interesting
+//! output of this suite is the simulated metrics embedded in the bench
+//! names' sanity assertions; wall-clock numbers measure the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::FabricKind;
+use simnet::Sim;
+
+fn fig1_userlevel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_userlevel");
+    g.sample_size(10);
+    for kind in FabricKind::ALL {
+        g.bench_function(format!("pingpong_4B_{}", kind.label()), |b| {
+            b.iter(|| {
+                let sim = Sim::new();
+                sim.block_on({
+                    let sim = sim.clone();
+                    async move {
+                        let pair = netbench::userlevel::UserPair::build(&sim, kind).await;
+                        pair.half_rtt_us(4, 10).await
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig2_multiconn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_multiconn");
+    g.sample_size(10);
+    for kind in [FabricKind::Iwarp, FabricKind::InfiniBand] {
+        g.bench_function(format!("normlat_32conn_128B_{}", kind.label()), |b| {
+            b.iter(|| netbench::multiconn::normalized_latency(kind, 32, 128, 4))
+        });
+        g.bench_function(format!("throughput_32conn_512B_{}", kind.label()), |b| {
+            b.iter(|| netbench::multiconn::throughput(kind, 32, 512, 10))
+        });
+    }
+    g.finish();
+}
+
+fn fig3_mpi_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_mpi_latency");
+    g.sample_size(10);
+    for kind in FabricKind::ALL {
+        g.bench_function(format!("pingpong_4B_{}", kind.label()), |b| {
+            b.iter(|| netbench::mpi_latency::mpi_half_rtt_us(kind, 4, 10))
+        });
+    }
+    g.finish();
+}
+
+fn fig4_mpi_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_mpi_bandwidth");
+    g.sample_size(10);
+    for mode in [
+        netbench::bandwidth::BwMode::Unidirectional,
+        netbench::bandwidth::BwMode::Bidirectional,
+        netbench::bandwidth::BwMode::BothWay,
+    ] {
+        g.bench_function(format!("1MB_iWARP_{}", mode.label()), |b| {
+            b.iter(|| netbench::bandwidth::mpi_bandwidth(FabricKind::Iwarp, mode, 1 << 20, 2))
+        });
+    }
+    g.finish();
+}
+
+fn fig5_logp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_logp");
+    g.sample_size(10);
+    for kind in FabricKind::ALL {
+        g.bench_function(format!("logp_1KB_{}", kind.label()), |b| {
+            b.iter(|| netbench::logp::measure(kind, 1024))
+        });
+    }
+    g.finish();
+}
+
+fn fig6_buffer_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_buffer_reuse");
+    g.sample_size(10);
+    for kind in FabricKind::ALL {
+        g.bench_function(format!("ratio_128KB_{}", kind.label()), |b| {
+            b.iter(|| netbench::reuse::reuse_ratio(kind, 128 * 1024))
+        });
+    }
+    g.finish();
+}
+
+fn fig7_unexpected_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_unexpected_queue");
+    g.sample_size(10);
+    for kind in FabricKind::ALL {
+        g.bench_function(format!("ratio_256deep_1B_{}", kind.label()), |b| {
+            b.iter(|| netbench::queues::fig7_ratio(kind, 256, 1))
+        });
+    }
+    g.finish();
+}
+
+fn fig8_receive_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_receive_queue");
+    g.sample_size(10);
+    for kind in FabricKind::ALL {
+        g.bench_function(format!("ratio_256deep_16B_{}", kind.label()), |b| {
+            b.iter(|| netbench::queues::fig8_ratio(kind, 256, 16))
+        });
+    }
+    g.finish();
+}
+
+fn e9_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_overlap");
+    g.sample_size(10);
+    for kind in FabricKind::ALL {
+        g.bench_function(format!("progress_256KB_{}", kind.label()), |b| {
+            b.iter(|| netbench::overlap::independent_progress_delay(kind, 256 * 1024, 400))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_userlevel,
+    fig2_multiconn,
+    fig3_mpi_latency,
+    fig4_mpi_bandwidth,
+    fig5_logp,
+    fig6_buffer_reuse,
+    fig7_unexpected_queue,
+    fig8_receive_queue,
+    e9_overlap
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerate the paper's figures as text tables (and optional JSON).
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- all
+//! cargo run --release -p bench --bin figures -- fig4 --json out/
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut json_dir: Option<String> = None;
+    let mut charts = false;
+    let mut parallel = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_dir = it.next(),
+            "--charts" => charts = true,
+            "--parallel" => parallel = true,
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    for sel in &which {
+        let t0 = std::time::Instant::now();
+        let figs = if parallel {
+            bench::generate_parallel(sel)
+        } else {
+            bench::generate(sel)
+        };
+        if figs.is_empty() {
+            eprintln!("no figures match selector {sel:?}");
+            std::process::exit(2);
+        }
+        for fig in &figs {
+            println!("{}", fig.to_table());
+            if charts {
+                println!(
+                    "{}",
+                    fig.to_ascii_chart(netbench::report::ChartOptions::default())
+                );
+            }
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("create json dir");
+                let path = format!("{dir}/{}.json", fig.id);
+                let mut f = std::fs::File::create(&path).expect("create json file");
+                f.write_all(fig.to_json().as_bytes()).expect("write json");
+            }
+        }
+        eprintln!(
+            "[{}] {} figure(s) in {:.1}s wall",
+            sel,
+            figs.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

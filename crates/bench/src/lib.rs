@@ -1,0 +1,162 @@
+//! # bench — benchmark harness regenerating every table and figure
+//!
+//! Two entry points:
+//!
+//! * `cargo bench -p bench` — Criterion benchmarks, one target per paper
+//!   figure (`fig1_userlevel` … `fig8_receive_queue`, plus the `e9`
+//!   extension and ablations). Criterion measures the wall-clock cost of
+//!   regenerating each figure's key points; the figures themselves report
+//!   *simulated* time.
+//! * `cargo run -p bench --bin figures [--release] [fig1 … fig8 | all]` —
+//!   prints every series as paper-shaped text tables and (with `--json`)
+//!   machine-readable JSON used to regenerate EXPERIMENTS.md.
+
+use netbench::Figure;
+
+/// The full experiment catalog: `(selector, generator)` pairs. Each
+/// generator is self-contained (builds its own deterministic simulation),
+/// which is what makes [`generate_parallel`] trivially safe.
+type Generator = fn() -> Vec<Figure>;
+
+/// Every named experiment, in presentation order.
+pub fn catalog() -> Vec<(&'static str, Generator)> {
+    vec![
+        ("fig1", || {
+            vec![
+                netbench::userlevel::fig1_latency(),
+                netbench::userlevel::fig1_bandwidth(),
+            ]
+        }),
+        ("fig2", || {
+            let mut v = Vec::new();
+            for kind in [mpisim::FabricKind::Iwarp, mpisim::FabricKind::InfiniBand] {
+                v.push(netbench::multiconn::fig2_latency(kind));
+                v.push(netbench::multiconn::fig2_throughput(kind));
+            }
+            v
+        }),
+        ("fig3", || {
+            vec![
+                netbench::mpi_latency::fig3_latency(),
+                netbench::mpi_latency::fig3_overhead(),
+            ]
+        }),
+        ("fig4", || {
+            [
+                netbench::bandwidth::BwMode::Unidirectional,
+                netbench::bandwidth::BwMode::Bidirectional,
+                netbench::bandwidth::BwMode::BothWay,
+            ]
+            .into_iter()
+            .map(netbench::bandwidth::fig4_bandwidth)
+            .collect()
+        }),
+        ("fig5", || {
+            let (g, os, or) = netbench::logp::fig5_logp();
+            vec![g, os, or]
+        }),
+        ("fig6", || vec![netbench::reuse::fig6_buffer_reuse()]),
+        ("fig7", || {
+            mpisim::FabricKind::ALL
+                .into_iter()
+                .map(netbench::queues::fig7_unexpected)
+                .collect()
+        }),
+        ("fig8", || {
+            mpisim::FabricKind::ALL
+                .into_iter()
+                .map(netbench::queues::fig8_receive_queue)
+                .collect()
+        }),
+        ("e9", || {
+            let (ov, ip) = netbench::overlap::overlap_and_progress();
+            vec![ov, ip]
+        }),
+        ("e10", || vec![netbench::hotspot::hotspot_figure(1024)]),
+        ("e11", || vec![netbench::registration::registration_figure()]),
+        ("ablation", || {
+            vec![
+                netbench::ablation::iwarp_pipelining(128),
+                netbench::ablation::ib_context_cache(128),
+                netbench::ablation::mx_matching_location(),
+            ]
+        }),
+    ]
+}
+
+/// Run every selected experiment group on its own OS thread (simulations
+/// are per-thread and deterministic, so parallelism changes wall time,
+/// not results). Returns figures in catalog order.
+pub fn generate_parallel(which: &str) -> Vec<Figure> {
+    let selected: Vec<(&'static str, Generator)> = catalog()
+        .into_iter()
+        .filter(|(id, _)| which == "all" || id.starts_with(which))
+        .collect();
+    let mut slots: Vec<Option<Vec<Figure>>> = selected.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = selected
+            .iter()
+            .map(|(_, gen)| scope.spawn(move |_| gen()))
+            .collect();
+        for (slot, h) in slots.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("figure generator panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    slots.into_iter().flatten().flatten().collect()
+}
+
+/// Generate the figures selected by `which` ("all", a figure id prefix,
+/// or the aliases "overlap"/"hotspot"/"registration"), sequentially.
+pub fn generate(which: &str) -> Vec<Figure> {
+    let which = match which {
+        "overlap" => "e9",
+        "hotspot" => "e10",
+        "registration" => "e11",
+        w => w,
+    };
+    catalog()
+        .into_iter()
+        .filter(|(id, _)| which == "all" || id.starts_with(which))
+        .flat_map(|(_, gen)| gen())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn selector_matches_prefixes() {
+        // e11 is the cheapest single-figure selector.
+        let figs = super::generate("e11");
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].id, "e11-registration");
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let figs = super::generate("registration");
+        assert_eq!(figs.len(), 1);
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical_to_sequential() {
+        // Each generator owns its simulation, so threading must not change
+        // a single bit of any series.
+        let seq = super::generate("e11");
+        let par = super::generate_parallel("e11");
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn catalog_ids_are_unique_and_known() {
+        let ids: Vec<&str> = super::catalog().iter().map(|(id, _)| *id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert!(ids.contains(&"fig1") && ids.contains(&"ablation"));
+    }
+}

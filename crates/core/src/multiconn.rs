@@ -1,0 +1,407 @@
+//! Fig. 2 — multi-connection scalability: normalized latency and
+//! throughput over 1–256 connections, iWARP vs InfiniBand.
+//!
+//! Methodology per the paper: pre-establish N connections between two
+//! processes on two nodes; ping-pong over all connections in parallel in
+//! round-robin batches; report the cumulative half-RTT divided by
+//! (connections x messages) as the normalized multi-connection latency.
+//! For throughput, both sides stream messages over all connections and the
+//! aggregate byte rate is reported.
+
+use hostmodel::cpu::{Cpu, CpuCosts};
+use hostmodel::mem::{MemKey, VirtAddr};
+use mpisim::FabricKind;
+use simnet::sync::{join2, join_all};
+use simnet::Sim;
+
+use crate::report::{Figure, Series};
+
+/// Connection counts swept (the paper goes to 256).
+pub fn connection_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+}
+
+/// Message sizes for the latency panel (paper legend: 128 B – 16 KB).
+pub fn latency_sizes() -> Vec<u64> {
+    vec![128, 1024, 2048, 4096, 8192, 16384]
+}
+
+/// Message sizes for the throughput panel (paper legend: 512 B – 16 KB).
+pub fn throughput_sizes() -> Vec<u64> {
+    vec![512, 1024, 2048, 4096, 8192, 16384]
+}
+
+enum ConnPair {
+    Iwarp(iwarp::IwarpQp, iwarp::IwarpQp, MemKey, VirtAddr, MemKey, VirtAddr),
+    Ib(infiniband::IbQp, infiniband::IbQp, MemKey, VirtAddr, MemKey, VirtAddr),
+}
+
+impl ConnPair {
+    async fn ping(&self, size: u64) {
+        match self {
+            ConnPair::Iwarp(qa, _, _, _, stag_b, buf_b) => {
+                qa.post_send_wr(iwarp::WorkRequest::RdmaWrite {
+                    wr_id: 0,
+                    len: size,
+                    payload: None,
+                    remote_stag: *stag_b,
+                    remote_addr: *buf_b,
+                })
+                .await;
+            }
+            ConnPair::Ib(qa, _, _, _, rk_b, buf_b) => {
+                qa.post_send_wr(infiniband::IbWorkRequest::RdmaWrite {
+                    wr_id: 0,
+                    len: size,
+                    payload: None,
+                    rkey: *rk_b,
+                    remote_addr: *buf_b,
+                })
+                .await;
+            }
+        }
+    }
+
+    async fn pong(&self, size: u64) {
+        match self {
+            ConnPair::Iwarp(_, qb, stag_a, buf_a, _, _) => {
+                qb.wait_placement().await;
+                qb.post_send_wr(iwarp::WorkRequest::RdmaWrite {
+                    wr_id: 0,
+                    len: size,
+                    payload: None,
+                    remote_stag: *stag_a,
+                    remote_addr: *buf_a,
+                })
+                .await;
+            }
+            ConnPair::Ib(_, qb, rk_a, buf_a, _, _) => {
+                qb.wait_placement().await;
+                qb.post_send_wr(infiniband::IbWorkRequest::RdmaWrite {
+                    wr_id: 0,
+                    len: size,
+                    payload: None,
+                    rkey: *rk_a,
+                    remote_addr: *buf_a,
+                })
+                .await;
+            }
+        }
+    }
+
+    async fn await_pong(&self) {
+        match self {
+            ConnPair::Iwarp(qa, ..) => qa.wait_placement().await,
+            ConnPair::Ib(qa, ..) => qa.wait_placement().await,
+        }
+    }
+}
+
+/// Fabric selection with explicit calibration — the ablation studies
+/// override single fields to show which mechanism produces which curve.
+#[derive(Clone, Copy)]
+pub enum FabricSpec {
+    /// NetEffect RNIC with the given calibration.
+    Iwarp(iwarp::NetEffectCalib),
+    /// Mellanox HCA with the given calibration.
+    Ib(infiniband::MellanoxCalib),
+}
+
+impl FabricSpec {
+    /// Default calibration for a fabric kind (iWARP/IB only).
+    pub fn from_kind(kind: FabricKind) -> FabricSpec {
+        match kind {
+            FabricKind::Iwarp => FabricSpec::Iwarp(iwarp::NetEffectCalib::default()),
+            FabricKind::InfiniBand => FabricSpec::Ib(infiniband::MellanoxCalib::default()),
+            _ => panic!("multi-connection study covers iWARP and IB only"),
+        }
+    }
+}
+
+async fn build_pairs_spec(sim: &Sim, spec: FabricSpec, n: usize) -> Vec<ConnPair> {
+    let cpu_a = Cpu::new(sim, CpuCosts::default());
+    let cpu_b = Cpu::new(sim, CpuCosts::default());
+    let mut pairs = Vec::with_capacity(n);
+    match spec {
+        FabricSpec::Iwarp(calib) => {
+            let fab = iwarp::IwarpFabric::with_calib(sim, 2, calib);
+            for _ in 0..n {
+                let (qa, qb) = iwarp::verbs::connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
+                let buf_a = qa.device().mem.alloc_buffer(16384);
+                let buf_b = qb.device().mem.alloc_buffer(16384);
+                let stag_a = qa
+                    .device()
+                    .registry
+                    .register_pinned(&cpu_a, buf_a, 16384)
+                    .await;
+                let stag_b = qb
+                    .device()
+                    .registry
+                    .register_pinned(&cpu_b, buf_b, 16384)
+                    .await;
+                pairs.push(ConnPair::Iwarp(qa, qb, stag_a, buf_a, stag_b, buf_b));
+            }
+        }
+        FabricSpec::Ib(calib) => {
+            let fab = infiniband::IbFabric::with_calib(sim, 2, calib);
+            for _ in 0..n {
+                let (qa, qb) = infiniband::verbs::connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
+                let buf_a = qa.device().mem.alloc_buffer(16384);
+                let buf_b = qb.device().mem.alloc_buffer(16384);
+                let rk_a = qa
+                    .device()
+                    .registry
+                    .register_pinned(&cpu_a, buf_a, 16384)
+                    .await;
+                let rk_b = qb
+                    .device()
+                    .registry
+                    .register_pinned(&cpu_b, buf_b, 16384)
+                    .await;
+                pairs.push(ConnPair::Ib(qa, qb, rk_a, buf_a, rk_b, buf_b));
+            }
+        }
+    }
+    pairs
+}
+
+/// Normalized multi-connection latency (µs) for `n` connections at `size`.
+pub fn normalized_latency(kind: FabricKind, n: usize, size: u64, rounds: u64) -> f64 {
+    normalized_latency_spec(FabricSpec::from_kind(kind), n, size, rounds)
+}
+
+/// As [`normalized_latency`], with explicit calibration (ablations).
+pub fn normalized_latency_spec(spec: FabricSpec, n: usize, size: u64, rounds: u64) -> f64 {
+    let sim = Sim::new();
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            let pairs = std::rc::Rc::new(build_pairs_spec(&sim, spec, n).await);
+            // Warm one round (fills context caches the way a running system
+            // would be warm).
+            run_batched_rounds(&pairs, size, 1).await;
+            let t0 = sim.now();
+            run_batched_rounds(&pairs, size, rounds).await;
+            (sim.now() - t0).as_micros_f64() / (2.0 * rounds as f64 * n as f64)
+        }
+    })
+}
+
+async fn run_batched_rounds(pairs: &std::rc::Rc<Vec<ConnPair>>, size: u64, rounds: u64) {
+    for _ in 0..rounds {
+        // Side A posts a ping on every connection; side B answers each;
+        // the round completes when every pong has landed.
+        let a = async {
+            for p in pairs.iter() {
+                p.ping(size).await;
+            }
+            for p in pairs.iter() {
+                p.await_pong().await;
+            }
+        };
+        let b = async {
+            for p in pairs.iter() {
+                p.pong(size).await;
+            }
+        };
+        join2(a, b).await;
+    }
+}
+
+/// Aggregate both-way streaming throughput (MB/s) for `n` connections.
+pub fn throughput(kind: FabricKind, n: usize, size: u64, msgs_per_conn: u64) -> f64 {
+    throughput_spec(FabricSpec::from_kind(kind), n, size, msgs_per_conn)
+}
+
+/// As [`throughput`], with explicit calibration (ablations).
+pub fn throughput_spec(spec: FabricSpec, n: usize, size: u64, msgs_per_conn: u64) -> f64 {
+    let sim = Sim::new();
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            let pairs = std::rc::Rc::new(build_pairs_spec(&sim, spec, n).await);
+            let t0 = sim.now();
+            let mut tasks = Vec::new();
+            for (i, _) in pairs.iter().enumerate() {
+                // A→B stream on connection i: post everything, then reap
+                // every completion (completion = remote placement).
+                let ps = std::rc::Rc::clone(&pairs);
+                tasks.push(sim.spawn(async move {
+                    for _ in 0..msgs_per_conn {
+                        ps[i].ping(size).await;
+                    }
+                    for _ in 0..msgs_per_conn {
+                        match &ps[i] {
+                            ConnPair::Iwarp(qa, ..) => {
+                                qa.next_cqe().await;
+                            }
+                            ConnPair::Ib(qa, ..) => {
+                                qa.next_cqe().await;
+                            }
+                        }
+                    }
+                }));
+                // B→A stream on connection i.
+                let ps = std::rc::Rc::clone(&pairs);
+                tasks.push(sim.spawn(async move {
+                    for _ in 0..msgs_per_conn {
+                        match &ps[i] {
+                            ConnPair::Iwarp(_, qb, stag_a, buf_a, _, _) => {
+                                qb.post_send_wr(iwarp::WorkRequest::RdmaWrite {
+                                    wr_id: 0,
+                                    len: size,
+                                    payload: None,
+                                    remote_stag: *stag_a,
+                                    remote_addr: *buf_a,
+                                })
+                                .await;
+                            }
+                            ConnPair::Ib(_, qb, rk_a, buf_a, _, _) => {
+                                qb.post_send_wr(infiniband::IbWorkRequest::RdmaWrite {
+                                    wr_id: 0,
+                                    len: size,
+                                    payload: None,
+                                    rkey: *rk_a,
+                                    remote_addr: *buf_a,
+                                })
+                                .await;
+                            }
+                        }
+                    }
+                    for _ in 0..msgs_per_conn {
+                        match &ps[i] {
+                            ConnPair::Iwarp(_, qb, ..) => {
+                                qb.next_cqe().await;
+                            }
+                            ConnPair::Ib(_, qb, ..) => {
+                                qb.next_cqe().await;
+                            }
+                        }
+                    }
+                }));
+            }
+            join_all(tasks).await;
+            let bytes = 2 * n as u64 * msgs_per_conn * size;
+            bytes as f64 / (sim.now() - t0).as_secs_f64() / 1e6
+        }
+    })
+}
+
+/// Fig. 2 normalized-latency panels (one per fabric).
+pub fn fig2_latency(kind: FabricKind) -> Figure {
+    let mut fig = Figure::new(
+        format!("fig2-latency-{}", kind.label()),
+        format!(
+            "Effect of multiple connections on {} (normalized latency)",
+            kind.label()
+        ),
+        "connections",
+        "normalized latency us",
+    );
+    for size in latency_sizes() {
+        let mut s = Series::new(format!("Msg={}", human(size)));
+        for n in connection_counts() {
+            s.push(n as f64, normalized_latency(kind, n, size, 6));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Fig. 2 throughput panels (one per fabric).
+pub fn fig2_throughput(kind: FabricKind) -> Figure {
+    let mut fig = Figure::new(
+        format!("fig2-throughput-{}", kind.label()),
+        format!(
+            "Effect of multiple connections on {} (aggregate throughput)",
+            kind.label()
+        ),
+        "connections",
+        "MB/s",
+    );
+    for size in throughput_sizes() {
+        let mut s = Series::new(format!("Msg={}", human(size)));
+        for n in connection_counts() {
+            s.push(n as f64, throughput(kind, n, size, 20));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+fn human(size: u64) -> String {
+    if size >= 1024 {
+        format!("{}KB", size / 1024)
+    } else {
+        format!("{size}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iwarp_normalized_latency_decreases_with_connections() {
+        let n1 = normalized_latency(FabricKind::Iwarp, 1, 128, 5);
+        let n8 = normalized_latency(FabricKind::Iwarp, 8, 128, 5);
+        let n64 = normalized_latency(FabricKind::Iwarp, 64, 128, 5);
+        assert!(
+            n1 > n8 && n8 > n64,
+            "iWARP must keep improving: 1conn={n1:.2} 8conn={n8:.2} 64conn={n64:.2}"
+        );
+    }
+
+    #[test]
+    fn ib_normalized_latency_knees_at_context_cache() {
+        let n1 = normalized_latency(FabricKind::InfiniBand, 1, 128, 5);
+        let n8 = normalized_latency(FabricKind::InfiniBand, 8, 128, 5);
+        let n32 = normalized_latency(FabricKind::InfiniBand, 32, 128, 5);
+        let n128 = normalized_latency(FabricKind::InfiniBand, 128, 128, 5);
+        assert!(n8 < n1, "IB improves up to 8 connections: {n1:.2} → {n8:.2}");
+        assert!(
+            n32 > n8,
+            "IB degrades past the context cache: 8conn={n8:.2} 32conn={n32:.2}"
+        );
+        assert!(
+            (n128 - n32).abs() < n32 * 0.5,
+            "IB stays roughly constant beyond the knee: {n32:.2} vs {n128:.2}"
+        );
+    }
+
+    #[test]
+    fn large_messages_scale_similarly_on_both_fabrics() {
+        // Paper: "the behavior of both networks is very similar for
+        // messages larger than 4KB" — wire time dominates.
+        let iw1 = normalized_latency(FabricKind::Iwarp, 1, 16384, 4);
+        let iw32 = normalized_latency(FabricKind::Iwarp, 32, 16384, 4);
+        let ib32 = normalized_latency(FabricKind::InfiniBand, 32, 16384, 4);
+        // Both converge to their wire-limited floor.
+        assert!(iw32 < iw1);
+        let ratio = iw32 / ib32;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "large-message floors should be same order: iWARP {iw32:.2} IB {ib32:.2}"
+        );
+    }
+
+    #[test]
+    fn ib_small_message_throughput_drops_past_8_connections() {
+        let t8 = throughput(FabricKind::InfiniBand, 8, 512, 30);
+        let t32 = throughput(FabricKind::InfiniBand, 32, 512, 30);
+        assert!(
+            t32 < t8,
+            "IB 512B throughput must drop past 8 conns: 8={t8:.0} 32={t32:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn iwarp_small_message_throughput_sustains() {
+        let t8 = throughput(FabricKind::Iwarp, 8, 512, 30);
+        let t64 = throughput(FabricKind::Iwarp, 64, 512, 30);
+        assert!(
+            t64 >= t8 * 0.85,
+            "iWARP sustains throughput: 8conn={t8:.0} 64conn={t64:.0} MB/s"
+        );
+    }
+}

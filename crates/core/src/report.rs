@@ -1,0 +1,361 @@
+//! Result containers and paper-style table rendering.
+
+use serde::Serialize;
+
+/// One labelled curve: `(x, y)` points.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub label: String,
+    /// Sample points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Y value at a given x (exact match), if sampled.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+
+    /// Maximum y value.
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(f64::MIN, f64::max)
+    }
+
+    /// Minimum y value.
+    pub fn min_y(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(f64::MAX, f64::min)
+    }
+}
+
+/// One reproduced figure: several series over a common x axis.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. "fig1-latency".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render as an aligned text table (x down the rows, one column per
+    /// series) — the shape the paper's figures plot.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, " {:>14}", s.label);
+        }
+        let _ = writeln!(out, "    [{}]", self.ylabel);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+            .unwrap_or_default();
+        for x in xs {
+            let _ = write!(out, "{:>12}", format_x(x));
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>14.3}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// JSON dump for machine consumption (EXPERIMENTS.md regeneration).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serialization")
+    }
+}
+
+fn format_x(x: f64) -> String {
+    let v = x as u64;
+    if x.fract() != 0.0 {
+        return format!("{x:.2}");
+    }
+    if v >= 1 << 20 && v.is_multiple_of(1 << 20) {
+        format!("{}M", v >> 20)
+    } else if v >= 1024 && v.is_multiple_of(1024) {
+        format!("{}K", v >> 10)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup_and_extrema() {
+        let mut s = Series::new("iWARP");
+        s.push(1.0, 9.78);
+        s.push(2.0, 10.1);
+        assert_eq!(s.at(1.0), Some(9.78));
+        assert_eq!(s.at(3.0), None);
+        assert_eq!(s.max_y(), 10.1);
+        assert_eq!(s.min_y(), 9.78);
+    }
+
+    #[test]
+    fn table_renders_all_series_columns() {
+        let mut fig = Figure::new("figX", "demo", "bytes", "us");
+        let mut a = Series::new("A");
+        a.push(1024.0, 1.5);
+        let mut b = Series::new("B");
+        b.push(1024.0, 2.5);
+        fig.series.push(a);
+        fig.series.push(b);
+        let t = fig.to_table();
+        assert!(t.contains("1K"));
+        assert!(t.contains("1.500"));
+        assert!(t.contains("2.500"));
+        assert!(t.contains('A') && t.contains('B'));
+    }
+
+    #[test]
+    fn x_formatting_uses_binary_units() {
+        assert_eq!(format_x(4194304.0), "4M");
+        assert_eq!(format_x(2048.0), "2K");
+        assert_eq!(format_x(17.0), "17");
+    }
+
+    #[test]
+    fn json_roundtrip_is_valid() {
+        let fig = Figure::new("f", "t", "x", "y");
+        let j = fig.to_json();
+        assert!(j.contains("\"id\": \"f\""));
+    }
+}
+
+/// Options for ASCII chart rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct ChartOptions {
+    /// Grid width in characters.
+    pub width: usize,
+    /// Grid height in rows.
+    pub height: usize,
+    /// Log-scale the x axis (message-size sweeps).
+    pub log_x: bool,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 64,
+            height: 16,
+            log_x: true,
+            log_y: true,
+        }
+    }
+}
+
+impl Figure {
+    /// Render the figure as an ASCII line chart — the closest a terminal
+    /// gets to the paper's plots. One plotting symbol per series.
+    pub fn to_ascii_chart(&self, opts: ChartOptions) -> String {
+        use std::fmt::Write;
+        const SYMBOLS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| {
+                (!opts.log_x || *x > 0.0) && (!opts.log_y || *y > 0.0)
+            })
+            .collect();
+        if pts.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let tx = |x: f64| if opts.log_x { x.log2() } else { x };
+        let ty = |y: f64| if opts.log_y { y.log2() } else { y };
+        let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+        let (mut y0, mut y1) = (f64::MAX, f64::MIN);
+        for &(x, y) in &pts {
+            x0 = x0.min(tx(x));
+            x1 = x1.max(tx(x));
+            y0 = y0.min(ty(y));
+            y1 = y1.max(ty(y));
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; opts.width]; opts.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let sym = SYMBOLS[si % SYMBOLS.len()];
+            for &(x, y) in &s.points {
+                if (opts.log_x && x <= 0.0) || (opts.log_y && y <= 0.0) {
+                    continue;
+                }
+                let cx = ((tx(x) - x0) / (x1 - x0) * (opts.width - 1) as f64).round() as usize;
+                let cy = ((ty(y) - y0) / (y1 - y0) * (opts.height - 1) as f64).round() as usize;
+                let row = opts.height - 1 - cy.min(opts.height - 1);
+                grid[row][cx.min(opts.width - 1)] = sym;
+            }
+        }
+        let ymax_label = format!("{:.3}", y1.exp2_if(opts.log_y));
+        let ymin_label = format!("{:.3}", y0.exp2_if(opts.log_y));
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{ymax_label:>10} ")
+            } else if i == opts.height - 1 {
+                format!("{ymin_label:>10} ")
+            } else {
+                " ".repeat(11)
+            };
+            let _ = writeln!(out, "{label}|{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{} +{}",
+            " ".repeat(10),
+            "-".repeat(opts.width)
+        );
+        let _ = writeln!(
+            out,
+            "{}{}  ..  {}   [{} vs {}]",
+            " ".repeat(12),
+            format_x(x0.exp2_if(opts.log_x)),
+            format_x(x1.exp2_if(opts.log_x)),
+            self.ylabel,
+            self.xlabel
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{}{} = {}", " ".repeat(12), SYMBOLS[si % 8], s.label);
+        }
+        out
+    }
+}
+
+trait Exp2If {
+    fn exp2_if(self, cond: bool) -> f64;
+}
+
+impl Exp2If for f64 {
+    fn exp2_if(self, cond: bool) -> f64 {
+        if cond {
+            self.exp2()
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    fn demo_figure() -> Figure {
+        let mut fig = Figure::new("demo", "latency", "bytes", "us");
+        let mut a = Series::new("fabric-a");
+        let mut b = Series::new("fabric-b");
+        for i in 0..10 {
+            let x = (1u64 << i) as f64;
+            a.push(x, 10.0 + x / 1000.0);
+            b.push(x, 4.0 + x / 900.0);
+        }
+        fig.series.push(a);
+        fig.series.push(b);
+        fig
+    }
+
+    #[test]
+    fn chart_contains_both_series_symbols_and_legend() {
+        let c = demo_figure().to_ascii_chart(ChartOptions::default());
+        assert!(c.contains('*') && c.contains('o'));
+        assert!(c.contains("fabric-a") && c.contains("fabric-b"));
+        assert!(c.contains("demo — latency"));
+    }
+
+    #[test]
+    fn chart_handles_empty_figure() {
+        let fig = Figure::new("empty", "t", "x", "y");
+        let c = fig.to_ascii_chart(ChartOptions::default());
+        assert!(c.contains("(no data)"));
+    }
+
+    #[test]
+    fn chart_handles_single_point_without_division_by_zero() {
+        let mut fig = Figure::new("one", "t", "x", "y");
+        let mut s = Series::new("s");
+        s.push(1024.0, 5.0);
+        fig.series.push(s);
+        let c = fig.to_ascii_chart(ChartOptions::default());
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn linear_scale_renders_zero_values() {
+        let mut fig = Figure::new("lin", "t", "x", "y");
+        let mut s = Series::new("s");
+        s.push(0.0, 0.0);
+        s.push(10.0, 1.0);
+        fig.series.push(s);
+        let c = fig.to_ascii_chart(ChartOptions {
+            log_x: false,
+            log_y: false,
+            ..ChartOptions::default()
+        });
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,74 @@
+//! Table-driven CRC-32 (IEEE 802.3, polynomial 0x04C11DB7 reflected) and
+//! CRC-32C (Castagnoli, 0x1EDC6F41 reflected — the checksum iWARP's MPA
+//! layer puts on every FPDU).
+
+/// Build the 256-entry lookup table for a reflected polynomial.
+const fn make_table(poly: u32) -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ poly } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Reflected IEEE 802.3 polynomial (Ethernet FCS).
+const CRC32_TABLE: [u32; 256] = make_table(0xEDB8_8320);
+/// Reflected Castagnoli polynomial (iSCSI/iWARP).
+const CRC32C_TABLE: [u32; 256] = make_table(0x82F6_3B78);
+
+#[inline]
+fn crc_with(table: &[u32; 256], data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Ethernet frame-check-sequence CRC-32.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc_with(&CRC32_TABLE, data)
+}
+
+/// CRC-32C (Castagnoli), as required by the MPA specification.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc_with(&CRC32C_TABLE, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 appendix / canonical check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        // 32 bytes of zeros (RFC 3720 test pattern).
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flip() {
+        let mut data = b"the quick brown fox".to_vec();
+        let orig = crc32c(&data);
+        data[7] ^= 0x10;
+        assert_ne!(crc32c(&data), orig);
+    }
+}

@@ -1,0 +1,32 @@
+//! # etherstack — Ethernet, IPv4 and TCP substrate
+//!
+//! The iWARP stack in the reproduced study rides on ordinary TCP/IP over
+//! 10-Gigabit Ethernet (offloaded to the NIC's TOE), and the Myri-10G NIC
+//! speaks Ethernet framing in its MXoE mode. This crate provides that
+//! substrate:
+//!
+//! * [`frame`] — Ethernet II framing with real encode/decode and the wire
+//!   overhead constants (preamble, FCS, inter-frame gap) that determine
+//!   achievable payload bandwidth on a 10 Gb/s line.
+//! * [`ipv4`] — IPv4 header codec with the Internet checksum.
+//! * [`tcp`] — TCP header codec and a sequence-number-accurate segmenter /
+//!   reassembler (the part of TCP that matters on a lossless fabric).
+//! * [`crc`] — CRC-32 (Ethernet FCS) and CRC-32C (iWARP MPA) from scratch.
+//! * [`switch`] — a cut-through Ethernet switch timing model.
+//!
+//! Timing (who waits how long) is handled by `simnet` pipes in the NIC
+//! models; this crate's codecs are pure logic, which makes them directly
+//! property-testable.
+
+pub mod crc;
+pub mod frame;
+pub mod hostnic;
+pub mod ipv4;
+pub mod switch;
+pub mod tcp;
+
+pub use hostnic::{HostTcpCalib, HostTcpFabric};
+pub use frame::{EthernetHeader, ETHERTYPE_IPV4, ETH_HEADER_LEN, ETH_MTU, ETH_WIRE_OVERHEAD};
+pub use ipv4::Ipv4Header;
+pub use switch::{CutThroughSwitch, SwitchConfig};
+pub use tcp::{TcpHeader, TcpReassembler, TcpSegmenter, TCP_MSS};

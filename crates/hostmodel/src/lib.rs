@@ -1,0 +1,29 @@
+//! # hostmodel — host-side hardware models
+//!
+//! The compute node under every fabric in the reproduced study is the same:
+//! a dual-Xeon server with PCI-Express slots. This crate models the pieces
+//! of that node the benchmarks are sensitive to:
+//!
+//! * [`cpu::Cpu`] — a processor core as a serializing resource, with busy
+//!   time accounting (the quantity LogP `o_s`/`o_r` measure).
+//! * [`mem`] — a per-host virtual address space with real byte storage
+//!   (so RDMA data integrity is testable end-to-end), plus the memory
+//!   registration model: pinning costs proportional to page count and a
+//!   pin-down (registration) cache whose hit/miss behaviour drives the
+//!   paper's buffer-reuse experiment.
+//! * [`pcie::PciePort`] — a PCI-Express slot: per-direction DMA bandwidth
+//!   pipes, DMA latency, and programmed-I/O doorbell cost.
+//! * [`lru::LruCache`] — the small LRU used by the registration cache and
+//!   by the InfiniBand HCA's QP-context cache.
+
+pub mod cpu;
+pub mod nic;
+pub mod lru;
+pub mod mem;
+pub mod pcie;
+
+pub use cpu::Cpu;
+pub use nic::{Cqe, CqeOpcode, CqeStatus};
+pub use lru::LruCache;
+pub use mem::{HostMem, MemoryRegistry, RegistrationCosts, VirtAddr};
+pub use pcie::{PcieConfig, PciePort};

@@ -1,0 +1,421 @@
+//! Host virtual memory and the memory-registration model.
+//!
+//! RDMA fabrics require buffers to be *registered* (pinned and translated)
+//! before the NIC may touch them. Registration is a syscall plus per-page
+//! pinning work, and is expensive enough that MPI implementations keep a
+//! pin-down cache keyed by buffer address. The paper's buffer-reuse
+//! experiment (Fig. 6) measures precisely this machinery, so it is modelled
+//! explicitly here:
+//!
+//! * [`HostMem`] — a flat per-host address space with real byte storage, so
+//!   RDMA placement is verifiable end-to-end in tests.
+//! * [`MemoryRegistry`] — registration bookkeeping: per-page pinning costs,
+//!   key (STag/lkey) allocation and validation, and an LRU pin-down cache.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::SimDuration;
+
+use crate::cpu::Cpu;
+use crate::lru::LruCache;
+
+/// Hardware page size used for pinning-cost accounting.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A virtual address in a simulated host's address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Byte offset addition.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Number of pages a `[self, self+len)` region touches.
+    #[inline]
+    pub fn pages(self, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = self.0 / PAGE_SIZE;
+        let last = (self.0 + len - 1) / PAGE_SIZE;
+        last - first + 1
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A flat, grow-on-demand address space with real storage.
+#[derive(Clone, Default)]
+pub struct HostMem {
+    inner: Rc<RefCell<MemInner>>,
+}
+
+#[derive(Default)]
+struct MemInner {
+    arena: Vec<u8>,
+    next: u64,
+}
+
+impl HostMem {
+    /// Create an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `len` bytes aligned to `align` (power of two), returning the
+    /// base address. Storage is zero-initialized.
+    pub fn alloc(&self, len: u64, align: u64) -> VirtAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let mut m = self.inner.borrow_mut();
+        let base = (m.next + align - 1) & !(align - 1);
+        m.next = base + len;
+        let need = m.next as usize;
+        if m.arena.len() < need {
+            m.arena.resize(need, 0);
+        }
+        VirtAddr(base)
+    }
+
+    /// Allocate a page-aligned buffer (the common case for RDMA buffers).
+    pub fn alloc_buffer(&self, len: u64) -> VirtAddr {
+        self.alloc(len, PAGE_SIZE)
+    }
+
+    /// Write `data` at `addr`.
+    pub fn write(&self, addr: VirtAddr, data: &[u8]) {
+        let mut m = self.inner.borrow_mut();
+        let end = addr.0 as usize + data.len();
+        if m.arena.len() < end {
+            m.arena.resize(end, 0);
+        }
+        m.arena[addr.0 as usize..end].copy_from_slice(data);
+    }
+
+    /// Read `len` bytes at `addr` into a fresh vector.
+    pub fn read(&self, addr: VirtAddr, len: u64) -> Vec<u8> {
+        let mut m = self.inner.borrow_mut();
+        let end = addr.0 as usize + len as usize;
+        if m.arena.len() < end {
+            m.arena.resize(end, 0);
+        }
+        m.arena[addr.0 as usize..end].to_vec()
+    }
+
+    /// Fill `[addr, addr+len)` with `byte` (test workloads).
+    pub fn fill(&self, addr: VirtAddr, len: u64, byte: u8) {
+        let mut m = self.inner.borrow_mut();
+        let end = addr.0 as usize + len as usize;
+        if m.arena.len() < end {
+            m.arena.resize(end, 0);
+        }
+        m.arena[addr.0 as usize..end].fill(byte);
+    }
+}
+
+/// Cost calibration for memory registration.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistrationCosts {
+    /// Fixed cost: syscall, NIC command, completion.
+    pub base: SimDuration,
+    /// Per-page cost: pinning and translation-table entry install.
+    pub per_page: SimDuration,
+    /// Deregistration cost (charged on cache eviction and explicit dereg).
+    pub dereg: SimDuration,
+    /// Pin-down cache lookup cost on a hit.
+    pub cache_hit: SimDuration,
+    /// Pin-down cache capacity in buffers. The paper's Fig. 6 cycles over 24
+    /// buffers; implementations of the era cached fewer, so a 0%-reuse
+    /// pattern thrashes while 100% reuse always hits.
+    pub cache_capacity: usize,
+}
+
+impl Default for RegistrationCosts {
+    fn default() -> Self {
+        RegistrationCosts {
+            base: SimDuration::from_micros(10),
+            per_page: SimDuration::from_nanos(550),
+            dereg: SimDuration::from_micros(5),
+            cache_hit: SimDuration::from_nanos(150),
+            cache_capacity: 16,
+        }
+    }
+}
+
+/// A registered-memory key (the iWARP STag / InfiniBand lkey-rkey analogue).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemKey(pub u32);
+
+/// Outcome of a registration request.
+#[derive(Clone, Copy, Debug)]
+pub struct Registration {
+    /// Key to quote in RDMA operations.
+    pub key: MemKey,
+    /// Whether the pin-down cache satisfied the request.
+    pub cache_hit: bool,
+}
+
+struct RegistryState {
+    costs: RegistrationCosts,
+    cache: LruCache<(u64, u64), MemKey>,
+    regions: HashMap<MemKey, (VirtAddr, u64)>,
+    next_key: u32,
+}
+
+/// Registration bookkeeping for one NIC.
+#[derive(Clone)]
+pub struct MemoryRegistry {
+    state: Rc<RefCell<RegistryState>>,
+}
+
+impl MemoryRegistry {
+    /// Create a registry with the given cost calibration.
+    pub fn new(costs: RegistrationCosts) -> Self {
+        MemoryRegistry {
+            state: Rc::new(RefCell::new(RegistryState {
+                costs,
+                cache: LruCache::new(costs.cache_capacity.max(1)),
+                regions: HashMap::new(),
+                next_key: 1,
+            })),
+        }
+    }
+
+    /// Costs in effect.
+    pub fn costs(&self) -> RegistrationCosts {
+        self.state.borrow().costs
+    }
+
+    /// Register `[addr, addr+len)` through the pin-down cache, charging the
+    /// calling `cpu` for the work. Hits cost `cache_hit`; misses cost
+    /// `base + pages·per_page` plus a `dereg` if an entry had to be evicted.
+    pub async fn register_cached(&self, cpu: &Cpu, addr: VirtAddr, len: u64) -> Registration {
+        let cache_key = (addr.0, len);
+        // Fast path: hit.
+        let hit = {
+            let mut s = self.state.borrow_mut();
+            s.cache.get(&cache_key).copied()
+        };
+        if let Some(key) = hit {
+            let hit_cost = self.state.borrow().costs.cache_hit;
+            cpu.work(hit_cost).await;
+            return Registration {
+                key,
+                cache_hit: true,
+            };
+        }
+        // Miss: full registration, possibly evicting (and deregistering) an
+        // older cached region.
+        let (key, cost) = {
+            let mut s = self.state.borrow_mut();
+            let key = MemKey(s.next_key);
+            s.next_key += 1;
+            s.regions.insert(key, (addr, len));
+            let mut cost = s.costs.base + s.costs.per_page * addr.pages(len);
+            if let Some((_old, old_key)) = s.cache.insert(cache_key, key) {
+                s.regions.remove(&old_key);
+                cost += s.costs.dereg;
+            }
+            (key, cost)
+        };
+        cpu.work(cost).await;
+        Registration {
+            key,
+            cache_hit: false,
+        }
+    }
+
+    /// Register a region permanently (outside the cache) — used for
+    /// pre-registered eager bounce buffers at library init time.
+    pub async fn register_pinned(&self, cpu: &Cpu, addr: VirtAddr, len: u64) -> MemKey {
+        let (key, cost) = {
+            let mut s = self.state.borrow_mut();
+            let key = MemKey(s.next_key);
+            s.next_key += 1;
+            s.regions.insert(key, (addr, len));
+            (key, s.costs.base + s.costs.per_page * addr.pages(len))
+        };
+        cpu.work(cost).await;
+        key
+    }
+
+    /// Explicitly deregister a region, charging `cpu`.
+    pub async fn deregister(&self, cpu: &Cpu, key: MemKey) {
+        let cost = {
+            let mut s = self.state.borrow_mut();
+            s.regions.remove(&key);
+            // Purge any cache entry pointing at this key (small cache, so a
+            // drain-and-reinsert pass is fine).
+            let survivors: Vec<_> = s
+                .cache
+                .clear()
+                .into_iter()
+                .filter(|(_, v)| *v != key)
+                .collect();
+            for (k, v) in survivors {
+                s.cache.insert(k, v);
+            }
+            s.costs.dereg
+        };
+        cpu.work(cost).await;
+    }
+
+    /// Validate that `key` covers `[addr, addr+len)` — the check a NIC
+    /// performs before placing RDMA data. Returns false for unknown keys or
+    /// out-of-bounds accesses (which surface as remote protection errors).
+    pub fn check(&self, key: MemKey, addr: VirtAddr, len: u64) -> bool {
+        let s = self.state.borrow();
+        match s.regions.get(&key) {
+            Some((base, rlen)) => addr.0 >= base.0 && addr.0 + len <= base.0 + rlen,
+            None => false,
+        }
+    }
+
+    /// Pin-down cache statistics: `(hits, misses, evictions)`.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.state.borrow().cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuCosts;
+    use simnet::Sim;
+
+    #[test]
+    fn page_count_spans_boundaries() {
+        assert_eq!(VirtAddr(0).pages(1), 1);
+        assert_eq!(VirtAddr(0).pages(4096), 1);
+        assert_eq!(VirtAddr(0).pages(4097), 2);
+        assert_eq!(VirtAddr(4095).pages(2), 2); // straddles a boundary
+        assert_eq!(VirtAddr(100).pages(0), 0);
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_is_disjoint() {
+        let mem = HostMem::new();
+        let a = mem.alloc(100, 64);
+        let b = mem.alloc(100, 4096);
+        assert_eq!(a.0 % 64, 0);
+        assert_eq!(b.0 % 4096, 0);
+        assert!(b.0 >= a.0 + 100, "allocations must not overlap");
+    }
+
+    #[test]
+    fn memory_roundtrips_data() {
+        let mem = HostMem::new();
+        let addr = mem.alloc_buffer(1024);
+        mem.write(addr, b"iwarp vs ib vs mx");
+        assert_eq!(mem.read(addr, 17), b"iwarp vs ib vs mx");
+        mem.fill(addr, 4, b'x');
+        assert_eq!(mem.read(addr, 5), b"xxxxp");
+    }
+
+    #[test]
+    fn registration_miss_charges_per_page() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim, CpuCosts::default());
+        let reg = MemoryRegistry::new(RegistrationCosts {
+            base: SimDuration::from_micros(10),
+            per_page: SimDuration::from_micros(1),
+            ..RegistrationCosts::default()
+        });
+        let mem = HostMem::new();
+        let addr = mem.alloc_buffer(8 * PAGE_SIZE);
+        let (r, t) = {
+            let cpu = cpu.clone();
+            let reg = reg.clone();
+            let s = sim.clone();
+            sim.block_on(async move {
+                let r = reg.register_cached(&cpu, addr, 8 * PAGE_SIZE).await;
+                (r, s.now())
+            })
+        };
+        assert!(!r.cache_hit);
+        // 10 µs base + 8 pages x 1 µs.
+        assert_eq!(t.as_nanos(), 18_000);
+    }
+
+    #[test]
+    fn second_registration_hits_cache_and_is_cheap() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim, CpuCosts::default());
+        let reg = MemoryRegistry::new(RegistrationCosts::default());
+        let mem = HostMem::new();
+        let addr = mem.alloc_buffer(PAGE_SIZE);
+        let (first, second, elapsed_second) = {
+            let cpu = cpu.clone();
+            let reg = reg.clone();
+            let s = sim.clone();
+            sim.block_on(async move {
+                let first = reg.register_cached(&cpu, addr, PAGE_SIZE).await;
+                let t0 = s.now();
+                let second = reg.register_cached(&cpu, addr, PAGE_SIZE).await;
+                (first, second, s.now() - t0)
+            })
+        };
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(second.key, first.key, "hit returns the cached key");
+        assert_eq!(
+            elapsed_second.as_nanos(),
+            RegistrationCosts::default().cache_hit.as_nanos()
+        );
+    }
+
+    #[test]
+    fn eviction_invalidates_old_key() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim, CpuCosts::default());
+        let reg = MemoryRegistry::new(RegistrationCosts {
+            cache_capacity: 2,
+            ..RegistrationCosts::default()
+        });
+        let mem = HostMem::new();
+        let bufs: Vec<VirtAddr> = (0..3).map(|_| mem.alloc_buffer(PAGE_SIZE)).collect();
+        let keys = {
+            let cpu = cpu.clone();
+            let reg = reg.clone();
+            let bufs = bufs.clone();
+            sim.block_on(async move {
+                let mut keys = Vec::new();
+                for b in &bufs {
+                    keys.push(reg.register_cached(&cpu, *b, PAGE_SIZE).await.key);
+                }
+                keys
+            })
+        };
+        // First registration was evicted by the third.
+        assert!(!reg.check(keys[0], bufs[0], PAGE_SIZE));
+        assert!(reg.check(keys[1], bufs[1], PAGE_SIZE));
+        assert!(reg.check(keys[2], bufs[2], PAGE_SIZE));
+    }
+
+    #[test]
+    fn check_rejects_out_of_bounds() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim, CpuCosts::default());
+        let reg = MemoryRegistry::new(RegistrationCosts::default());
+        let mem = HostMem::new();
+        let addr = mem.alloc_buffer(PAGE_SIZE);
+        let key = {
+            let cpu = cpu.clone();
+            let reg = reg.clone();
+            sim.block_on(async move { reg.register_pinned(&cpu, addr, PAGE_SIZE).await })
+        };
+        assert!(reg.check(key, addr, PAGE_SIZE));
+        assert!(reg.check(key, addr.offset(100), PAGE_SIZE - 100));
+        assert!(!reg.check(key, addr.offset(1), PAGE_SIZE)); // 1 byte past end
+        assert!(!reg.check(MemKey(9999), addr, 1)); // unknown key
+    }
+}

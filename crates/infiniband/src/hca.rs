@@ -1,0 +1,284 @@
+//! The Mellanox MHEA28-XT HCA hardware model and fabric wiring.
+//!
+//! Unlike the NetEffect RNIC's deep pipeline, this HCA routes every message
+//! through one serial protocol **processor**. Two consequences the paper
+//! measures:
+//!
+//! 1. The processor serves both directions, so both-way traffic contends
+//!    for it (IB both-way tops out near 89% of 2x link rate).
+//! 2. Per-QP connection context lives in host memory (MemFree); the
+//!    processor caches only a few contexts. Round-robin over more
+//!    connections than the cache holds faults a context fetch on *every*
+//!    message — the paper's Fig. 2 knee at 8 connections.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use etherstack::switch::{CutThroughSwitch, SwitchConfig};
+use hostmodel::lru::LruCache;
+use hostmodel::mem::HostMem;
+use hostmodel::pcie::PciePort;
+use hostmodel::MemoryRegistry;
+use simnet::{Pipe, Pipeline, Sim, SimDuration, Stage};
+
+use crate::calib::MellanoxCalib;
+
+/// One Mellanox HCA installed in one host.
+pub struct HcaDevice {
+    sim: Sim,
+    /// Node index within the fabric.
+    pub node: usize,
+    /// Calibration in effect.
+    pub calib: MellanoxCalib,
+    /// The PCIe slot.
+    pub pcie: PciePort,
+    /// Host memory of this node.
+    pub mem: HostMem,
+    /// MR registry (lkey/rkey space).
+    pub registry: MemoryRegistry,
+    /// The serial protocol processor — shared by both directions.
+    pub engine: Pipe,
+    /// Host-to-switch wire.
+    pub link_tx: Pipe,
+    /// QP-context cache (keyed by QP number).
+    context_cache: RefCell<LruCache<u32, ()>>,
+}
+
+impl HcaDevice {
+    fn new(sim: &Sim, node: usize, calib: MellanoxCalib) -> Self {
+        HcaDevice {
+            sim: sim.clone(),
+            node,
+            calib,
+            pcie: PciePort::new(sim, calib.pcie),
+            mem: HostMem::new(),
+            registry: MemoryRegistry::new(calib.registration),
+            engine: Pipe::new(sim, calib.engine_bytes_per_sec, calib.engine_packet_overhead),
+            link_tx: Pipe::new(sim, calib.link_bytes_per_sec, SimDuration::ZERO),
+            context_cache: RefCell::new(LruCache::new(calib.context_cache_entries)),
+        }
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Occupy the protocol processor for one message's worth of work on
+    /// `qpn`, including a context fetch if the QP's context is not cached.
+    /// Returns when the processor has finished this message's bookkeeping.
+    ///
+    /// On a miss, the context fetch from host memory (MemFree) stalls the
+    /// processor *while it holds the engine* — the fetch round-trip is
+    /// part of the occupancy, which both serializes competing messages
+    /// (the Fig. 2 mechanism) and keeps per-QP message order intact.
+    pub async fn engine_message(&self, qpn: u32, base_cost: SimDuration) {
+        let miss = {
+            let mut cache = self.context_cache.borrow_mut();
+            if cache.get(&qpn).is_none() {
+                cache.insert(qpn, ());
+                true
+            } else {
+                false
+            }
+        };
+        let cost = if miss {
+            base_cost
+                + self.calib.context_miss_penalty
+                + self.calib.pcie.dma_latency
+                + self.calib.pcie.dma_overhead
+        } else {
+            base_cost
+        };
+        let (_s, end) = self.engine.occupy(cost);
+        self.sim.sleep_until(end).await;
+    }
+
+    /// Context-cache statistics `(hits, misses, evictions)`.
+    pub fn context_stats(&self) -> (u64, u64, u64) {
+        self.context_cache.borrow().stats()
+    }
+}
+
+/// A multi-node InfiniBand fabric: one HCA per node, one 4X switch.
+pub struct IbFabric {
+    sim: Sim,
+    switch: CutThroughSwitch,
+    devices: Vec<Rc<HcaDevice>>,
+    next_qpn: std::cell::Cell<u32>,
+}
+
+impl IbFabric {
+    /// Build a fabric of `nodes` hosts with default calibration.
+    pub fn new(sim: &Sim, nodes: usize) -> Self {
+        Self::with_calib(sim, nodes, MellanoxCalib::default())
+    }
+
+    /// Build with explicit calibration (ablations override fields).
+    pub fn with_calib(sim: &Sim, nodes: usize, calib: MellanoxCalib) -> Self {
+        assert!(nodes >= 2, "a fabric needs at least two nodes");
+        IbFabric {
+            sim: sim.clone(),
+            switch: CutThroughSwitch::new(sim, SwitchConfig::mellanox_ib(), nodes),
+            devices: (0..nodes)
+                .map(|n| Rc::new(HcaDevice::new(sim, n, calib)))
+                .collect(),
+            next_qpn: std::cell::Cell::new(1),
+        }
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Device installed in node `n`.
+    pub fn device(&self, n: usize) -> Rc<HcaDevice> {
+        Rc::clone(&self.devices[n])
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Allocate a fabric-unique QP number.
+    pub fn alloc_qpn(&self) -> u32 {
+        let q = self.next_qpn.get();
+        self.next_qpn.set(q + 1);
+        q
+    }
+
+    /// Build the one-directional data path `src → dst`.
+    pub fn data_path(&self, src: usize, dst: usize) -> Pipeline {
+        assert_ne!(src, dst, "loopback is not modelled");
+        let s = &self.devices[src];
+        let d = &self.devices[dst];
+        let c = &s.calib;
+        let stages = vec![
+            Stage::new(s.pcie.to_device_pipe().clone(), c.pcie.dma_latency),
+            // The serial processor is a *stage* for data movement too: its
+            // bandwidth bounds both-way aggregate.
+            Stage::new(s.engine.clone(), c.engine_latency),
+            Stage::new(s.link_tx.clone(), c.link_latency),
+            self.switch.stage_to(dst),
+            Stage::new(d.engine.clone(), d.calib.engine_latency),
+            Stage::new(
+                d.pcie.to_host_pipe().clone(),
+                SimDuration::from_nanos(d.calib.pcie.dma_latency.as_nanos() / 2),
+            ),
+        ];
+        // A 4-packet pacing chunk: the shared protocol processor
+        // interleaves the two directions tightly only at fine grain (its
+        // service time is half the wire's).
+        Pipeline::with_chunk(&self.sim, stages, c.mtu_payload, 4)
+    }
+
+    /// Per-packet wire/header overhead.
+    pub fn per_packet_overhead(&self) -> u64 {
+        self.devices[0].calib.per_packet_overhead_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::sync::join2;
+
+    #[test]
+    fn unidirectional_bandwidth_is_link_limited_near_970() {
+        let sim = Sim::new();
+        let fab = IbFabric::new(&sim, 2);
+        let path = fab.data_path(0, 1);
+        let ovh = fab.per_packet_overhead();
+        let bytes: u64 = 8 << 20;
+        sim.block_on(async move { path.transfer(bytes, ovh).await });
+        let mbps = bytes as f64 / sim.now().as_secs_f64() / 1e6;
+        assert!(
+            (940.0..1000.0).contains(&mbps),
+            "IB unidirectional {mbps:.0} MB/s, want ~970"
+        );
+    }
+
+    #[test]
+    fn bothway_is_processor_limited_near_1780() {
+        let sim = Sim::new();
+        let fab = IbFabric::new(&sim, 2);
+        let p01 = fab.data_path(0, 1);
+        let p10 = fab.data_path(1, 0);
+        let ovh = fab.per_packet_overhead();
+        let bytes: u64 = 8 << 20;
+        let h1 = sim.spawn(async move { p01.transfer(bytes, ovh).await });
+        let h2 = sim.spawn(async move { p10.transfer(bytes, ovh).await });
+        sim.block_on(async move { join2(h1, h2).await });
+        let agg = (2 * bytes) as f64 / sim.now().as_secs_f64() / 1e6;
+        assert!(
+            (1650.0..1900.0).contains(&agg),
+            "IB both-way {agg:.0} MB/s, want ~1780 (89% of 2 GB/s)"
+        );
+    }
+
+    #[test]
+    fn context_cache_hits_within_capacity_misses_beyond() {
+        let sim = Sim::new();
+        let fab = IbFabric::new(&sim, 2);
+        let dev = fab.device(0);
+        let cost = SimDuration::from_nanos(100);
+        // Warm 8 QPs, then cycle them: all hits.
+        sim.block_on({
+            let dev = Rc::clone(&dev);
+            async move {
+                for qpn in 0..8u32 {
+                    dev.engine_message(qpn, cost).await;
+                }
+                let before = dev.context_stats();
+                for _round in 0..3 {
+                    for qpn in 0..8u32 {
+                        dev.engine_message(qpn, cost).await;
+                    }
+                }
+                let after = dev.context_stats();
+                assert_eq!(after.1, before.1, "no new misses within capacity");
+
+                // Cycling 16 QPs round-robin misses every time.
+                let before = dev.context_stats();
+                for _round in 0..2 {
+                    for qpn in 100..116u32 {
+                        dev.engine_message(qpn, cost).await;
+                    }
+                }
+                let after = dev.context_stats();
+                assert_eq!(after.1 - before.1, 32, "every access misses");
+            }
+        });
+    }
+
+    #[test]
+    fn context_miss_costs_more_time() {
+        let sim = Sim::new();
+        let fab = IbFabric::new(&sim, 2);
+        let dev = fab.device(0);
+        let cost = SimDuration::from_nanos(100);
+        let (hit_time, miss_time) = sim.block_on({
+            let dev = Rc::clone(&dev);
+            let sim = sim.clone();
+            async move {
+                dev.engine_message(1, cost).await; // warm
+                let t0 = sim.now();
+                dev.engine_message(1, cost).await; // hit
+                let hit = sim.now() - t0;
+                // Evict qpn 1 by warming 8 others.
+                for q in 10..18 {
+                    dev.engine_message(q, cost).await;
+                }
+                let t0 = sim.now();
+                dev.engine_message(1, cost).await; // miss
+                (hit, sim.now() - t0)
+            }
+        });
+        assert!(
+            miss_time.as_nanos() > hit_time.as_nanos() + 1_000,
+            "miss {miss_time} must exceed hit {hit_time} by the penalty"
+        );
+    }
+}

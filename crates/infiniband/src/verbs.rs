@@ -1,0 +1,501 @@
+//! IB verbs — the QP/CQ/MR user interface to the HCA.
+//!
+//! Mirrors the Mellanox VAPI semantics the paper benchmarks through:
+//! reliable-connected QPs, RDMA Write / Send work requests, completion
+//! queues, and lkey/rkey memory registration.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hostmodel::cpu::Cpu;
+use hostmodel::mem::{MemKey, VirtAddr};
+use hostmodel::nic::{Cqe, CqeOpcode, CqeStatus};
+use simnet::sync::{mpsc, FifoGate, Notify, Receiver, Sender};
+use simnet::{Pipeline, Sim};
+
+use crate::hca::{HcaDevice, IbFabric};
+
+/// A work request accepted by [`IbQp::post_send_wr`].
+#[derive(Clone, Debug)]
+pub enum IbWorkRequest {
+    /// One-sided write to remote `(rkey, addr)`.
+    RdmaWrite {
+        /// Completion correlator.
+        wr_id: u64,
+        /// Bytes to write.
+        len: u64,
+        /// Real payload (tests) or `None` (timing-only benchmarks).
+        payload: Option<Vec<u8>>,
+        /// Remote key.
+        rkey: MemKey,
+        /// Remote destination address.
+        remote_addr: VirtAddr,
+    },
+    /// Two-sided send consuming a posted receive at the peer.
+    Send {
+        /// Completion correlator.
+        wr_id: u64,
+        /// Bytes to send.
+        len: u64,
+        /// Real payload or `None`.
+        payload: Option<Vec<u8>>,
+    },
+}
+
+struct PostedRecv {
+    wr_id: u64,
+    addr: VirtAddr,
+    len: u64,
+}
+
+struct QpEndpoint {
+    /// In-order delivery gate (the RC-QP ordering guarantee).
+    order: FifoGate,
+    rq: RefCell<VecDeque<PostedRecv>>,
+    /// RC requires a posted receive for every send; a send that arrives
+    /// early waits here (in real hardware an RNR NAK retries — the timing
+    /// effect at microbenchmark scale is the same wait).
+    unmatched: RefCell<VecDeque<(u64, Option<Vec<u8>>)>>,
+    cq_tx: Sender<Cqe>,
+    placement: Notify,
+}
+
+/// One side of an IB reliable-connected queue pair.
+pub struct IbQp {
+    sim: Sim,
+    cpu: Cpu,
+    /// QP number (context-cache key on the local HCA).
+    pub qpn: u32,
+    /// The peer QP's number (context-cache key the *remote* HCA touches
+    /// when our messages arrive).
+    pub peer_qpn: u32,
+    dev: Rc<HcaDevice>,
+    peer_dev: Rc<HcaDevice>,
+    tx_path: Pipeline,
+    local: Rc<QpEndpoint>,
+    remote: Rc<QpEndpoint>,
+    cq_rx: RefCell<Receiver<Cqe>>,
+    pkt_overhead: u64,
+}
+
+/// Establish a connected QP pair between nodes `a` and `b`, charging each
+/// side's CPU for the QP state transitions.
+pub async fn connect(
+    fab: &IbFabric,
+    a: usize,
+    b: usize,
+    cpu_a: &Cpu,
+    cpu_b: &Cpu,
+) -> (IbQp, IbQp) {
+    let dev_a = fab.device(a);
+    let dev_b = fab.device(b);
+    let path_ab = fab.data_path(a, b);
+    let path_ba = fab.data_path(b, a);
+    let ovh = fab.per_packet_overhead();
+    let qpn_a = fab.alloc_qpn();
+    let qpn_b = fab.alloc_qpn();
+
+    cpu_a.work(dev_a.calib.connect_cpu).await;
+    path_ab.transfer(64, ovh).await;
+    cpu_b.work(dev_b.calib.connect_cpu).await;
+    path_ba.transfer(64, ovh).await;
+
+    let (cq_tx_a, cq_rx_a) = mpsc();
+    let (cq_tx_b, cq_rx_b) = mpsc();
+    let mk_ep = |cq_tx| {
+        Rc::new(QpEndpoint {
+            order: FifoGate::new(),
+            rq: RefCell::new(VecDeque::new()),
+            unmatched: RefCell::new(VecDeque::new()),
+            cq_tx,
+            placement: Notify::new(),
+        })
+    };
+    let ep_a = mk_ep(cq_tx_a);
+    let ep_b = mk_ep(cq_tx_b);
+    let qp_a = IbQp {
+        sim: fab.sim().clone(),
+        cpu: cpu_a.clone(),
+        qpn: qpn_a,
+        peer_qpn: qpn_b,
+        dev: Rc::clone(&dev_a),
+        peer_dev: Rc::clone(&dev_b),
+        tx_path: path_ab.clone(),
+        local: Rc::clone(&ep_a),
+        remote: Rc::clone(&ep_b),
+        cq_rx: RefCell::new(cq_rx_a),
+        pkt_overhead: ovh,
+    };
+    let qp_b = IbQp {
+        sim: fab.sim().clone(),
+        cpu: cpu_b.clone(),
+        qpn: qpn_b,
+        peer_qpn: qpn_a,
+        dev: dev_b,
+        peer_dev: dev_a,
+        tx_path: path_ba,
+        local: ep_b,
+        remote: ep_a,
+        cq_rx: RefCell::new(cq_rx_b),
+        pkt_overhead: ovh,
+    };
+    (qp_a, qp_b)
+}
+
+impl IbQp {
+    /// The host this QP lives on.
+    pub fn device(&self) -> &Rc<HcaDevice> {
+        &self.dev
+    }
+
+    /// The process CPU charged for posts.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    async fn charge_post(&self) {
+        self.cpu
+            .work(self.dev.calib.post_wqe + self.dev.pcie.doorbell_cost())
+            .await;
+    }
+
+    /// Post a work request. Returns once the WQE is handed to the HCA;
+    /// completion arrives on the CQ.
+    pub async fn post_send_wr(&self, wr: IbWorkRequest) {
+        self.charge_post().await;
+        // RC QPs deliver in post order.
+        let ticket = self.remote.order.ticket();
+        let tx_path = self.tx_path.clone();
+        let ovh = self.pkt_overhead;
+        let dev = Rc::clone(&self.dev);
+        let peer_dev = Rc::clone(&self.peer_dev);
+        let local_ep = Rc::clone(&self.local);
+        let remote_ep = Rc::clone(&self.remote);
+        let qpn = self.qpn;
+        let peer_qpn = self.peer_qpn;
+        self.sim.spawn(async move {
+            // Send-side processor work: WQE fetch, context lookup,
+            // packet scheduling. Serial — this is the multi-connection
+            // bottleneck.
+            dev.engine_message(qpn, dev.calib.msg_cost_tx).await;
+            match wr {
+                IbWorkRequest::RdmaWrite {
+                    wr_id,
+                    len,
+                    payload,
+                    rkey,
+                    remote_addr,
+                } => {
+                    tx_path.transfer(len, ovh).await;
+                    // Receive-side processor work (context lookup again).
+                    peer_dev
+                        .engine_message(peer_qpn, peer_dev.calib.msg_cost_rx)
+                        .await;
+                    remote_ep.order.enter(ticket).await;
+                    remote_ep.order.leave();
+                    if !peer_dev.registry.check(rkey, remote_addr, len) {
+                        let _ = local_ep.cq_tx.send(Cqe {
+                            wr_id,
+                            opcode: CqeOpcode::RdmaWrite,
+                            status: CqeStatus::RemoteAccessError,
+                            len: 0,
+                        });
+                        return;
+                    }
+                    if let Some(p) = payload {
+                        peer_dev.mem.write(remote_addr, &p);
+                    }
+                    remote_ep.placement.notify_one();
+                    let _ = local_ep.cq_tx.send(Cqe {
+                        wr_id,
+                        opcode: CqeOpcode::RdmaWrite,
+                        status: CqeStatus::Success,
+                        len,
+                    });
+                }
+                IbWorkRequest::Send {
+                    wr_id,
+                    len,
+                    payload,
+                } => {
+                    tx_path.transfer(len, ovh).await;
+                    peer_dev
+                        .engine_message(peer_qpn, peer_dev.calib.msg_cost_rx)
+                        .await;
+                    deliver_send(&remote_ep, &peer_dev.mem, len, payload);
+                    let _ = local_ep.cq_tx.send(Cqe {
+                        wr_id,
+                        opcode: CqeOpcode::Send,
+                        status: CqeStatus::Success,
+                        len,
+                    });
+                }
+            }
+        });
+    }
+
+    /// Post a receive buffer for incoming Sends.
+    pub async fn post_recv(&self, wr_id: u64, addr: VirtAddr, len: u64) {
+        self.charge_post().await;
+        let pending = self.local.unmatched.borrow_mut().pop_front();
+        match pending {
+            Some((slen, payload)) => complete_recv(
+                &self.local,
+                &self.dev.mem,
+                PostedRecv { wr_id, addr, len },
+                slen,
+                payload,
+            ),
+            None => self
+                .local
+                .rq
+                .borrow_mut()
+                .push_back(PostedRecv { wr_id, addr, len }),
+        }
+    }
+
+    /// Await the next completion.
+    ///
+    /// CQs are single-consumer: exactly one task may block here per QP (a
+    /// second concurrent consumer would panic via `RefCell`, surfacing the
+    /// caller bug immediately).
+    #[allow(clippy::await_holding_refcell_ref)]
+    pub async fn next_cqe(&self) -> Cqe {
+        self.cq_rx
+            .borrow_mut()
+            .recv()
+            .await
+            .expect("CQ channel closed")
+    }
+
+    /// Non-blocking CQ poll.
+    pub fn poll_cq(&self) -> Option<Cqe> {
+        self.cq_rx.borrow_mut().try_recv()
+    }
+
+    /// Wait for an RDMA Write to place data locally (models target-buffer
+    /// polling).
+    pub async fn wait_placement(&self) {
+        self.local.placement.notified().await;
+    }
+}
+
+fn deliver_send(
+    ep: &Rc<QpEndpoint>,
+    mem: &hostmodel::mem::HostMem,
+    len: u64,
+    payload: Option<Vec<u8>>,
+) {
+    let posted = ep.rq.borrow_mut().pop_front();
+    match posted {
+        Some(pr) => complete_recv(ep, mem, pr, len, payload),
+        None => ep.unmatched.borrow_mut().push_back((len, payload)),
+    }
+}
+
+fn complete_recv(
+    ep: &Rc<QpEndpoint>,
+    mem: &hostmodel::mem::HostMem,
+    pr: PostedRecv,
+    len: u64,
+    payload: Option<Vec<u8>>,
+) {
+    if len > pr.len {
+        let _ = ep.cq_tx.send(Cqe {
+            wr_id: pr.wr_id,
+            opcode: CqeOpcode::Recv,
+            status: CqeStatus::LocalLengthError,
+            len: 0,
+        });
+        return;
+    }
+    if let Some(p) = payload {
+        mem.write(pr.addr, &p);
+    }
+    let _ = ep.cq_tx.send(Cqe {
+        wr_id: pr.wr_id,
+        opcode: CqeOpcode::Recv,
+        status: CqeStatus::Success,
+        len,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostmodel::cpu::CpuCosts;
+    use simnet::sync::join2;
+
+    fn setup() -> (Sim, IbFabric, Cpu, Cpu) {
+        let sim = Sim::new();
+        let fab = IbFabric::new(&sim, 2);
+        let cpu_a = Cpu::new(&sim, CpuCosts::default());
+        let cpu_b = Cpu::new(&sim, CpuCosts::default());
+        (sim, fab, cpu_a, cpu_b)
+    }
+
+    #[test]
+    fn rdma_write_places_data() {
+        let (sim, fab, cpu_a, cpu_b) = setup();
+        sim.block_on(async move {
+            let (qa, qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
+            let dst = qb.device().mem.alloc_buffer(4096);
+            let rkey = qb
+                .device()
+                .registry
+                .register_pinned(&cpu_b, dst, 4096)
+                .await;
+            qa.post_send_wr(IbWorkRequest::RdmaWrite {
+                wr_id: 1,
+                len: 9,
+                payload: Some(b"memfree!!".to_vec()),
+                rkey,
+                remote_addr: dst,
+            })
+            .await;
+            assert_eq!(qa.next_cqe().await.status, CqeStatus::Success);
+            qb.wait_placement().await;
+            assert_eq!(qb.device().mem.read(dst, 9), b"memfree!!");
+        });
+    }
+
+    #[test]
+    fn rdma_write_half_rtt_matches_paper() {
+        // Paper anchor: 4.53 µs half-RTT for small RDMA Writes.
+        let (sim, fab, cpu_a, cpu_b) = setup();
+        let t = sim.block_on(async move {
+            let (qa, qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
+            let buf_a = qa.device().mem.alloc_buffer(64);
+            let buf_b = qb.device().mem.alloc_buffer(64);
+            let rk_a = qa.device().registry.register_pinned(&cpu_a, buf_a, 64).await;
+            let rk_b = qb.device().registry.register_pinned(&cpu_b, buf_b, 64).await;
+            let iters = 50u64;
+            let sim2 = qa.sim.clone();
+            // Warm the ping-pong once so context caches are hot.
+            let t0 = sim2.now();
+            let ping = async {
+                for i in 0..iters {
+                    qa.post_send_wr(IbWorkRequest::RdmaWrite {
+                        wr_id: i,
+                        len: 4,
+                        payload: None,
+                        rkey: rk_b,
+                        remote_addr: buf_b,
+                    })
+                    .await;
+                    qa.wait_placement().await;
+                }
+            };
+            let pong = async {
+                for i in 0..iters {
+                    qb.wait_placement().await;
+                    qb.post_send_wr(IbWorkRequest::RdmaWrite {
+                        wr_id: i,
+                        len: 4,
+                        payload: None,
+                        rkey: rk_a,
+                        remote_addr: buf_a,
+                    })
+                    .await;
+                }
+            };
+            join2(ping, pong).await;
+            (sim2.now() - t0).as_micros_f64() / (2.0 * iters as f64)
+        });
+        assert!(
+            (t - 4.53).abs() < 0.3,
+            "IB half-RTT {t:.2} µs, paper says 4.53 µs"
+        );
+    }
+
+    #[test]
+    fn ib_latency_beats_iwarp_but_loses_to_nothing_on_bandwidth() {
+        // Cross-fabric sanity handled in integration tests; here just
+        // verify send/recv works end-to-end.
+        let (sim, fab, cpu_a, cpu_b) = setup();
+        sim.block_on(async move {
+            let (qa, qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
+            let rbuf = qb.device().mem.alloc_buffer(256);
+            qb.post_recv(5, rbuf, 256).await;
+            qa.post_send_wr(IbWorkRequest::Send {
+                wr_id: 6,
+                len: 3,
+                payload: Some(b"via".to_vec()),
+            })
+            .await;
+            let rcqe = qb.next_cqe().await;
+            assert_eq!(rcqe.wr_id, 5);
+            assert_eq!(qb.device().mem.read(rbuf, 3), b"via");
+        });
+    }
+
+    #[test]
+    fn bad_rkey_yields_remote_access_error() {
+        let (sim, fab, cpu_a, cpu_b) = setup();
+        sim.block_on(async move {
+            let (qa, _qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
+            qa.post_send_wr(IbWorkRequest::RdmaWrite {
+                wr_id: 1,
+                len: 8,
+                payload: None,
+                rkey: MemKey(999_999),
+                remote_addr: VirtAddr(64),
+            })
+            .await;
+            assert_eq!(qa.next_cqe().await.status, CqeStatus::RemoteAccessError);
+        });
+    }
+
+    #[test]
+    fn many_qps_round_robin_degrades_past_context_cache() {
+        // The Fig. 2 mechanism: per-message latency with 16 QPs in
+        // round-robin exceeds the 4-QP case because every message faults a
+        // context.
+        let (sim, fab, cpu_a, cpu_b) = setup();
+        let (t4, t16) = sim.block_on(async move {
+            let mut qps = Vec::new();
+            for _ in 0..16 {
+                qps.push(connect(&fab, 0, 1, &cpu_a, &cpu_b).await);
+            }
+            let dst = qps[0].1.device().mem.alloc_buffer(64);
+            let rkey = qps[0]
+                .1
+                .device()
+                .registry
+                .register_pinned(&cpu_b, dst, 64)
+                .await;
+            let sim2 = qps[0].0.sim.clone();
+            let measure = |n: usize| {
+                let qs: Vec<_> = (0..n).map(|i| &qps[i].0).collect();
+                let sim3 = sim2.clone();
+                async move {
+                    let t0 = sim3.now();
+                    for _round in 0..20 {
+                        for q in &qs {
+                            q.post_send_wr(IbWorkRequest::RdmaWrite {
+                                wr_id: 0,
+                                len: 4,
+                                payload: None,
+                                rkey,
+                                remote_addr: dst,
+                            })
+                            .await;
+                        }
+                        for q in &qs {
+                            q.next_cqe().await;
+                        }
+                    }
+                    (sim3.now() - t0).as_micros_f64() / (20.0 * n as f64)
+                }
+            };
+            let t4 = measure(4).await;
+            let t16 = measure(16).await;
+            (t4, t16)
+        });
+        assert!(
+            t16 > t4 * 1.2,
+            "per-message time with 16 QPs ({t16:.2} µs) must exceed 4 QPs ({t4:.2} µs)"
+        );
+    }
+}

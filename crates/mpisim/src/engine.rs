@@ -1,0 +1,720 @@
+//! The host-matched MPI engine (the MPICH-over-verbs model).
+//!
+//! Implements exactly the machinery the paper's MPI-level experiments
+//! measure:
+//!
+//! * **Eager protocol** (small messages): copy through pre-registered
+//!   bounce buffers — sender completes locally after the copy; the receive
+//!   side walks the posted-receive queue on arrival and the unexpected
+//!   queue on `MPI_Irecv`, paying a per-entry CPU cost (Figs. 7 and 8).
+//! * **Rendezvous protocol** (large messages): RTS → receive-side match +
+//!   buffer registration → CTS (carrying rkey) → RDMA Write → FIN. Buffer
+//!   registration goes through the NIC's pin-down cache, so the buffer
+//!   re-use pattern decides whether the expensive pinning is paid
+//!   (Fig. 6).
+//! * Copy costs are cache-aware: cycling through many buffers copies cold,
+//!   re-using one buffer copies hot — the eager-range effect in Fig. 6.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::{Rc, Weak};
+
+use hostmodel::cpu::Cpu;
+use hostmodel::lru::LruCache;
+use hostmodel::mem::{HostMem, MemKey, VirtAddr};
+use simnet::{Sim, SimDuration};
+
+use crate::rank::{LocalFuture, MpiRank, Source};
+use crate::request::{MpiRequest, MpiStatus};
+use crate::transport::Transport;
+
+/// Per-fabric MPI library configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiConfig {
+    /// Messages of at least this many bytes use the rendezvous protocol.
+    pub rndv_threshold: u64,
+    /// Wire bytes of the eager header prepended to payload.
+    pub eager_header: u64,
+    /// Wire bytes of a control message (RTS/CTS/FIN).
+    pub ctrl_wire: u64,
+    /// CPU cost per posted-receive-queue entry walked on message arrival.
+    pub posted_per_entry: SimDuration,
+    /// CPU cost per unexpected-queue entry walked on `MPI_Irecv`.
+    pub unexpected_per_entry: SimDuration,
+    /// Software overhead of the send path beyond the library call.
+    pub send_sw: SimDuration,
+    /// Software overhead of arrival processing (progress engine).
+    pub recv_sw: SimDuration,
+    /// How many distinct buffers stay cache-hot for copy purposes.
+    pub hot_buffers: usize,
+}
+
+struct Posted {
+    src: Source,
+    tag: u32,
+    buf: VirtAddr,
+    len: u64,
+    req: MpiRequest,
+}
+
+enum UnexKind {
+    Eager { payload: Option<Vec<u8>> },
+    Rts { rts_id: u64 },
+}
+
+struct Unex {
+    from: usize,
+    tag: u32,
+    len: u64,
+    kind: UnexKind,
+}
+
+/// Control messages exchanged between engines. Content travels with the
+/// simulated message; timing comes from the transport.
+pub enum CtrlMsg {
+    /// Eager data.
+    Eager {
+        /// Sender rank.
+        from: usize,
+        /// Tag.
+        tag: u32,
+        /// Payload length.
+        len: u64,
+        /// Real bytes (tests) or None.
+        payload: Option<Vec<u8>>,
+    },
+    /// Rendezvous request-to-send.
+    Rts {
+        /// Sender rank.
+        from: usize,
+        /// Tag.
+        tag: u32,
+        /// Full message length.
+        len: u64,
+        /// Correlator for CTS/FIN.
+        rts_id: u64,
+    },
+    /// Clear-to-send: receive buffer is registered, go ahead.
+    Cts {
+        /// Correlator.
+        rts_id: u64,
+        /// Remote key of the registered receive buffer.
+        rkey: MemKey,
+        /// Receive buffer address.
+        raddr: VirtAddr,
+        /// Receiver-side capacity.
+        rlen: u64,
+    },
+    /// Transfer complete.
+    Fin {
+        /// Correlator.
+        rts_id: u64,
+    },
+}
+
+struct RtsSend {
+    dest: usize,
+    tag: u32,
+    len: u64,
+    payload: Option<Vec<u8>>,
+    req: MpiRequest,
+}
+
+struct FinWait {
+    from: usize,
+    tag: u32,
+    len: u64,
+    req: MpiRequest,
+    /// When the CTS went out — the receiving process spin-polls its CQ
+    /// from here until FIN, and those cycles count as receiver overhead.
+    cts_at: simnet::SimTime,
+}
+
+/// One host-matched MPI process.
+pub struct HostEngine<T: Transport> {
+    sim: Sim,
+    rank: usize,
+    size: usize,
+    cpu: Cpu,
+    mem: HostMem,
+    cfg: MpiConfig,
+    transport: T,
+    posted: RefCell<VecDeque<Posted>>,
+    unexpected: RefCell<VecDeque<Unex>>,
+    rts_send: RefCell<HashMap<u64, RtsSend>>,
+    fin_wait: RefCell<HashMap<u64, FinWait>>,
+    next_rts: Cell<u64>,
+    hot_bufs: RefCell<LruCache<u64, ()>>,
+    peers: RefCell<Vec<Weak<HostEngine<T>>>>,
+}
+
+impl<T: Transport> HostEngine<T> {
+    /// Build an engine for `rank` of `size` over `transport`.
+    pub fn new(
+        sim: &Sim,
+        rank: usize,
+        size: usize,
+        cpu: Cpu,
+        mem: HostMem,
+        cfg: MpiConfig,
+        transport: T,
+    ) -> Rc<Self> {
+        Rc::new(HostEngine {
+            sim: sim.clone(),
+            rank,
+            size,
+            cpu,
+            mem,
+            cfg,
+            transport,
+            posted: RefCell::new(VecDeque::new()),
+            unexpected: RefCell::new(VecDeque::new()),
+            rts_send: RefCell::new(HashMap::new()),
+            fin_wait: RefCell::new(HashMap::new()),
+            next_rts: Cell::new(1),
+            hot_bufs: RefCell::new(LruCache::new(cfg.hot_buffers.max(1))),
+            peers: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Wire the peer table (called once by the world builder).
+    pub fn set_peers(&self, peers: Vec<Weak<HostEngine<T>>>) {
+        *self.peers.borrow_mut() = peers;
+    }
+
+    fn peer(&self, rank: usize) -> Rc<HostEngine<T>> {
+        self.peers.borrow()[rank]
+            .upgrade()
+            .expect("peer engine dropped while world in use")
+    }
+
+    /// Untimed check: does the unexpected queue hold a matching message?
+    pub fn probe_unexpected(&self, src: Source, tag: u32) -> bool {
+        self.unexpected
+            .borrow()
+            .iter()
+            .any(|u| src.admits(u.from) && (tag == crate::rank::ANY_TAG || tag == u.tag))
+    }
+
+    /// Current queue depths `(posted, unexpected)` — for tests.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.posted.borrow().len(), self.unexpected.borrow().len())
+    }
+
+    /// Copy `len` bytes of `buf` through the CPU, hot or cold depending on
+    /// whether the buffer was recently used.
+    async fn copy_buffer(&self, buf: VirtAddr, len: u64) {
+        let hot = {
+            let mut hb = self.hot_bufs.borrow_mut();
+            if hb.get(&buf.0).is_some() {
+                true
+            } else {
+                hb.insert(buf.0, ());
+                false
+            }
+        };
+        if hot {
+            self.cpu.memcpy(len).await;
+        } else {
+            self.cpu.memcpy_cold(len).await;
+        }
+    }
+
+    /// `MPI_Isend`.
+    pub async fn isend(
+        self: &Rc<Self>,
+        dest: usize,
+        tag: u32,
+        buf: VirtAddr,
+        len: u64,
+        payload: Option<Vec<u8>>,
+    ) -> MpiRequest {
+        let req = MpiRequest::new();
+        self.cpu.call().await;
+        self.cpu.work(self.cfg.send_sw).await;
+        if len < self.cfg.rndv_threshold {
+            // Eager: copy into the pre-registered bounce buffer; the user
+            // buffer is immediately reusable, so the request completes
+            // locally.
+            self.copy_buffer(buf, len).await;
+            req.complete(MpiStatus {
+                len,
+                source: self.rank,
+                tag,
+            });
+            let me = Rc::clone(self);
+            let wire = self.cfg.eager_header + len;
+            self.sim.spawn(async move {
+                me.transport.send_to(dest, wire).await;
+                let peer = me.peer(dest);
+                peer.handle_arrival(CtrlMsg::Eager {
+                    from: me.rank,
+                    tag,
+                    len,
+                    payload,
+                })
+                .await;
+            });
+        } else {
+            // Rendezvous: pin the user buffer (cache-aware) and announce.
+            self.transport.register_cached(&self.cpu, buf, len).await;
+            let rts_id = self.next_rts.get();
+            self.next_rts.set(rts_id + 1);
+            self.rts_send.borrow_mut().insert(
+                rts_id,
+                RtsSend {
+                    dest,
+                    tag,
+                    len,
+                    payload,
+                    req: req.clone(),
+                },
+            );
+            let me = Rc::clone(self);
+            let wire = self.cfg.ctrl_wire;
+            let rank = self.rank;
+            self.sim.spawn(async move {
+                me.transport.send_to(dest, wire).await;
+                let peer = me.peer(dest);
+                peer.handle_arrival(CtrlMsg::Rts {
+                    from: rank,
+                    tag,
+                    len,
+                    rts_id,
+                })
+                .await;
+            });
+        }
+        req
+    }
+
+    /// `MPI_Irecv`.
+    pub async fn irecv(
+        self: &Rc<Self>,
+        src: Source,
+        tag: u32,
+        buf: VirtAddr,
+        len: u64,
+    ) -> MpiRequest {
+        let req = MpiRequest::new();
+        self.cpu.call().await;
+        // Walk the unexpected queue first (FIFO, per-entry CPU cost).
+        let (walked, hit) = {
+            let mut unex = self.unexpected.borrow_mut();
+            let pos = unex
+                .iter()
+                .position(|u| src.admits(u.from) && (tag == crate::rank::ANY_TAG || tag == u.tag));
+            match pos {
+                Some(i) => (i + 1, Some(unex.remove(i).unwrap())),
+                None => (unex.len(), None),
+            }
+        };
+        self.cpu
+            .work(self.cfg.unexpected_per_entry * walked as u64)
+            .await;
+        match hit {
+            Some(u) => match u.kind {
+                UnexKind::Eager { payload } => {
+                    let n = u.len.min(len);
+                    self.copy_buffer(buf, n).await;
+                    if let Some(p) = payload {
+                        self.mem.write(buf, &p[..n as usize]);
+                    }
+                    req.complete(MpiStatus {
+                        len: n,
+                        source: u.from,
+                        tag: u.tag,
+                    });
+                }
+                UnexKind::Rts { rts_id } => {
+                    self.rndv_respond(u.from, u.tag, rts_id, buf, u.len.min(len), req.clone())
+                        .await;
+                }
+            },
+            None => {
+                self.posted.borrow_mut().push_back(Posted {
+                    src,
+                    tag,
+                    buf,
+                    len,
+                    req: req.clone(),
+                });
+            }
+        }
+        req
+    }
+
+    /// Receive side of the rendezvous: register the buffer and send CTS.
+    async fn rndv_respond(
+        self: &Rc<Self>,
+        from: usize,
+        tag: u32,
+        rts_id: u64,
+        buf: VirtAddr,
+        len: u64,
+        req: MpiRequest,
+    ) {
+        let key = self.transport.register_cached(&self.cpu, buf, len).await;
+        self.fin_wait.borrow_mut().insert(
+            rts_id,
+            FinWait {
+                from,
+                tag,
+                len,
+                req,
+                cts_at: self.sim.now(),
+            },
+        );
+        let me = Rc::clone(self);
+        let wire = self.cfg.ctrl_wire;
+        self.sim.spawn(async move {
+            me.transport.send_to(from, wire).await;
+            let peer = me.peer(from);
+            peer.handle_arrival(CtrlMsg::Cts {
+                rts_id,
+                rkey: key,
+                raddr: buf,
+                rlen: len,
+            })
+            .await;
+        });
+    }
+
+    /// Progress-engine entry point: a control message arrived from the
+    /// fabric. Runs at arrival time and charges *this* (receiving) rank's
+    /// CPU, as a polling MPI progress engine does.
+    pub async fn handle_arrival(self: &Rc<Self>, msg: CtrlMsg) {
+        self.cpu.work(self.cfg.recv_sw).await;
+        match msg {
+            CtrlMsg::Eager {
+                from,
+                tag,
+                len,
+                payload,
+            } => {
+                let (walked, hit) = self.match_posted(from, tag);
+                self.cpu
+                    .work(self.cfg.posted_per_entry * walked as u64)
+                    .await;
+                match hit {
+                    Some(p) => {
+                        let n = len.min(p.len);
+                        self.copy_buffer(p.buf, n).await;
+                        if let Some(data) = payload {
+                            self.mem.write(p.buf, &data[..n as usize]);
+                        }
+                        p.req.complete(MpiStatus {
+                            len: n,
+                            source: from,
+                            tag,
+                        });
+                    }
+                    None => {
+                        self.unexpected.borrow_mut().push_back(Unex {
+                            from,
+                            tag,
+                            len,
+                            kind: UnexKind::Eager { payload },
+                        });
+                    }
+                }
+            }
+            CtrlMsg::Rts {
+                from,
+                tag,
+                len,
+                rts_id,
+            } => {
+                let (walked, hit) = self.match_posted(from, tag);
+                self.cpu
+                    .work(self.cfg.posted_per_entry * walked as u64)
+                    .await;
+                match hit {
+                    Some(p) => {
+                        self.rndv_respond(from, tag, rts_id, p.buf, len.min(p.len), p.req)
+                            .await;
+                    }
+                    None => {
+                        self.unexpected.borrow_mut().push_back(Unex {
+                            from,
+                            tag,
+                            len,
+                            kind: UnexKind::Rts { rts_id },
+                        });
+                    }
+                }
+            }
+            CtrlMsg::Cts {
+                rts_id,
+                rkey,
+                raddr,
+                rlen,
+            } => {
+                let rts = self
+                    .rts_send
+                    .borrow_mut()
+                    .remove(&rts_id)
+                    .expect("CTS for unknown RTS");
+                let me = Rc::clone(self);
+                let n = rts.len.min(rlen);
+                self.sim.spawn(async move {
+                    let ok = me
+                        .transport
+                        .rdma_write_to(rts.dest, n, rts.payload, rkey, raddr)
+                        .await;
+                    debug_assert!(ok, "rendezvous write faulted");
+                    me.transport.send_to(rts.dest, me.cfg.ctrl_wire).await;
+                    let peer = me.peer(rts.dest);
+                    peer.handle_arrival(CtrlMsg::Fin { rts_id }).await;
+                    rts.req.complete(MpiStatus {
+                        len: n,
+                        source: me.rank,
+                        tag: rts.tag,
+                    });
+                });
+            }
+            CtrlMsg::Fin { rts_id } => {
+                let fw = self
+                    .fin_wait
+                    .borrow_mut()
+                    .remove(&rts_id)
+                    .expect("FIN for unknown rendezvous");
+                // The receiving process drove the transfer by polling its
+                // completion queue (MPICH-over-verbs has no progression
+                // thread); those cycles are real receiver overhead.
+                self.cpu.account_busy(self.sim.now() - fw.cts_at);
+                fw.req.complete(MpiStatus {
+                    len: fw.len,
+                    source: fw.from,
+                    tag: fw.tag,
+                });
+            }
+        }
+    }
+
+    fn match_posted(&self, from: usize, tag: u32) -> (usize, Option<Posted>) {
+        let mut posted = self.posted.borrow_mut();
+        let pos = posted
+            .iter()
+            .position(|p| p.src.admits(from) && (p.tag == crate::rank::ANY_TAG || p.tag == tag));
+        match pos {
+            Some(i) => (i + 1, posted.remove(i)),
+            None => (posted.len(), None),
+        }
+    }
+}
+
+/// [`MpiRank`] wrapper around a host engine.
+pub struct HostMpiRank<T: Transport> {
+    engine: Rc<HostEngine<T>>,
+}
+
+impl<T: Transport> HostMpiRank<T> {
+    /// Wrap an engine.
+    pub fn new(engine: Rc<HostEngine<T>>) -> Self {
+        HostMpiRank { engine }
+    }
+
+    /// The engine underneath (tests poke at queue depths).
+    pub fn engine(&self) -> &Rc<HostEngine<T>> {
+        &self.engine
+    }
+}
+
+impl<T: Transport> MpiRank for HostMpiRank<T> {
+    fn rank(&self) -> usize {
+        self.engine.rank
+    }
+
+    fn size(&self) -> usize {
+        self.engine.size
+    }
+
+    fn cpu(&self) -> &Cpu {
+        &self.engine.cpu
+    }
+
+    fn mem(&self) -> &HostMem {
+        &self.engine.mem
+    }
+
+    fn alloc_buffer(&self, len: u64) -> VirtAddr {
+        self.engine.mem.alloc_buffer(len)
+    }
+
+    fn isend(
+        &self,
+        dest: usize,
+        tag: u32,
+        buf: VirtAddr,
+        len: u64,
+        payload: Option<Vec<u8>>,
+    ) -> LocalFuture<'_, MpiRequest> {
+        Box::pin(async move { self.engine.isend(dest, tag, buf, len, payload).await })
+    }
+
+    fn irecv(
+        &self,
+        src: Source,
+        tag: u32,
+        buf: VirtAddr,
+        len: u64,
+    ) -> LocalFuture<'_, MpiRequest> {
+        Box::pin(async move { self.engine.irecv(src, tag, buf, len).await })
+    }
+
+    fn probe_unexpected(&self, src: Source, tag: u32) -> bool {
+        self.engine.probe_unexpected(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::ANY_TAG;
+    use crate::transport::IwarpTransport;
+    use crate::world::iwarp_mpi_config;
+    use hostmodel::cpu::CpuCosts;
+
+    fn two_engines() -> (Sim, Rc<HostEngine<IwarpTransport>>, Rc<HostEngine<IwarpTransport>>) {
+        let sim = Sim::new();
+        let fab = iwarp::IwarpFabric::new(&sim, 2);
+        let cfg = iwarp_mpi_config();
+        let mk = |r: usize| {
+            let cpu = Cpu::new(&sim, CpuCosts::default());
+            let mem = fab.device(r).mem.clone();
+            let tr = IwarpTransport::new(&fab, r, &cpu);
+            HostEngine::new(&sim, r, 2, cpu, mem, cfg, tr)
+        };
+        let e0 = mk(0);
+        let e1 = mk(1);
+        e0.set_peers(vec![Rc::downgrade(&e0), Rc::downgrade(&e1)]);
+        e1.set_peers(vec![Rc::downgrade(&e0), Rc::downgrade(&e1)]);
+        (sim, e0, e1)
+    }
+
+    #[test]
+    fn unmatched_eager_parks_in_unexpected_queue() {
+        let (sim, e0, e1) = two_engines();
+        sim.block_on({
+            let e0 = Rc::clone(&e0);
+            let e1 = Rc::clone(&e1);
+            let sim = sim.clone();
+            async move {
+                let b = e0.mem.alloc_buffer(64);
+                let req = e0.isend(1, 7, b, 16, None).await;
+                req.wait().await; // eager completes locally
+                sim.sleep(SimDuration::from_micros(100)).await;
+                assert_eq!(e1.queue_depths(), (0, 1), "parked unexpected");
+                assert!(e1.probe_unexpected(Source::Rank(0), 7));
+                assert!(!e1.probe_unexpected(Source::Rank(0), 8));
+            }
+        });
+    }
+
+    #[test]
+    fn posted_receive_waits_in_posted_queue() {
+        let (sim, e0, e1) = two_engines();
+        sim.block_on({
+            let e1 = Rc::clone(&e1);
+            async move {
+                let b = e1.mem.alloc_buffer(64);
+                let _r = e1.irecv(Source::Rank(0), 3, b, 64).await;
+                assert_eq!(e1.queue_depths(), (1, 0));
+                let _ = e0;
+            }
+        });
+    }
+
+    #[test]
+    fn matching_drains_both_queues() {
+        let (sim, e0, e1) = two_engines();
+        sim.block_on({
+            let e0 = Rc::clone(&e0);
+            let e1 = Rc::clone(&e1);
+            let sim = sim.clone();
+            async move {
+                let b0 = e0.mem.alloc_buffer(64);
+                let b1 = e1.mem.alloc_buffer(64);
+                // Unexpected first, then matched by a receive.
+                e0.isend(1, 5, b0, 8, None).await.wait().await;
+                sim.sleep(SimDuration::from_micros(100)).await;
+                let r = e1.irecv(Source::Any, ANY_TAG, b1, 64).await;
+                r.wait().await;
+                assert_eq!(e1.queue_depths(), (0, 0), "both queues empty");
+            }
+        });
+    }
+
+    #[test]
+    fn rendezvous_state_is_cleaned_up_after_fin() {
+        let (sim, e0, e1) = two_engines();
+        sim.block_on({
+            let e0 = Rc::clone(&e0);
+            let e1 = Rc::clone(&e1);
+            async move {
+                let n = 128 * 1024u64;
+                let b0 = e0.mem.alloc_buffer(n);
+                let b1 = e1.mem.alloc_buffer(n);
+                let r = e1.irecv(Source::Rank(0), 1, b1, n).await;
+                let s = e0.isend(1, 1, b0, n, None).await;
+                s.wait().await;
+                r.wait().await;
+                assert!(e0.rts_send.borrow().is_empty(), "sender RTS table");
+                assert!(e1.fin_wait.borrow().is_empty(), "receiver FIN table");
+            }
+        });
+    }
+
+    #[test]
+    fn eager_copy_is_cold_for_fresh_buffers_hot_for_reused() {
+        let (sim, e0, e1) = two_engines();
+        sim.block_on({
+            let e0 = Rc::clone(&e0);
+            let e1 = Rc::clone(&e1);
+            let sim = sim.clone();
+            async move {
+                let n = 4096u64;
+                let b = e0.mem.alloc_buffer(n);
+                // First use: cold copy.
+                e0.cpu.reset_busy();
+                e0.isend(1, 1, b, n, None).await.wait().await;
+                let cold = e0.cpu.busy_time();
+                // Second use of the same buffer: hot copy.
+                e0.cpu.reset_busy();
+                e0.isend(1, 2, b, n, None).await.wait().await;
+                let hot = e0.cpu.busy_time();
+                assert!(
+                    cold.as_nanos() > hot.as_nanos() + 1000,
+                    "cold {cold} must exceed hot {hot}"
+                );
+                // Drain the two parked messages.
+                sim.sleep(SimDuration::from_micros(200)).await;
+                let b1 = e1.mem.alloc_buffer(n);
+                e1.irecv(Source::Any, ANY_TAG, b1, n).await.wait().await;
+                e1.irecv(Source::Any, ANY_TAG, b1, n).await.wait().await;
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival_in_order() {
+        let (sim, e0, e1) = two_engines();
+        sim.block_on({
+            let e0 = Rc::clone(&e0);
+            let e1 = Rc::clone(&e1);
+            let sim = sim.clone();
+            async move {
+                let b = e0.mem.alloc_buffer(64);
+                e0.isend(1, 10, b, 4, Some(vec![10; 4])).await.wait().await;
+                e0.isend(1, 20, b, 4, Some(vec![20; 4])).await.wait().await;
+                sim.sleep(SimDuration::from_micros(100)).await;
+                let b1 = e1.mem.alloc_buffer(64);
+                let st = e1.irecv(Source::Any, ANY_TAG, b1, 64).await.wait().await;
+                assert_eq!(st.tag, 10, "MPI ordering: first arrival matches first");
+                let st = e1.irecv(Source::Any, ANY_TAG, b1, 64).await.wait().await;
+                assert_eq!(st.tag, 20);
+            }
+        });
+    }
+}

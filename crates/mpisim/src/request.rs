@@ -1,0 +1,127 @@
+//! Non-blocking request handles (`MPI_Request` analogue).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use simnet::sync::Notify;
+
+/// Completion record of a finished request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MpiStatus {
+    /// Bytes transferred.
+    pub len: u64,
+    /// Source rank (receives only; the sender's own rank on sends).
+    pub source: usize,
+    /// Message tag.
+    pub tag: u32,
+}
+
+struct ReqState {
+    done: Cell<bool>,
+    status: Cell<MpiStatus>,
+    notify: Notify,
+}
+
+/// A non-blocking operation handle (`MPI_Isend` / `MPI_Irecv` result).
+#[derive(Clone)]
+pub struct MpiRequest {
+    state: Rc<ReqState>,
+}
+
+impl Default for MpiRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MpiRequest {
+    /// Create a pending request.
+    pub fn new() -> Self {
+        MpiRequest {
+            state: Rc::new(ReqState {
+                done: Cell::new(false),
+                status: Cell::new(MpiStatus {
+                    len: 0,
+                    source: 0,
+                    tag: 0,
+                }),
+                notify: Notify::new(),
+            }),
+        }
+    }
+
+    /// Mark complete and wake waiters (library-internal).
+    pub fn complete(&self, status: MpiStatus) {
+        self.state.status.set(status);
+        self.state.done.set(true);
+        self.state.notify.notify_one();
+    }
+
+    /// `MPI_Test`: non-blocking completion probe.
+    pub fn test(&self) -> Option<MpiStatus> {
+        self.state.done.get().then(|| self.state.status.get())
+    }
+
+    /// `MPI_Wait`: block (in virtual time) until complete.
+    pub async fn wait(&self) -> MpiStatus {
+        while !self.state.done.get() {
+            self.state.notify.notified().await;
+        }
+        self.state.status.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Sim, SimDuration};
+
+    #[test]
+    fn test_returns_none_until_complete() {
+        let r = MpiRequest::new();
+        assert!(r.test().is_none());
+        r.complete(MpiStatus {
+            len: 5,
+            source: 1,
+            tag: 9,
+        });
+        assert_eq!(r.test().unwrap().len, 5);
+    }
+
+    #[test]
+    fn wait_blocks_until_completion() {
+        let sim = Sim::new();
+        let r = MpiRequest::new();
+        let r2 = r.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_micros(3)).await;
+            r2.complete(MpiStatus {
+                len: 1,
+                source: 0,
+                tag: 0,
+            });
+        });
+        let t = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                r.wait().await;
+                sim.now().as_nanos()
+            }
+        });
+        assert_eq!(t, 3_000);
+    }
+
+    #[test]
+    fn wait_after_completion_is_immediate() {
+        let sim = Sim::new();
+        let r = MpiRequest::new();
+        r.complete(MpiStatus {
+            len: 2,
+            source: 0,
+            tag: 7,
+        });
+        let st = sim.block_on(async move { r.wait().await });
+        assert_eq!(st.tag, 7);
+    }
+}

@@ -1,0 +1,640 @@
+//! The MX endpoint API: `mx_isend` / `mx_irecv` / `mx_test` / `mx_wait`.
+//!
+//! Semantics follow the MX-10G library: non-blocking matched send/receive
+//! with 64-bit match bits, an internal eager→rendezvous switch at 32 KB,
+//! NIC-side matching, an internal registration cache, and a host
+//! progression thread that starts large transfers on the receive side.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hostmodel::cpu::Cpu;
+use hostmodel::mem::VirtAddr;
+use simnet::sync::{FifoGate, Notify};
+use simnet::{Pipeline, Sim};
+
+use crate::matching::{matches, MatchInfo};
+use crate::nic::{MxFabric, MxNic};
+
+/// Completion status of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MxStatus {
+    /// Bytes transferred.
+    pub len: u64,
+    /// Match bits of the message that satisfied this request (receives
+    /// report the sender's bits — how MPI recovers `MPI_ANY_SOURCE`).
+    pub bits: MatchInfo,
+}
+
+struct ReqState {
+    done: Cell<bool>,
+    len: Cell<u64>,
+    bits: Cell<MatchInfo>,
+    notify: Notify,
+}
+
+/// Handle to a pending non-blocking operation.
+#[derive(Clone)]
+pub struct MxRequest {
+    state: Rc<ReqState>,
+}
+
+impl MxRequest {
+    fn new() -> Self {
+        MxRequest {
+            state: Rc::new(ReqState {
+                done: Cell::new(false),
+                len: Cell::new(0),
+                bits: Cell::new(MatchInfo(0)),
+                notify: Notify::new(),
+            }),
+        }
+    }
+
+    fn complete(&self, len: u64, bits: MatchInfo) {
+        self.state.len.set(len);
+        self.state.bits.set(bits);
+        self.state.done.set(true);
+        self.state.notify.notify_one();
+    }
+
+    /// Non-blocking completion probe (`mx_test`).
+    pub fn test(&self) -> Option<MxStatus> {
+        self.state.done.get().then(|| MxStatus {
+            len: self.state.len.get(),
+            bits: self.state.bits.get(),
+        })
+    }
+
+    /// Block (in virtual time) until complete (`mx_wait`).
+    pub async fn wait(&self) -> MxStatus {
+        while !self.state.done.get() {
+            self.state.notify.notified().await;
+        }
+        MxStatus {
+            len: self.state.len.get(),
+            bits: self.state.bits.get(),
+        }
+    }
+}
+
+struct Posted {
+    bits: MatchInfo,
+    mask: u64,
+    addr: VirtAddr,
+    len: u64,
+    req: MxRequest,
+}
+
+enum UnexpectedKind {
+    /// Eager data already buffered host-side (ring buffer).
+    Eager { payload: Option<Vec<u8>> },
+    /// A rendezvous RTS waiting for a matching receive; completing it
+    /// triggers the pull.
+    Rts { pull: Box<dyn FnOnce(VirtAddr, u64, MxRequest)> },
+}
+
+struct Unexpected {
+    bits: MatchInfo,
+    len: u64,
+    kind: UnexpectedKind,
+}
+
+struct EndpointInner {
+    posted: RefCell<VecDeque<Posted>>,
+    unexpected: RefCell<VecDeque<Unexpected>>,
+}
+
+/// An open MX endpoint bound to one process.
+pub struct MxEndpoint {
+    sim: Sim,
+    nic: Rc<MxNic>,
+    cpu: Cpu,
+    /// The MX progression thread's CPU context (a second core of the SMP
+    /// hosts; rendezvous receive-side work runs here, which is why MX
+    /// shows no receiver-overhead jump at the protocol switch).
+    progression: Cpu,
+    inner: Rc<EndpointInner>,
+}
+
+/// Address of a connected peer endpoint: its match lists plus the data
+/// paths between the two NICs.
+pub struct MxAddr {
+    peer_inner: Rc<EndpointInner>,
+    peer_nic: Rc<MxNic>,
+    peer_progression: Cpu,
+    /// local → peer.
+    path_out: Pipeline,
+    /// peer → local (rendezvous pulls).
+    path_back: Pipeline,
+    pkt_overhead: u64,
+    /// In-order matching per source endpoint (the MX guarantee).
+    order: FifoGate,
+}
+
+/// A rank-indexed table of connected peer addresses (slot `i` holds the
+/// address of rank `i`'s endpoint; the owner's own slot is empty).
+pub struct MxAddrTable {
+    slots: Vec<Option<Rc<MxAddr>>>,
+}
+
+impl MxAddrTable {
+    /// Build from per-rank optional addresses.
+    pub fn new(slots: Vec<Option<Rc<MxAddr>>>) -> Self {
+        MxAddrTable { slots }
+    }
+
+    /// The address of rank `dest`.
+    pub fn get(&self, dest: usize) -> &MxAddr {
+        self.slots[dest]
+            .as_deref()
+            .expect("no MX address for this rank")
+    }
+}
+
+impl MxEndpoint {
+    /// Open an endpoint on `node`, bound to the calling process `cpu`.
+    pub fn open(fab: &MxFabric, node: usize, cpu: &Cpu) -> MxEndpoint {
+        let nic = fab.device(node);
+        MxEndpoint {
+            sim: fab.sim().clone(),
+            progression: Cpu::new(fab.sim(), cpu.costs()),
+            nic,
+            cpu: cpu.clone(),
+            inner: Rc::new(EndpointInner {
+                posted: RefCell::new(VecDeque::new()),
+                unexpected: RefCell::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Resolve a peer endpoint into a sendable address (`mx_connect`).
+    pub fn connect(&self, fab: &MxFabric, peer: &MxEndpoint) -> MxAddr {
+        MxAddr {
+            peer_inner: Rc::clone(&peer.inner),
+            peer_nic: Rc::clone(&peer.nic),
+            peer_progression: peer.progression.clone(),
+            path_out: fab.data_path(self.nic.node, peer.nic.node),
+            path_back: fab.data_path(peer.nic.node, self.nic.node),
+            pkt_overhead: fab.per_packet_overhead(),
+            order: FifoGate::new(),
+        }
+    }
+
+    /// The owning process CPU.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The NIC under this endpoint.
+    pub fn nic(&self) -> &Rc<MxNic> {
+        &self.nic
+    }
+
+    /// Untimed instrumentation: does the unexpected list hold a message
+    /// matching `(bits, mask)`?
+    pub fn probe_unexpected(&self, bits: MatchInfo, mask: u64) -> bool {
+        self.inner
+            .unexpected
+            .borrow()
+            .iter()
+            .any(|u| matches(u.bits, bits, mask))
+    }
+
+    /// Current unexpected-queue depth (for benchmark assertions).
+    pub fn unexpected_depth(&self) -> usize {
+        self.inner.unexpected.borrow().len()
+    }
+
+    /// Current posted-receive-queue depth.
+    pub fn posted_depth(&self) -> usize {
+        self.inner.posted.borrow().len()
+    }
+
+    /// Non-blocking matched send (`mx_isend`) of `len` bytes from the
+    /// user buffer at `buf`.
+    pub async fn isend(
+        &self,
+        dest: &MxAddr,
+        bits: MatchInfo,
+        buf: VirtAddr,
+        len: u64,
+        payload: Option<Vec<u8>>,
+    ) -> MxRequest {
+        self.cpu.work(self.nic.calib.post_cost).await;
+        let req = MxRequest::new();
+        if len < self.nic.calib.rndv_threshold {
+            self.eager_send(dest, bits, len, payload, req.clone());
+        } else {
+            self.rndv_send(dest, bits, buf, len, payload, req.clone())
+                .await;
+        }
+        req
+    }
+
+    fn eager_send(
+        &self,
+        dest: &MxAddr,
+        bits: MatchInfo,
+        len: u64,
+        payload: Option<Vec<u8>>,
+        req: MxRequest,
+    ) {
+        let path = dest.path_out.clone();
+        let ovh = dest.pkt_overhead;
+        let peer_inner = Rc::clone(&dest.peer_inner);
+        let peer_nic = Rc::clone(&dest.peer_nic);
+        let peer_mem = peer_nic.mem.clone();
+        let gate = dest.order.clone();
+        let ticket = gate.ticket();
+        self.sim.spawn(async move {
+            let mut payload = payload;
+            path.transfer(len, ovh).await;
+            // MX matches messages from one source in send order.
+            gate.enter(ticket).await;
+            // NIC-side matching at the receiver. List mutations happen
+            // atomically with the scan — the walk time is charged after —
+            // so a receive posted while the walk retires cannot lose the
+            // match.
+            let (walked, matched) = {
+                let mut posted = peer_inner.posted.borrow_mut();
+                let pos = posted
+                    .iter()
+                    .position(|p| matches(bits, p.bits, p.mask));
+                match pos {
+                    Some(i) => (i + 1, Some(posted.remove(i).unwrap())),
+                    None => {
+                        let walked = posted.len();
+                        peer_inner.unexpected.borrow_mut().push_back(Unexpected {
+                            bits,
+                            len,
+                            kind: UnexpectedKind::Eager { payload: payload.take() },
+                        });
+                        (walked, None)
+                    }
+                }
+            };
+            peer_nic
+                .match_walk(walked, peer_nic.calib.nic_match_posted_per_entry)
+                .await;
+            if let Some(p) = matched {
+                if let Some(data) = payload {
+                    peer_mem.write(p.addr, &data[..(p.len.min(len)) as usize]);
+                }
+                p.req.complete(len.min(p.len), bits);
+            }
+            req.complete(len, bits);
+            gate.leave();
+        });
+    }
+
+    async fn rndv_send(
+        &self,
+        dest: &MxAddr,
+        bits: MatchInfo,
+        buf: VirtAddr,
+        len: u64,
+        payload: Option<Vec<u8>>,
+        req: MxRequest,
+    ) {
+        // MX pins the send buffer through its registration cache before
+        // announcing the message (charged to the sending process).
+        self.nic.registry.register_cached(&self.cpu, buf, len).await;
+        let path_out = dest.path_out.clone();
+        let path_back_unused = dest.path_back.clone();
+        let ovh = dest.pkt_overhead;
+        let peer_inner = Rc::clone(&dest.peer_inner);
+        let peer_nic = Rc::clone(&dest.peer_nic);
+        let peer_progression = dest.peer_progression.clone();
+        let sim = self.sim.clone();
+        let sreq = req.clone();
+        let gate = dest.order.clone();
+        let ticket = gate.ticket();
+        self.sim.spawn(async move {
+            // RTS travels as a small control message.
+            path_out.transfer(32, ovh).await;
+            // The RTS envelope matches in send order, like any message.
+            gate.enter(ticket).await;
+            let _ = &path_back_unused;
+            // Build the pull closure: runs when a matching receive exists.
+            let peer_mem = peer_nic.mem.clone();
+            let peer_nic2 = Rc::clone(&peer_nic);
+            let path_data = path_out.clone();
+            let sim2 = sim.clone();
+            let pull: Box<dyn FnOnce(VirtAddr, u64, MxRequest)> =
+                Box::new(move |raddr, rlen, rreq| {
+                    let n = len.min(rlen);
+                    let bits = bits;
+                    sim2.clone().spawn(async move {
+                        // Progression thread wakes, pins the receive buffer
+                        // through the cache, sends CTS (reverse small
+                        // message folded into its wakeup cost), and the
+                        // sender NIC streams the data.
+                        peer_progression
+                            .work(peer_nic2.calib.progression_wakeup)
+                            .await;
+                        peer_nic2
+                            .registry
+                            .register_cached(&peer_progression, raddr, n)
+                            .await;
+                        path_data.transfer(n, ovh).await;
+                        if let Some(data) = payload {
+                            peer_mem.write(raddr, &data[..n as usize]);
+                        }
+                        rreq.complete(n, bits);
+                        sreq.complete(n, bits);
+                    });
+                });
+            // Match the RTS against posted receives; the unexpected-list
+            // insertion is atomic with the scan (see the eager path), so a
+            // receive posted during the walk cannot lose the match.
+            let hit = {
+                let mut posted = peer_inner.posted.borrow_mut();
+                match posted.iter().position(|p| matches(bits, p.bits, p.mask)) {
+                    Some(i) => Ok((i + 1, posted.remove(i).unwrap())),
+                    None => Err(posted.len()),
+                }
+            };
+            match hit {
+                Ok((walked, p)) => {
+                    gate.leave();
+                    peer_nic
+                        .match_walk(walked, peer_nic.calib.nic_match_posted_per_entry)
+                        .await;
+                    pull(p.addr, p.len, p.req);
+                }
+                Err(walked) => {
+                    gate.leave();
+                    peer_inner.unexpected.borrow_mut().push_back(Unexpected {
+                        bits,
+                        len,
+                        kind: UnexpectedKind::Rts { pull },
+                    });
+                    peer_nic
+                        .match_walk(walked, peer_nic.calib.nic_match_posted_per_entry)
+                        .await;
+                }
+            }
+        });
+    }
+
+    /// Non-blocking matched receive (`mx_irecv`).
+    pub async fn irecv(
+        &self,
+        bits: MatchInfo,
+        mask: u64,
+        addr: VirtAddr,
+        len: u64,
+    ) -> MxRequest {
+        self.cpu.work(self.nic.calib.post_cost).await;
+        let req = MxRequest::new();
+        // Probe the unexpected list and, on a miss, enqueue the posted
+        // receive in the same synchronous step — a message arriving while
+        // the walk cost retires must find either the unexpected entry gone
+        // or the posted receive present, never neither.
+        let (walked, hit) = {
+            let mut unex = self.inner.unexpected.borrow_mut();
+            let pos = unex.iter().position(|u| matches(u.bits, bits, mask));
+            match pos {
+                Some(i) => (i + 1, Some(unex.remove(i).unwrap())),
+                None => {
+                    let walked = unex.len();
+                    self.inner.posted.borrow_mut().push_back(Posted {
+                        bits,
+                        mask,
+                        addr,
+                        len,
+                        req: req.clone(),
+                    });
+                    (walked, None)
+                }
+            }
+        };
+        self.nic
+            .match_walk(walked, self.nic.calib.nic_match_unexpected_per_entry)
+            .await;
+        if let Some(u) = hit {
+            match u.kind {
+                UnexpectedKind::Eager { payload } => {
+                    let n = u.len.min(len);
+                    // Unexpected eager data was parked in the host ring;
+                    // the receiving process copies it out.
+                    self.cpu.memcpy(n).await;
+                    if let Some(data) = payload {
+                        self.nic.mem.write(addr, &data[..n as usize]);
+                    }
+                    req.complete(n, u.bits);
+                }
+                UnexpectedKind::Rts { pull } => pull(addr, len, req.clone()),
+            }
+        }
+        req
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::LinkMode;
+    use hostmodel::cpu::CpuCosts;
+    use simnet::sync::join2;
+
+    fn setup(mode: LinkMode) -> (Sim, MxFabric, MxEndpoint, MxEndpoint) {
+        let sim = Sim::new();
+        let fab = MxFabric::new(&sim, 2, mode);
+        let cpu_a = Cpu::new(&sim, CpuCosts::default());
+        let cpu_b = Cpu::new(&sim, CpuCosts::default());
+        let ea = MxEndpoint::open(&fab, 0, &cpu_a);
+        let eb = MxEndpoint::open(&fab, 1, &cpu_b);
+        (sim, fab, ea, eb)
+    }
+
+    #[test]
+    fn eager_send_recv_delivers_data() {
+        let (sim, fab, ea, eb) = setup(LinkMode::MxoM);
+        sim.block_on(async move {
+            let addr_b = ea.connect(&fab, &eb);
+            let rbuf = eb.nic().mem.alloc_buffer(256);
+            let r = eb
+                .irecv(MatchInfo::mpi(0, 0, 7), MatchInfo::EXACT, rbuf, 256)
+                .await;
+            let s = ea
+                .isend(&addr_b, MatchInfo::mpi(0, 0, 7), ea.nic().mem.alloc_buffer(64), 5, Some(b"lanai".to_vec()))
+                .await;
+            let st = r.wait().await;
+            assert_eq!(st.len, 5);
+            s.wait().await;
+            assert_eq!(eb.nic().mem.read(rbuf, 5), b"lanai");
+        });
+    }
+
+    #[test]
+    fn tag_mismatch_goes_unexpected_until_matching_recv() {
+        let (sim, fab, ea, eb) = setup(LinkMode::MxoM);
+        sim.block_on(async move {
+            let addr_b = ea.connect(&fab, &eb);
+            let s = ea
+                .isend(&addr_b, MatchInfo::mpi(0, 0, 42), ea.nic().mem.alloc_buffer(64), 4, Some(b"late".to_vec()))
+                .await;
+            s.wait().await;
+            assert_eq!(eb.unexpected_depth(), 1);
+            // A receive with a different tag must NOT match.
+            let rbuf = eb.nic().mem.alloc_buffer(64);
+            let r_other = eb
+                .irecv(MatchInfo::mpi(0, 0, 1), MatchInfo::EXACT, rbuf, 64)
+                .await;
+            assert!(r_other.test().is_none());
+            assert_eq!(eb.posted_depth(), 1);
+            // The right tag drains the unexpected queue.
+            let rbuf2 = eb.nic().mem.alloc_buffer(64);
+            let r = eb
+                .irecv(MatchInfo::mpi(0, 0, 42), MatchInfo::EXACT, rbuf2, 64)
+                .await;
+            assert_eq!(r.wait().await.len, 4);
+            assert_eq!(eb.nic().mem.read(rbuf2, 4), b"late");
+            assert_eq!(eb.unexpected_depth(), 0);
+        });
+    }
+
+    #[test]
+    fn wildcard_mask_matches_any_tag() {
+        let (sim, fab, ea, eb) = setup(LinkMode::MxoE);
+        sim.block_on(async move {
+            let addr_b = ea.connect(&fab, &eb);
+            let rbuf = eb.nic().mem.alloc_buffer(64);
+            let r = eb
+                .irecv(
+                    MatchInfo::mpi(0, 0, 0),
+                    MatchInfo::ANY_TAG_MASK,
+                    rbuf,
+                    64,
+                )
+                .await;
+            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 999), ea.nic().mem.alloc_buffer(64), 2, Some(b"ok".to_vec()))
+                .await;
+            assert_eq!(r.wait().await.len, 2);
+        });
+    }
+
+    #[test]
+    fn rendezvous_transfers_large_messages_zero_copy() {
+        let (sim, fab, ea, eb) = setup(LinkMode::MxoM);
+        sim.block_on(async move {
+            let addr_b = ea.connect(&fab, &eb);
+            let n = 64 * 1024u64;
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let rbuf = eb.nic().mem.alloc_buffer(n);
+            let r = eb
+                .irecv(MatchInfo::mpi(0, 0, 3), MatchInfo::EXACT, rbuf, n)
+                .await;
+            let s = ea
+                .isend(&addr_b, MatchInfo::mpi(0, 0, 3), ea.nic().mem.alloc_buffer(n), n, Some(data.clone()))
+                .await;
+            let (rs, ss) = join2(r.wait(), s.wait()).await;
+            assert_eq!(rs.len, n);
+            assert_eq!(ss.len, n);
+            assert_eq!(eb.nic().mem.read(rbuf, n), data);
+        });
+    }
+
+    #[test]
+    fn rendezvous_rts_waits_for_late_receive() {
+        let (sim, fab, ea, eb) = setup(LinkMode::MxoM);
+        sim.block_on(async move {
+            let addr_b = ea.connect(&fab, &eb);
+            let n = 128 * 1024u64;
+            let sb = ea.nic().mem.alloc_buffer(n);
+            let s = ea.isend(&addr_b, MatchInfo::mpi(0, 1, 9), sb, n, None).await;
+            // Sender must NOT complete: no receive exists yet.
+            assert!(s.test().is_none());
+            let rbuf = eb.nic().mem.alloc_buffer(n);
+            let r = eb
+                .irecv(MatchInfo::mpi(0, 1, 9), MatchInfo::EXACT, rbuf, n)
+                .await;
+            let (rs, _ss) = join2(r.wait(), s.wait()).await;
+            assert_eq!(rs.len, n);
+        });
+    }
+
+    #[test]
+    fn mxom_pingpong_half_rtt_matches_paper() {
+        // Paper anchors: 3.05 µs (MXoM), 3.45 µs (MXoE).
+        for (mode, want) in [(LinkMode::MxoM, 3.05), (LinkMode::MxoE, 3.45)] {
+            let (sim, fab, ea, eb) = setup(mode);
+            let t = sim.block_on(async move {
+                let addr_b = ea.connect(&fab, &eb);
+                let addr_a = eb.connect(&fab, &ea);
+                let buf_a = ea.nic().mem.alloc_buffer(64);
+                let buf_b = eb.nic().mem.alloc_buffer(64);
+                let iters = 50u64;
+                let sim2 = fab.sim().clone();
+                let t0 = sim2.now();
+                let tag = MatchInfo::mpi(0, 0, 1);
+                let ping = async {
+                    for _ in 0..iters {
+                        let s = ea.isend(&addr_b, tag, buf_a, 4, None).await;
+                        let r = ea.irecv(tag, MatchInfo::EXACT, buf_a, 64).await;
+                        s.wait().await;
+                        r.wait().await;
+                    }
+                };
+                let pong = async {
+                    for _ in 0..iters {
+                        let r = eb.irecv(tag, MatchInfo::EXACT, buf_b, 64).await;
+                        r.wait().await;
+                        let s = eb.isend(&addr_a, tag, buf_b, 4, None).await;
+                        s.wait().await;
+                    }
+                };
+                join2(ping, pong).await;
+                (sim2.now() - t0).as_micros_f64() / (2.0 * iters as f64)
+            });
+            assert!(
+                (t - want).abs() < 0.25,
+                "{mode:?} half-RTT {t:.2} µs, paper says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn posted_queue_walk_is_charged_per_entry() {
+        // Pre-post many non-matching receives; the matching one at the back
+        // costs a longer NIC walk — the Fig. 8 mechanism.
+        let (sim, fab, ea, eb) = setup(LinkMode::MxoM);
+        let (t_short, t_long) = sim.block_on(async move {
+            let addr_b = ea.connect(&fab, &eb);
+            let sim2 = fab.sim().clone();
+            let buf = eb.nic().mem.alloc_buffer(64);
+            // Short queue.
+            let r = eb
+                .irecv(MatchInfo::mpi(0, 0, 5), MatchInfo::EXACT, buf, 64)
+                .await;
+            let t0 = sim2.now();
+            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 5), buf, 4, None).await;
+            r.wait().await;
+            let t_short = sim2.now() - t0;
+            // Long queue: 200 decoys in front.
+            for i in 0..200u32 {
+                eb.irecv(MatchInfo::mpi(1, 0, i), MatchInfo::EXACT, buf, 64)
+                    .await;
+            }
+            let r = eb
+                .irecv(MatchInfo::mpi(0, 0, 6), MatchInfo::EXACT, buf, 64)
+                .await;
+            let t0 = sim2.now();
+            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 6), buf, 4, None).await;
+            r.wait().await;
+            (t_short, sim2.now() - t0)
+        });
+        let per_entry = MyriCalib::default().nic_match_posted_per_entry;
+        let delta = (t_long - t_short).as_nanos() as i64;
+        let want = (per_entry.as_nanos() * 200) as i64;
+        assert!(
+            (delta - want).abs() <= want / 5 + 100,
+            "queue walk delta {delta} ns, want ≈ {want} ns"
+        );
+    }
+
+    use crate::calib::MyriCalib;
+}

@@ -1,0 +1,28 @@
+//! # mx10g — Myricom MX-10G message-passing library model
+//!
+//! The third fabric of the comparison. MX (Myrinet Express) differs from
+//! the verbs-based fabrics in kind, not just constants:
+//!
+//! * The API is **two-sided matched send/receive** (`mx_isend` /
+//!   `mx_irecv` with 64-bit match bits) — semantically close to MPI, which
+//!   is why MPICH-MX shows the lowest MPI-over-user-level overhead in the
+//!   paper.
+//! * **Matching runs on the NIC**: the Lanai processor walks the posted
+//!   and unexpected lists. That makes unexpected-message handling cheap
+//!   (Fig. 7, MX best) but long posted-receive lists expensive (Fig. 8,
+//!   MX worst) because the embedded processor walks them slowly.
+//! * Large messages switch to an internal **rendezvous** at 32 KB with an
+//!   internal registration cache — the paper's Fig. 1 bandwidth dip and the
+//!   small Fig. 6 buffer-reuse effect both come from here.
+//! * The same NIC and library run over a Myrinet switch (**MXoM**) or a
+//!   10GbE switch (**MXoE**); the paper measures both.
+
+pub mod calib;
+pub mod endpoint;
+pub mod matching;
+pub mod nic;
+
+pub use calib::MyriCalib;
+pub use endpoint::{MxAddr, MxAddrTable, MxEndpoint, MxRequest, MxStatus};
+pub use matching::{matches, MatchInfo};
+pub use nic::{LinkMode, MxFabric, MxNic};

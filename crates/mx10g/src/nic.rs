@@ -1,0 +1,207 @@
+//! The Myri-10G NIC hardware model and fabric wiring (MXoM / MXoE).
+
+use std::rc::Rc;
+
+use etherstack::switch::{CutThroughSwitch, SwitchConfig};
+use hostmodel::mem::HostMem;
+use hostmodel::pcie::PciePort;
+use hostmodel::MemoryRegistry;
+use simnet::{Pipe, Pipeline, Sim, SimDuration, Stage};
+
+use crate::calib::MyriCalib;
+
+/// Which link layer the fabric runs over. Same NICs, same MX library —
+/// different switch and framing, exactly as Myricom shipped it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkMode {
+    /// MX over the Myrinet crossbar switch.
+    MxoM,
+    /// MX over a 10-Gigabit Ethernet switch.
+    MxoE,
+}
+
+/// One Myri-10G NIC in one host.
+pub struct MxNic {
+    sim: Sim,
+    /// Node index.
+    pub node: usize,
+    /// Calibration in effect.
+    pub calib: MyriCalib,
+    /// PCIe slot (x4 on this testbed — the bandwidth cap).
+    pub pcie: PciePort,
+    /// Host memory.
+    pub mem: HostMem,
+    /// MX's internal registration cache.
+    pub registry: MemoryRegistry,
+    /// Lanai firmware TX path.
+    pub lanai_tx: Pipe,
+    /// Lanai firmware RX path (also walks the match lists).
+    pub lanai_rx: Pipe,
+    /// Host-to-switch wire.
+    pub link_tx: Pipe,
+}
+
+impl MxNic {
+    fn new(sim: &Sim, node: usize, calib: MyriCalib) -> Self {
+        MxNic {
+            sim: sim.clone(),
+            node,
+            calib,
+            pcie: PciePort::new(sim, calib.pcie),
+            mem: HostMem::new(),
+            registry: MemoryRegistry::new(calib.registration),
+            lanai_tx: Pipe::new(sim, calib.lanai_tx_bytes_per_sec, calib.lanai_tx_overhead),
+            lanai_rx: Pipe::new(sim, calib.lanai_rx_bytes_per_sec, calib.lanai_rx_overhead),
+            link_tx: Pipe::new(sim, calib.link_bytes_per_sec, SimDuration::ZERO),
+        }
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Occupy the RX Lanai for a match-list walk of `entries` entries at
+    /// `per_entry` cost, returning when the walk retires.
+    pub async fn match_walk(&self, entries: usize, per_entry: SimDuration) {
+        if entries == 0 {
+            return;
+        }
+        let (_s, end) = self.lanai_rx.occupy(per_entry * entries as u64);
+        self.sim.sleep_until(end).await;
+    }
+}
+
+/// A Myri-10G fabric in one of the two link modes.
+pub struct MxFabric {
+    sim: Sim,
+    /// Link mode in effect.
+    pub mode: LinkMode,
+    switch: CutThroughSwitch,
+    devices: Vec<Rc<MxNic>>,
+}
+
+impl MxFabric {
+    /// Build a fabric of `nodes` hosts with default calibration.
+    pub fn new(sim: &Sim, nodes: usize, mode: LinkMode) -> Self {
+        Self::with_calib(sim, nodes, mode, MyriCalib::default())
+    }
+
+    /// Build with explicit calibration.
+    pub fn with_calib(sim: &Sim, nodes: usize, mode: LinkMode, calib: MyriCalib) -> Self {
+        assert!(nodes >= 2, "a fabric needs at least two nodes");
+        let sw_cfg = match mode {
+            LinkMode::MxoM => SwitchConfig::myri_10g(),
+            LinkMode::MxoE => SwitchConfig::xg700(),
+        };
+        MxFabric {
+            sim: sim.clone(),
+            mode,
+            switch: CutThroughSwitch::new(sim, sw_cfg, nodes),
+            devices: (0..nodes)
+                .map(|n| Rc::new(MxNic::new(sim, n, calib)))
+                .collect(),
+        }
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// NIC in node `n`.
+    pub fn device(&self, n: usize) -> Rc<MxNic> {
+        Rc::clone(&self.devices[n])
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Packet payload size for the active link mode.
+    pub fn packet_payload(&self) -> u64 {
+        let c = &self.devices[0].calib;
+        match self.mode {
+            LinkMode::MxoM => c.mxom_packet_payload,
+            LinkMode::MxoE => c.mxoe_packet_payload,
+        }
+    }
+
+    /// Per-packet overhead bytes for the active link mode.
+    pub fn per_packet_overhead(&self) -> u64 {
+        let c = &self.devices[0].calib;
+        match self.mode {
+            LinkMode::MxoM => c.mxom_packet_overhead,
+            LinkMode::MxoE => c.mxoe_packet_overhead,
+        }
+    }
+
+    /// Build the one-directional data path `src → dst`.
+    pub fn data_path(&self, src: usize, dst: usize) -> Pipeline {
+        assert_ne!(src, dst, "loopback is not modelled");
+        let s = &self.devices[src];
+        let d = &self.devices[dst];
+        let c = &s.calib;
+        let stages = vec![
+            Stage::new(s.pcie.to_device_pipe().clone(), c.pcie.dma_latency),
+            Stage::new(s.lanai_tx.clone(), c.lanai_tx_latency),
+            Stage::new(s.link_tx.clone(), c.link_latency),
+            self.switch.stage_to(dst),
+            Stage::new(d.lanai_rx.clone(), d.calib.lanai_rx_latency),
+            Stage::new(
+                d.pcie.to_host_pipe().clone(),
+                SimDuration::from_nanos(d.calib.pcie.dma_latency.as_nanos() / 2),
+            ),
+        ];
+        Pipeline::new(&self.sim, stages, self.packet_payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_pcie_x4_limited_near_940() {
+        for mode in [LinkMode::MxoM, LinkMode::MxoE] {
+            let sim = Sim::new();
+            let fab = MxFabric::new(&sim, 2, mode);
+            let path = fab.data_path(0, 1);
+            let ovh = fab.per_packet_overhead();
+            let bytes: u64 = 8 << 20;
+            sim.block_on(async move { path.transfer(bytes, ovh).await });
+            let mbps = bytes as f64 / sim.now().as_secs_f64() / 1e6;
+            assert!(
+                (850.0..985.0).contains(&mbps),
+                "{mode:?} unidirectional {mbps:.0} MB/s, want ≤75% of line rate (~940)"
+            );
+        }
+    }
+
+    #[test]
+    fn mxom_and_mxoe_differ_only_in_switch_and_framing() {
+        let sim = Sim::new();
+        let m = MxFabric::new(&sim, 2, LinkMode::MxoM);
+        let e = MxFabric::new(&sim, 2, LinkMode::MxoE);
+        assert!(m.packet_payload() > e.packet_payload());
+        assert!(m.per_packet_overhead() < e.per_packet_overhead());
+    }
+
+    #[test]
+    fn match_walk_costs_scale_with_entries() {
+        let sim = Sim::new();
+        let fab = MxFabric::new(&sim, 2, LinkMode::MxoM);
+        let dev = fab.device(0);
+        let per = dev.calib.nic_match_posted_per_entry;
+        let t = {
+            let dev = Rc::clone(&dev);
+            let sim2 = sim.clone();
+            sim.block_on(async move {
+                dev.match_walk(100, per).await;
+                sim2.now()
+            })
+        };
+        assert_eq!(t.as_nanos(), per.as_nanos() * 100);
+    }
+}

@@ -1,0 +1,516 @@
+//! The deterministic single-threaded executor and virtual clock.
+//!
+//! [`Sim`] is a cheaply-clonable handle to the simulation core. Components
+//! capture a clone; every clone sees the same clock, run queue and timer
+//! heap. The executor is strictly single-threaded: tasks are `!Send`
+//! futures, and determinism follows from (a) a FIFO ready queue, (b) a timer
+//! heap totally ordered by `(deadline, registration sequence)`, and (c) the
+//! absence of any other event source.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::sync::{oneshot, OneshotReceiver};
+use crate::time::{SimDuration, SimTime};
+
+type TaskId = u64;
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Shared FIFO of runnable task ids. This is the only piece of executor
+/// state touched by [`Waker`]s, which the `std::task` contract requires to
+/// be `Send + Sync`; the mutex is never contended because the simulation is
+/// single-threaded.
+#[derive(Default)]
+struct ReadyQueue(Mutex<VecDeque<TaskId>>);
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.0.lock().expect("ready queue poisoned").push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.0.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// State shared between a [`Sleep`] future and the timer heap entry that
+/// will fire it.
+struct TimerSlot {
+    fired: bool,
+    waker: Option<Waker>,
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    slot: Rc<RefCell<TimerSlot>>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
+    /// `(deadline, seq)` first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Core {
+    now: SimTime,
+    timers: BinaryHeap<TimerEntry>,
+    /// `None` while the task's future is checked out for polling.
+    tasks: HashMap<TaskId, Option<LocalFuture>>,
+    next_task: TaskId,
+    next_timer_seq: u64,
+}
+
+/// Handle to the simulation: clock, spawner and executor in one.
+///
+/// Cloning is cheap (`Rc` bump). All clones refer to the same simulation.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create a fresh simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                timers: BinaryHeap::new(),
+                tasks: HashMap::new(),
+                next_task: 0,
+                next_timer_seq: 0,
+            })),
+            ready: Arc::new(ReadyQueue::default()),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Spawn a task. It will not run until the executor is driven by
+    /// [`Sim::block_on`] or [`Sim::run_until_quiescent`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let (tx, rx) = oneshot();
+        let wrapped: LocalFuture = Box::pin(async move {
+            let out = fut.await;
+            // The receiver may have been dropped; that simply means nobody
+            // cares about the result.
+            tx.send(out);
+        });
+        let id = {
+            let mut core = self.core.borrow_mut();
+            let id = core.next_task;
+            core.next_task += 1;
+            core.tasks.insert(id, Some(wrapped));
+            id
+        };
+        self.ready.push(id);
+        JoinHandle { rx }
+    }
+
+    /// Sleep for `d` of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Sleep until the given virtual instant (completes immediately if it is
+    /// already in the past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            at,
+            slot: None,
+        }
+    }
+
+    /// Yield to every other currently-runnable task once, without advancing
+    /// time. Useful to model "post then immediately test" API patterns.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Drive the simulation until `fut` completes, then return its output.
+    ///
+    /// Background tasks that are still pending when `fut` completes are left
+    /// in place (they resume if `block_on` is called again).
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock: no runnable task, no pending timer, and `fut`
+    /// still incomplete. In a deterministic simulation this is always a bug
+    /// in the simulated protocol, so failing fast with a diagnostic beats
+    /// hanging.
+    pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let handle = self.spawn(fut);
+        let mut out = None;
+        self.drive(|sim| {
+            if let Some(v) = handle.try_take(sim) {
+                out = Some(v);
+                true
+            } else {
+                false
+            }
+        });
+        match out {
+            Some(v) => v,
+            None => panic!(
+                "simnet deadlock at {}: root task blocked with {} task(s) live and no timers",
+                self.now(),
+                self.core.borrow().tasks.len(),
+            ),
+        }
+    }
+
+    /// Drive the simulation until no task is runnable and no timer is
+    /// pending. Returns the final virtual time.
+    pub fn run_until_quiescent(&self) -> SimTime {
+        self.drive(|_| false);
+        self.now()
+    }
+
+    /// Core event loop. `done` is checked after each batch of polls; when it
+    /// returns true the loop exits early.
+    fn drive(&self, mut done: impl FnMut(&Sim) -> bool) {
+        loop {
+            // Drain the ready queue FIFO. Tasks woken while we drain are
+            // appended and handled in the same batch.
+            while let Some(id) = self.ready.pop() {
+                self.poll_task(id);
+            }
+            if done(self) {
+                return;
+            }
+            // Advance virtual time to the next timer.
+            let fired = {
+                let mut core = self.core.borrow_mut();
+                match core.timers.pop() {
+                    Some(entry) => {
+                        debug_assert!(entry.at >= core.now, "timer heap went backwards");
+                        core.now = core.now.max(entry.at);
+                        Some(entry.slot)
+                    }
+                    None => None,
+                }
+            };
+            match fired {
+                Some(slot) => {
+                    let waker = {
+                        let mut s = slot.borrow_mut();
+                        s.fired = true;
+                        s.waker.take()
+                    };
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
+                }
+                None => return, // quiescent
+            }
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Check the future out of the table so the task body may re-borrow
+        // the core (spawn, sleep, wake) without RefCell re-entrancy.
+        let fut = match self.core.borrow_mut().tasks.get_mut(&id) {
+            Some(slot) => slot.take(),
+            None => return, // already completed; stale wake
+        };
+        let Some(mut fut) = fut else {
+            // Future is checked out higher in the call stack; the pending
+            // wake is already queued, nothing to do.
+            return;
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.core.borrow_mut().tasks.remove(&id);
+            }
+            Poll::Pending => {
+                if let Some(slot) = self.core.borrow_mut().tasks.get_mut(&id) {
+                    *slot = Some(fut);
+                }
+            }
+        }
+    }
+
+    fn register_timer(&self, at: SimTime, slot: Rc<RefCell<TimerSlot>>) {
+        let mut core = self.core.borrow_mut();
+        let seq = core.next_timer_seq;
+        core.next_timer_seq += 1;
+        core.timers.push(TimerEntry { at, seq, slot });
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    at: SimTime,
+    slot: Option<Rc<RefCell<TimerSlot>>>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if let Some(slot) = &self.slot {
+            let mut s = slot.borrow_mut();
+            if s.fired {
+                return Poll::Ready(());
+            }
+            s.waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        if self.sim.now() >= self.at {
+            return Poll::Ready(());
+        }
+        let slot = Rc::new(RefCell::new(TimerSlot {
+            fired: false,
+            waker: Some(cx.waker().clone()),
+        }));
+        self.sim.register_timer(self.at, Rc::clone(&slot));
+        self.slot = Some(slot);
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Handle to a spawned task's result.
+///
+/// Await it inside the simulation, or use [`JoinHandle::try_take`] from
+/// outside the executor loop.
+pub struct JoinHandle<T> {
+    rx: OneshotReceiver<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Non-blocking: returns the task output if it has completed.
+    pub fn try_take(&self, _sim: &Sim) -> Option<T> {
+        self.rx.try_recv()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Some(v)) => Poll::Ready(v),
+            Poll::Ready(None) => panic!("joined task dropped its result channel"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            s.sleep(SimDuration::from_micros(7)).await;
+            s.now()
+        });
+        assert_eq!(t.as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn nested_sleeps_accumulate() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(SimDuration::from_nanos(10)).await;
+            s.sleep(SimDuration::from_nanos(5)).await;
+            assert_eq!(s.now().as_nanos(), 15);
+        });
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let s = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_nanos(100)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run_until_quiescent();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spawn_runs_concurrently_with_root() {
+        let sim = Sim::new();
+        let hits = Rc::new(Cell::new(0));
+        let h = Rc::clone(&hits);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_nanos(3)).await;
+            h.set(h.get() + 1);
+        });
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(SimDuration::from_nanos(10)).await;
+        });
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_nanos(1)).await;
+            42u32
+        });
+        let got = sim.block_on(h);
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn yield_now_interleaves_without_time() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for round in 0..2 {
+                    log.borrow_mut().push(format!("{name}{round}"));
+                    s.yield_now().await;
+                }
+            });
+        }
+        let end = sim.run_until_quiescent();
+        assert_eq!(end, SimTime::ZERO);
+        assert_eq!(*log.borrow(), vec!["a0", "b0", "a1", "b1"]);
+    }
+
+    #[test]
+    fn run_until_quiescent_returns_last_event_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_micros(3)).await;
+            s.sleep(SimDuration::from_micros(4)).await;
+        });
+        assert_eq!(sim.run_until_quiescent().as_nanos(), 7_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics_with_diagnostic() {
+        let sim = Sim::new();
+        let (_tx, rx) = crate::sync::oneshot::<()>();
+        // _tx is alive, so the receive can never complete and no timer exists.
+        sim.block_on(async move {
+            rx.await;
+        });
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run() -> Vec<(u64, u32)> {
+            let sim = Sim::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..8u32 {
+                let s = sim.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    // Deliberately interleaved deadlines.
+                    s.sleep(SimDuration::from_nanos(((i * 37) % 11) as u64 * 10))
+                        .await;
+                    log.borrow_mut().push((s.now().as_nanos(), i));
+                });
+            }
+            sim.run_until_quiescent();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(run(), run());
+    }
+}

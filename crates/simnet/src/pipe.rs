@@ -1,0 +1,607 @@
+//! Bandwidth-limited, FIFO-serializing resources.
+//!
+//! A [`Pipe`] models any component that serializes data at a finite rate: a
+//! wire, a PCIe direction, a DMA engine, an on-NIC bus, a protocol-engine
+//! stage. Transfers reserve the pipe first-come-first-served; a transfer of
+//! `n` bytes occupies the pipe for `n / bandwidth` (plus a fixed per-transfer
+//! overhead), which is the standard store-and-forward service model.
+//!
+//! A [`Link`] is a pipe plus propagation latency. A [`Pipeline`] chains
+//! stages and moves a message through them at *segment* granularity, so a
+//! long message overlaps its own stages the way wormhole/cut-through
+//! hardware does — this is what produces realistic `1/(a + b/m)` bandwidth
+//! curves without closed-form shortcuts.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::executor::Sim;
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug)]
+struct PipeState {
+    bytes_per_sec: u64,
+    per_transfer_overhead: SimDuration,
+    /// Reserved busy intervals, keyed by start time (ns → end ns). Kept
+    /// sparse: intervals entirely in the past are pruned on every reserve.
+    intervals: RefCell<BTreeMap<u64, u64>>,
+    busy: Cell<SimDuration>,
+    transfers: Cell<u64>,
+    bytes: Cell<u64>,
+}
+
+/// A FIFO bandwidth resource. Clonable handle; clones share the resource.
+#[derive(Clone, Debug)]
+pub struct Pipe {
+    sim: Sim,
+    state: Rc<PipeState>,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sim@{}", self.now())
+    }
+}
+
+impl Pipe {
+    /// Create a pipe with the given bandwidth (bytes/second) and a fixed
+    /// per-transfer overhead charged before the serialization time.
+    pub fn new(sim: &Sim, bytes_per_sec: u64, per_transfer_overhead: SimDuration) -> Self {
+        assert!(bytes_per_sec > 0, "pipe requires nonzero bandwidth");
+        Pipe {
+            sim: sim.clone(),
+            state: Rc::new(PipeState {
+                bytes_per_sec,
+                per_transfer_overhead,
+                intervals: RefCell::new(BTreeMap::new()),
+                busy: Cell::new(SimDuration::ZERO),
+                transfers: Cell::new(0),
+                bytes: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The configured bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> u64 {
+        self.state.bytes_per_sec
+    }
+
+    /// Service time for `bytes` on this pipe (overhead + serialization),
+    /// without reserving anything.
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        self.state.per_transfer_overhead + SimDuration::serialize(bytes, self.state.bytes_per_sec)
+    }
+
+    /// Reserve the pipe for `bytes` starting no earlier than `earliest`.
+    /// Returns the `(start, end)` of the reserved occupancy. This is the
+    /// primitive used by [`Pipeline`]; most callers want [`Pipe::transfer`].
+    ///
+    /// Reservation is calendar-based: the transfer takes the first gap in
+    /// the pipe's busy schedule that fits its service time at or after
+    /// `earliest`. A pipelined flow may reserve slightly into the future
+    /// (its later segments arrive later); calendar scheduling lets a
+    /// competing flow slot its *present* segments into the gaps instead of
+    /// queueing behind those future reservations — which is how real
+    /// store-and-forward hardware interleaves independent flows.
+    pub fn reserve(&self, earliest: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let (start, end) = self.reserve_service(earliest, self.service_time(bytes));
+        self.state.transfers.set(self.state.transfers.get() + 1);
+        self.state.bytes.set(self.state.bytes.get() + bytes);
+        (start, end)
+    }
+
+    /// Reserve capacity for `n_transfers` back-to-back transfers totalling
+    /// `bytes` (one per-transfer overhead each, one contiguous occupancy).
+    /// Used by [`Pipeline`] to move segment batches without paying one
+    /// scheduling event per segment.
+    pub fn reserve_n(&self, earliest: SimTime, bytes: u64, n_transfers: u64) -> (SimTime, SimTime) {
+        let service = self.state.per_transfer_overhead * n_transfers
+            + SimDuration::serialize(bytes, self.state.bytes_per_sec);
+        let (start, end) = self.reserve_service(earliest, service);
+        self.state.transfers.set(self.state.transfers.get() + n_transfers);
+        self.state.bytes.set(self.state.bytes.get() + bytes);
+        (start, end)
+    }
+
+    /// Calendar-insert an occupancy of exactly `service` length at or after
+    /// now (first fit), independent of byte counts. Models per-message
+    /// processing time on a serial engine (e.g. an HCA's embedded
+    /// processor working on a WQE or a connection context).
+    pub fn occupy(&self, service: SimDuration) -> (SimTime, SimTime) {
+        let (start, end) = self.reserve_service(self.sim.now(), service);
+        self.state.transfers.set(self.state.transfers.get() + 1);
+        (start, end)
+    }
+
+    /// Calendar-insert a reservation of `service` length at or after
+    /// `earliest` (first fit). Updates busy accounting only.
+    fn reserve_service(&self, earliest: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let now_ns = self.sim.now().as_nanos();
+        let mut iv = self.state.intervals.borrow_mut();
+        while let Some((&st, &en)) = iv.first_key_value() {
+            if en <= now_ns {
+                iv.remove(&st);
+            } else {
+                break;
+            }
+        }
+        let dur = service.as_nanos().max(1);
+        let mut t = earliest.as_nanos();
+        for (&st, &en) in iv.range(..) {
+            if en <= t {
+                continue;
+            }
+            if t + dur <= st {
+                break;
+            }
+            t = t.max(en);
+        }
+        iv.insert(t, t + dur);
+        self.state.busy.set(self.state.busy.get() + service);
+        (SimTime::from_nanos(t), SimTime::from_nanos(t + dur))
+    }
+
+    /// Transfer `bytes` through the pipe: reserves capacity now (FIFO behind
+    /// earlier reservations) and completes when the serialization finishes.
+    ///
+    /// The reservation is made when this method is *called*, not when the
+    /// returned future is first polled, so ordering between competing
+    /// transfers is determined by deterministic program order.
+    pub async fn transfer(&self, bytes: u64) {
+        let (_start, end) = self.reserve(self.sim.now(), bytes);
+        self.sim.sleep_until(end).await;
+    }
+
+    /// Instant at which the pipe's schedule has no further reservations.
+    pub fn busy_until(&self) -> SimTime {
+        self.state
+            .intervals
+            .borrow()
+            .last_key_value()
+            .map(|(_, &en)| SimTime::from_nanos(en))
+            .unwrap_or(SimTime::ZERO)
+            .max(self.sim.now())
+    }
+
+    /// Total busy time accumulated (for utilization reporting).
+    pub fn total_busy(&self) -> SimDuration {
+        self.state.busy.get()
+    }
+
+    /// Total bytes carried.
+    pub fn total_bytes(&self) -> u64 {
+        self.state.bytes.get()
+    }
+
+    /// Total transfer count.
+    pub fn total_transfers(&self) -> u64 {
+        self.state.transfers.get()
+    }
+}
+
+/// A pipe with propagation latency: serialize, then travel.
+#[derive(Clone, Debug)]
+pub struct Link {
+    pipe: Pipe,
+    latency: SimDuration,
+    sim: Sim,
+}
+
+impl Link {
+    /// Create a link with `bytes_per_sec` bandwidth and fixed propagation
+    /// `latency` (cable + receiver clock recovery, or switch port-to-port).
+    pub fn new(sim: &Sim, bytes_per_sec: u64, latency: SimDuration) -> Self {
+        Link {
+            pipe: Pipe::new(sim, bytes_per_sec, SimDuration::ZERO),
+            latency,
+            sim: sim.clone(),
+        }
+    }
+
+    /// The serializing pipe underneath this link.
+    pub fn pipe(&self) -> &Pipe {
+        &self.pipe
+    }
+
+    /// Propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Transfer `bytes`: serialize onto the wire FIFO, then propagate.
+    pub async fn transfer(&self, bytes: u64) {
+        let (_s, end) = self.pipe.reserve(self.sim.now(), bytes);
+        self.sim.sleep_until(end + self.latency).await;
+    }
+}
+
+/// One stage of a [`Pipeline`]: a shared pipe plus the latency to reach the
+/// next stage.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// The serializing resource for this stage (shared across connections).
+    pub pipe: Pipe,
+    /// Fixed delay between this stage finishing a segment and the next stage
+    /// being able to start it.
+    pub latency: SimDuration,
+}
+
+impl Stage {
+    /// Convenience constructor.
+    pub fn new(pipe: Pipe, latency: SimDuration) -> Self {
+        Stage { pipe, latency }
+    }
+}
+
+/// Number of segments reserved per pacing quantum in
+/// [`Pipeline::transfer`]; bounds how far one flow can run ahead of a
+/// competitor on a shared stage (8 segments ≈ 12 KB at Ethernet MSS).
+pub const PACE_CHUNK_SEGMENTS: u64 = 8;
+
+/// A chain of stages that a message crosses at segment granularity.
+///
+/// Each stage's pipe is a *shared* resource: two connections pushing
+/// messages through the same pipeline contend stage-by-stage, which is
+/// exactly how a pipelined RNIC overlaps independent connections while a
+/// serial engine (a pipeline with one dominant stage) does not.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+    segment: u64,
+    chunk: u64,
+    sim: Sim,
+}
+
+impl Pipeline {
+    /// Build a pipeline with the given maximum segment size (e.g. the TCP
+    /// MSS or the InfiniBand path MTU) and the default pacing chunk.
+    pub fn new(sim: &Sim, stages: Vec<Stage>, segment: u64) -> Self {
+        Self::with_chunk(sim, stages, segment, PACE_CHUNK_SEGMENTS)
+    }
+
+    /// Build a pipeline with an explicit pacing-chunk size (segments per
+    /// block reservation). Finer chunks interleave competing flows more
+    /// tightly on shared stages at the cost of more scheduling events; the
+    /// right value depends on the ratio of the shared stage's service time
+    /// to the wire's.
+    pub fn with_chunk(sim: &Sim, stages: Vec<Stage>, segment: u64, chunk: u64) -> Self {
+        assert!(segment > 0, "pipeline requires nonzero segment size");
+        assert!(!stages.is_empty(), "pipeline requires at least one stage");
+        assert!(chunk > 0, "pipeline requires nonzero pacing chunk");
+        Pipeline {
+            stages,
+            segment,
+            chunk,
+            sim: sim.clone(),
+        }
+    }
+
+    /// The segment size used to cut messages.
+    pub fn segment_size(&self) -> u64 {
+        self.segment
+    }
+
+    /// Stage list (for utilization inspection).
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Compute and reserve the passage of a `bytes`-long message (plus
+    /// `per_segment_overhead_bytes` of headers on every segment) through all
+    /// stages, starting now. Returns the completion time at the pipeline
+    /// exit without sleeping — used when the caller wants to overlap.
+    pub fn reserve_message(&self, bytes: u64, per_segment_overhead_bytes: u64) -> SimTime {
+        let now = self.sim.now();
+        let nsegs = bytes.div_ceil(self.segment).max(1);
+        let mut exit = now;
+        // `ready[s]` = when segment j is available to enter stage s.
+        // We walk segment by segment, carrying each segment through every
+        // stage; pipes' `next_free` bookkeeping provides both self-pipelining
+        // and cross-connection contention.
+        for j in 0..nsegs {
+            let seg_payload = if j == nsegs - 1 {
+                bytes - self.segment * (nsegs - 1)
+            } else {
+                self.segment
+            };
+            let wire_bytes = seg_payload + per_segment_overhead_bytes;
+            let mut t = now;
+            for stage in &self.stages {
+                let (_s, end) = stage.pipe.reserve(t, wire_bytes);
+                t = end + stage.latency;
+            }
+            exit = exit.max(t);
+        }
+        exit
+    }
+
+    /// Transfer a message through the pipeline and wait for the last
+    /// segment to exit.
+    ///
+    /// Short messages (≤ one pacing chunk) are reserved analytically per
+    /// segment through the stage chain. Longer messages move as contiguous
+    /// chunk *blocks*, each driven by its own task that walks the stages
+    /// in wall-clock step with the data:
+    ///
+    /// * a block reserves stage `j+1` only when its first segment has
+    ///   cleared stage `j` (cut-through, so per-message latency is
+    ///   pipeline-accurate), and
+    /// * the reservation is made at that *wall time*, so competing flows
+    ///   pack shared stages work-conservingly instead of fragmenting the
+    ///   future schedule with rigid pre-reservations.
+    ///
+    /// The block also may not finish stage `j+1` before one segment-time
+    /// after it finished stage `j` (data cannot overtake itself).
+    pub async fn transfer(&self, bytes: u64, per_segment_overhead_bytes: u64) {
+        let nsegs = bytes.div_ceil(self.segment).max(1);
+        if nsegs <= self.chunk {
+            let done = self.reserve_message(bytes, per_segment_overhead_bytes);
+            self.sim.sleep_until(done).await;
+            return;
+        }
+        let mut joins = Vec::with_capacity((nsegs / self.chunk + 1) as usize);
+        let mut segs_left = nsegs;
+        let mut payload_left = bytes;
+        while segs_left > 0 {
+            let csegs = segs_left.min(self.chunk);
+            let cpayload = payload_left.min(csegs * self.segment);
+            payload_left -= cpayload;
+            segs_left -= csegs;
+            let cwire = cpayload + csegs * per_segment_overhead_bytes;
+            let seg_wire = cwire.div_ceil(csegs);
+
+            // Stage 0: enter now, FIFO behind this flow's earlier chunks.
+            let stage0 = &self.stages[0];
+            let (s0, e0) = stage0.pipe.reserve_n(self.sim.now(), cwire, csegs);
+            let rest: Vec<Stage> = self.stages[1..].to_vec();
+            let sim = self.sim.clone();
+            let seg0_service = stage0.pipe.service_time(seg_wire);
+            let lat0 = stage0.latency;
+            joins.push(self.sim.spawn(async move {
+                let mut prev_start = s0;
+                let mut prev_end = e0;
+                let mut prev_seg = seg0_service;
+                let mut prev_lat = lat0;
+                for stage in &rest {
+                    let by_start = prev_start + prev_seg + prev_lat;
+                    if by_start > sim.now() {
+                        sim.sleep_until(by_start).await;
+                    }
+                    let seg_service = stage.pipe.service_time(seg_wire);
+                    let block = stage.pipe.service_time(cwire)
+                        + stage.pipe.service_time(0) * (csegs - 1);
+                    // The block may not drain here before it drained
+                    // upstream.
+                    let floor = (prev_end + seg_service + prev_lat) - block;
+                    let earliest = sim.now().max(floor);
+                    let (st, en) = stage.pipe.reserve_n(earliest, cwire, csegs);
+                    prev_start = st;
+                    prev_end = en;
+                    prev_seg = seg_service;
+                    prev_lat = stage.latency;
+                }
+                let exit = prev_end + prev_lat;
+                if exit > sim.now() {
+                    sim.sleep_until(exit).await;
+                }
+            }));
+            if segs_left > 0 && e0 > self.sim.now() {
+                self.sim.sleep_until(e0).await;
+            }
+        }
+        crate::sync::join_all(joins).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::join_all;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn pipe_serializes_back_to_back() {
+        let sim = Sim::new();
+        // 1 GB/s → 1000 bytes take 1 µs.
+        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let p = pipe.clone();
+        let s = sim.clone();
+        sim.block_on(async move {
+            p.transfer(1000).await;
+            assert_eq!(s.now().as_nanos(), 1_000);
+            p.transfer(1000).await;
+            assert_eq!(s.now().as_nanos(), 2_000);
+        });
+    }
+
+    #[test]
+    fn pipe_fifo_under_contention() {
+        let sim = Sim::new();
+        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let p = pipe.clone();
+            let s = sim.clone();
+            handles.push(sim.spawn(async move {
+                p.transfer(500).await;
+                s.now().as_nanos()
+            }));
+        }
+        let ends = sim.block_on(async move { join_all(handles).await });
+        // Three 0.5 µs transfers complete at 0.5, 1.0, 1.5 µs.
+        assert_eq!(ends, vec![500, 1_000, 1_500]);
+    }
+
+    #[test]
+    fn pipe_overhead_charged_per_transfer() {
+        let sim = Sim::new();
+        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::from_nanos(200));
+        let p = pipe.clone();
+        let s = sim.clone();
+        sim.block_on(async move {
+            p.transfer(100).await; // 200 + 100 ns
+            assert_eq!(s.now().as_nanos(), 300);
+        });
+        assert_eq!(pipe.total_transfers(), 1);
+        assert_eq!(pipe.total_bytes(), 100);
+    }
+
+    #[test]
+    fn link_adds_propagation_after_serialization() {
+        let sim = Sim::new();
+        let link = Link::new(&sim, 1_250_000_000, us(1));
+        let l = link.clone();
+        let s = sim.clone();
+        sim.block_on(async move {
+            l.transfer(1250).await; // 1 µs wire + 1 µs propagation
+            assert_eq!(s.now().as_nanos(), 2_000);
+        });
+    }
+
+    #[test]
+    fn pipeline_single_segment_sums_stage_times() {
+        let sim = Sim::new();
+        let a = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let b = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
+        let pl = Pipeline::new(
+            &sim,
+            vec![Stage::new(a, us(1)), Stage::new(b, SimDuration::ZERO)],
+            1500,
+        );
+        let s = sim.clone();
+        sim.block_on(async move {
+            pl.transfer(1000, 0).await;
+            // 1000ns (stage a) + 1000ns latency + 500ns (stage b)
+            assert_eq!(s.now().as_nanos(), 2_500);
+        });
+    }
+
+    #[test]
+    fn pipeline_long_message_is_bottleneck_limited() {
+        let sim = Sim::new();
+        let fast = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
+        let slow = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO); // bottleneck
+        let pl = Pipeline::new(
+            &sim,
+            vec![
+                Stage::new(fast.clone(), SimDuration::ZERO),
+                Stage::new(slow.clone(), SimDuration::ZERO),
+            ],
+            1000,
+        );
+        let s = sim.clone();
+        sim.block_on(async move {
+            // 80 segments of 1000B move as ten 8-segment cut-through
+            // chunks: the first segment exits the fast stage at 500 ns and
+            // the remaining 80 drain at the bottleneck rate — the ideal
+            // wormhole-pipelined completion time.
+            pl.transfer(80_000, 0).await;
+            assert_eq!(s.now().as_nanos(), 500 + 80 * 1_000);
+        });
+        let eff = 80_000.0 / sim.now().as_secs_f64() / 1e9;
+        assert!(eff > 0.90 && eff < 1.0, "effective {eff} GB/s");
+    }
+
+    #[test]
+    fn pipeline_short_message_pipelines_at_segment_granularity() {
+        // At or below one pacing chunk, segments overlap stages exactly.
+        let sim = Sim::new();
+        let fast = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
+        let slow = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let pl = Pipeline::new(
+            &sim,
+            vec![
+                Stage::new(fast, SimDuration::ZERO),
+                Stage::new(slow, SimDuration::ZERO),
+            ],
+            1000,
+        );
+        let s = sim.clone();
+        sim.block_on(async move {
+            // 8 segments: first exits at 500+1000; the rest drain at the
+            // bottleneck (1000 ns each).
+            pl.transfer(8_000, 0).await;
+            assert_eq!(s.now().as_nanos(), 1_500 + 7 * 1_000);
+        });
+    }
+
+    #[test]
+    fn pipeline_cross_connection_overlap() {
+        // Two connections share a 3-stage pipeline. Ping-pongs on one
+        // connection leave stages idle; with both connections active the
+        // aggregate completes in less than 2x the single-connection time.
+        let sim = Sim::new();
+        let stages: Vec<Stage> = (0..3)
+            .map(|_| Stage::new(Pipe::new(&sim, 1_000_000_000, us(1)), SimDuration::ZERO))
+            .collect();
+        let pl = Pipeline::new(&sim, stages, 1500);
+
+        // Serial: two messages one after the other.
+        let serial = {
+            let pl = pl.clone();
+            let sim2 = Sim::new();
+            let stages: Vec<Stage> = (0..3)
+                .map(|_| {
+                    Stage::new(
+                        Pipe::new(&sim2, 1_000_000_000, us(1)),
+                        SimDuration::ZERO,
+                    )
+                })
+                .collect();
+            let pl2 = Pipeline::new(&sim2, stages, pl.segment_size());
+            let s = sim2.clone();
+            sim2.block_on(async move {
+                pl2.transfer(1000, 0).await;
+                pl2.transfer(1000, 0).await;
+                s.now()
+            })
+        };
+
+        // Overlapped: both messages enter together.
+        let h1 = {
+            let pl = pl.clone();
+            sim.spawn(async move { pl.transfer(1000, 0).await })
+        };
+        let h2 = {
+            let pl = pl.clone();
+            sim.spawn(async move { pl.transfer(1000, 0).await })
+        };
+        sim.block_on(async move {
+            join_all(vec![h1, h2]).await;
+        });
+        let overlapped = sim.now();
+        assert!(
+            overlapped < serial,
+            "overlap {overlapped} should beat serial {serial}"
+        );
+    }
+
+    #[test]
+    fn pipeline_per_segment_overhead_inflates_wire_time() {
+        let sim = Sim::new();
+        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let pl = Pipeline::new(&sim, vec![Stage::new(pipe, SimDuration::ZERO)], 1000);
+        let s = sim.clone();
+        sim.block_on(async move {
+            // 2 segments x (1000 payload + 100 header) = 2200 ns.
+            pl.transfer(2000, 100).await;
+            assert_eq!(s.now().as_nanos(), 2_200);
+        });
+    }
+
+    #[test]
+    fn zero_byte_message_still_occupies_one_segment_slot() {
+        let sim = Sim::new();
+        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::from_nanos(40));
+        let pl = Pipeline::new(&sim, vec![Stage::new(pipe, SimDuration::ZERO)], 1000);
+        let s = sim.clone();
+        sim.block_on(async move {
+            pl.transfer(0, 60).await; // one segment of pure header
+            assert_eq!(s.now().as_nanos(), 100);
+        });
+    }
+}

@@ -1,0 +1,95 @@
+//! Lightweight shared counters for instrumenting simulated components.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::time::SimDuration;
+
+/// A shared monotonically-increasing counter.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Reset to zero (between benchmark phases).
+    #[inline]
+    pub fn reset(&self) {
+        self.0.set(0);
+    }
+}
+
+/// A shared accumulator of simulated durations (e.g. CPU busy time, which is
+/// the quantity the LogP overhead benchmarks measure).
+#[derive(Clone, Default, Debug)]
+pub struct TimeAccumulator(Rc<Cell<SimDuration>>);
+
+impl TimeAccumulator {
+    /// New accumulator at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate a span.
+    #[inline]
+    pub fn add(&self, d: SimDuration) {
+        self.0.set(self.0.get() + d);
+    }
+
+    /// Total accumulated time.
+    #[inline]
+    pub fn get(&self) -> SimDuration {
+        self.0.get()
+    }
+
+    /// Reset to zero.
+    #[inline]
+    pub fn reset(&self) {
+        self.0.set(SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn time_accumulator_sums() {
+        let t = TimeAccumulator::new();
+        t.add(SimDuration::from_micros(2));
+        t.add(SimDuration::from_nanos(500));
+        assert_eq!(t.get().as_nanos(), 2_500);
+    }
+}

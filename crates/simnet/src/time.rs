@@ -1,0 +1,310 @@
+//! Virtual time types: [`SimTime`] (an instant) and [`SimDuration`] (a span).
+//!
+//! Both are thin wrappers over a `u64` nanosecond count. Arithmetic is
+//! saturating: a simulation that somehow runs past `u64::MAX` nanoseconds
+//! (~584 years) pins at the maximum rather than wrapping, which turns a
+//! logic error into an obviously-stuck simulation instead of silent
+//! time travel.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, measured in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from a raw nanosecond count.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the simulation epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch, as a float (for reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The span from `earlier` to `self`; zero if `earlier` is later.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds; negative values clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional microseconds; negative values clamp to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        SimDuration((us.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float (for reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer division by a count, rounding to nearest; used to normalize
+    /// cumulative times over message counts.
+    #[inline]
+    pub fn div_count(self, n: u64) -> SimDuration {
+        debug_assert!(n > 0, "div_count by zero");
+        SimDuration((self.0 + n / 2) / n)
+    }
+
+    /// The time to serialize `bytes` at `bytes_per_sec`, rounded up.
+    ///
+    /// This is the fundamental bandwidth→time conversion used by every
+    /// [`crate::pipe::Pipe`]. Computed in `u128` so that multi-gigabyte
+    /// transfers at multi-GB/s rates cannot overflow.
+    #[inline]
+    pub fn serialize(bytes: u64, bytes_per_sec: u64) -> SimDuration {
+        debug_assert!(bytes_per_sec > 0, "zero-bandwidth serialization");
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+        SimDuration(ns.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimTime::from_nanos(42).as_nanos(), 42);
+    }
+
+    #[test]
+    fn float_construction_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
+        assert_eq!(SimDuration::from_micros_f64(0.5).as_nanos(), 500);
+        assert_eq!(SimDuration::from_secs_f64(-1.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let huge = SimTime::from_nanos(u64::MAX);
+        assert_eq!((huge + SimDuration::from_secs(1)).as_nanos(), u64::MAX);
+        let d = SimDuration::from_nanos(5) - SimDuration::from_nanos(9);
+        assert_eq!(d.as_nanos(), 0);
+        assert_eq!(
+            SimTime::from_nanos(3).duration_since(SimTime::from_nanos(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn instant_difference() {
+        let a = SimTime::from_nanos(1_000);
+        let b = SimTime::from_nanos(4_500);
+        assert_eq!((b - a).as_nanos(), 3_500);
+        assert_eq!(b.duration_since(a).as_micros_f64(), 3.5);
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 1 byte at 1 GB/s = 1 ns exactly.
+        assert_eq!(SimDuration::serialize(1, 1_000_000_000).as_nanos(), 1);
+        // 1500 bytes at 1.25 GB/s (10GbE) = 1200 ns.
+        assert_eq!(SimDuration::serialize(1500, 1_250_000_000).as_nanos(), 1200);
+        // Rounds up: 1 byte at 3 GB/s = ceil(1/3 ns) = 1 ns.
+        assert_eq!(SimDuration::serialize(1, 3_000_000_000).as_nanos(), 1);
+        // Large transfer does not overflow: 16 GiB at 1 GB/s ≈ 17.18 s.
+        let d = SimDuration::serialize(16 << 30, 1_000_000_000);
+        assert!(d.as_secs_f64() > 17.0 && d.as_secs_f64() < 17.3);
+    }
+
+    #[test]
+    fn div_count_rounds_to_nearest() {
+        assert_eq!(SimDuration::from_nanos(10).div_count(4).as_nanos(), 3);
+        assert_eq!(SimDuration::from_nanos(9).div_count(3).as_nanos(), 3);
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(9_780)), "9.780us");
+        assert_eq!(format!("{}", SimTime::from_nanos(4_530)), "4.530us");
+    }
+}

@@ -1,0 +1,69 @@
+//! Collective scaling study: recursive-doubling allreduce across the four
+//! fabrics — the kind of collective-communication workload the authors'
+//! follow-on research targeted.
+//!
+//! Reduces a 32 K-element f64 vector (256 KB payload, rendezvous
+//! territory) across 2–8 ranks and reports the completion time.
+//!
+//! ```text
+//! cargo run --release --example allreduce_scaling
+//! ```
+
+use std::rc::Rc;
+
+use mpisim::collectives::allreduce_sum;
+use mpisim::{FabricKind, MpiWorld};
+use simnet::sync::join_all;
+use simnet::Sim;
+
+const ELEMS: usize = 32 * 1024;
+
+fn main() {
+    println!("== allreduce (sum) of {ELEMS} f64 elements, time in us ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "fabric", "2 ranks", "4 ranks", "8 ranks"
+    );
+    for kind in FabricKind::ALL {
+        let times: Vec<f64> = [2usize, 4, 8].iter().map(|&n| run(kind, n)).collect();
+        println!(
+            "{:>8} {:>10.0} {:>10.0} {:>10.0}",
+            kind.label(),
+            times[0],
+            times[1],
+            times[2]
+        );
+    }
+    println!();
+    println!("recursive doubling: log2(n) rounds of 256 KB exchanges; the ordering");
+    println!("tracks each fabric's large-message bandwidth and rendezvous costs");
+}
+
+fn run(kind: FabricKind, n: usize) -> f64 {
+    let sim = Sim::new();
+    let world = MpiWorld::build(&sim, kind, n);
+    let ranks: Vec<_> = (0..n).map(|r| Rc::clone(world.rank(r))).collect();
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            let t0 = sim.now();
+            let tasks: Vec<_> = ranks
+                .iter()
+                .map(|r| {
+                    let r = Rc::clone(r);
+                    async move {
+                        let buf = r.alloc_buffer((ELEMS * 8) as u64);
+                        let mine = vec![r.rank() as f64; ELEMS];
+                        let out = allreduce_sum(&*r, buf, mine).await;
+                        // Every rank must agree on the global sum.
+                        let expect = (0..r.size()).map(|x| x as f64).sum::<f64>();
+                        assert_eq!(out[0], expect);
+                        assert_eq!(out[ELEMS - 1], expect);
+                    }
+                })
+                .collect();
+            join_all(tasks).await;
+            (sim.now() - t0).as_micros_f64()
+        }
+    })
+}

@@ -1,0 +1,78 @@
+//! Head-to-head comparison of all four configurations at the user level
+//! and the MPI level — the paper's Table-0, if it had one.
+//!
+//! ```text
+//! cargo run --release --example compare_fabrics
+//! ```
+
+use mpisim::FabricKind;
+use simnet::Sim;
+
+fn main() {
+    println!("== small-message latency (4 B half-RTT, us) ==");
+    println!("{:>8} {:>12} {:>12} {:>10}", "fabric", "user-level", "MPI", "overhead");
+    for kind in FabricKind::ALL {
+        let sim = Sim::new();
+        let user = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let pair = netbench::userlevel::UserPair::build(&sim, kind).await;
+                pair.half_rtt_us(4, 30).await
+            }
+        });
+        let mpi = netbench::mpi_latency::mpi_half_rtt_us(kind, 4, 30);
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>9.0}%",
+            kind.label(),
+            user,
+            mpi,
+            (mpi - user) / user * 100.0
+        );
+    }
+
+    // The baseline the paper's framing measures against: the same switch
+    // and hosts with a plain NIC and host-stack TCP.
+    {
+        use hostmodel::cpu::{Cpu, CpuCosts};
+        let sim = Sim::new();
+        let fab = std::rc::Rc::new(etherstack::HostTcpFabric::new(&sim, 2));
+        let ca = Cpu::new(&sim, CpuCosts::default());
+        let cb = Cpu::new(&sim, CpuCosts::default());
+        let t = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let iters = 20u64;
+                let t0 = sim.now();
+                for _ in 0..iters {
+                    fab.send_msg(0, 1, &ca, &cb, 4).await;
+                    fab.send_msg(1, 0, &cb, &ca, 4).await;
+                }
+                (sim.now() - t0).as_micros_f64() / (2.0 * iters as f64)
+            }
+        });
+        println!("{:>8} {:>12.2} {:>12} {:>10}", "hostTCP", t, "-", "-");
+    }
+
+    println!();
+    println!("== peak MPI bandwidth (1 MB messages, MB/s) ==");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "fabric", "unidirectional", "bidirectional", "both-way"
+    );
+    use netbench::bandwidth::{mpi_bandwidth, BwMode};
+    for kind in FabricKind::ALL {
+        let uni = mpi_bandwidth(kind, BwMode::Unidirectional, 1 << 20, 3);
+        let bi = mpi_bandwidth(kind, BwMode::Bidirectional, 1 << 20, 3);
+        let both = mpi_bandwidth(kind, BwMode::BothWay, 1 << 20, 3);
+        println!(
+            "{:>8} {:>14.0} {:>14.0} {:>14.0}",
+            kind.label(),
+            uni,
+            bi,
+            both
+        );
+    }
+    println!();
+    println!("paper anchors: iWARP 1088 uni / ~1950 both-way; IB 970 uni / ~1780 both-way;");
+    println!("               Myrinet ≤ 75% of line rate (PCIe x4)");
+}

@@ -1,0 +1,27 @@
+//! Integration tests: the simulation is bit-deterministic — identical
+//! configurations produce identical virtual timings, run after run.
+
+use mpisim::FabricKind;
+
+#[test]
+fn mpi_latency_is_bit_identical_across_runs() {
+    for kind in FabricKind::ALL {
+        let a = netbench::mpi_latency::mpi_half_rtt_us(kind, 1024, 10);
+        let b = netbench::mpi_latency::mpi_half_rtt_us(kind, 1024, 10);
+        assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} nondeterministic");
+    }
+}
+
+#[test]
+fn multiconn_results_are_bit_identical_across_runs() {
+    let a = netbench::multiconn::normalized_latency(FabricKind::InfiniBand, 16, 2048, 4);
+    let b = netbench::multiconn::normalized_latency(FabricKind::InfiniBand, 16, 2048, 4);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn figure_generation_is_reproducible() {
+    let f1 = netbench::reuse::reuse_ratio(FabricKind::Iwarp, 65536);
+    let f2 = netbench::reuse::reuse_ratio(FabricKind::Iwarp, 65536);
+    assert_eq!(f1.to_bits(), f2.to_bits());
+}
