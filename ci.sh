@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, lint, and smoke-run the figure harness.
+#
+#   ./ci.sh
+#
+# Fails fast on the first broken step. The smoke step regenerates fig1
+# (cheapest end-to-end figure) with JSON output into results/ci/ so a CI
+# artifact exists to diff against the committed expectations.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> smoke: figures fig1 --json results/ci/"
+./target/release/figures fig1 --json results/ci/ > /dev/null
+test -s results/ci/fig1-latency.json || {
+    ls results/ci/ >&2
+    echo "smoke run produced no fig1 JSON" >&2
+    exit 1
+}
+
+echo "CI OK"

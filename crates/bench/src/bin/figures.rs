@@ -3,7 +3,24 @@
 //! ```text
 //! cargo run --release -p bench --bin figures -- all
 //! cargo run --release -p bench --bin figures -- fig4 --json out/
+//! cargo run --release -p bench --bin figures -- all --threads 4
+//! cargo run --release -p bench --bin figures -- --selftest
 //! ```
+//!
+//! Figure groups are generated **in parallel by default** (one worker per
+//! core, capped at the group count): each generator owns a private
+//! deterministic simulation, so threading changes wall time only — output
+//! is bit-identical to a serial run (`tests/determinism.rs` locks this in
+//! with an event-order digest). Flags:
+//!
+//! * `--serial`      — generate on the calling thread only (escape hatch
+//!   for debugging or single-core profiling).
+//! * `--threads N`   — cap the worker pool at `N` threads.
+//! * `--json DIR`    — also write one `<figure-id>.json` per figure.
+//! * `--charts`      — append ASCII charts to the tables.
+//! * `--selftest`    — run a fixed executor micro-workload and report
+//!   simulation throughput (events/second plus the `simnet::SimStats`
+//!   counters) instead of generating figures.
 
 use std::io::Write;
 
@@ -12,25 +29,58 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut json_dir: Option<String> = None;
     let mut charts = false;
-    let mut parallel = false;
+    let mut serial = false;
+    let mut selftest = false;
+    let mut threads: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_dir = it.next(),
             "--charts" => charts = true,
-            "--parallel" => parallel = true,
-            other => which.push(other.to_string()),
+            "--serial" => serial = true,
+            // Accepted for compatibility: parallel is the default now.
+            "--parallel" => serial = false,
+            "--selftest" => selftest = true,
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    });
+                threads = Some(n);
+            }
+            other => {
+                if other.starts_with('-') {
+                    eprintln!("unknown flag {other:?}");
+                    std::process::exit(2);
+                }
+                which.push(other.to_string());
+            }
         }
+    }
+    if selftest {
+        run_selftest();
+        return;
     }
     if which.is_empty() {
         which.push("all".to_string());
     }
+    // Reject typo'd selectors up front, before any figure runs.
+    for sel in &which {
+        if !bench::selector_matches(sel) {
+            eprintln!("no figures match selector {sel:?}");
+            std::process::exit(2);
+        }
+    }
     for sel in &which {
         let t0 = std::time::Instant::now();
-        let figs = if parallel {
-            bench::generate_parallel(sel)
-        } else {
+        let figs = if serial {
             bench::generate(sel)
+        } else {
+            bench::generate_parallel_with(sel, threads.unwrap_or_else(bench::default_threads))
         };
         if figs.is_empty() {
             eprintln!("no figures match selector {sel:?}");
@@ -57,5 +107,75 @@ fn main() {
             figs.len(),
             t0.elapsed().as_secs_f64()
         );
+    }
+}
+
+/// Fixed executor micro-workload reporting raw simulation throughput:
+/// a mix of sequential timers, task churn and a contended pipe — the same
+/// shapes `benches/sim_throughput.rs` measures, merged into one number.
+fn run_selftest() {
+    use simnet::{Sim, SimDuration};
+
+    let t0 = std::time::Instant::now();
+    let sim = Sim::new();
+
+    // Phase 1: sequential timer chain.
+    let s = sim.clone();
+    sim.block_on(async move {
+        for _ in 0..100_000u32 {
+            s.sleep(SimDuration::from_nanos(100)).await;
+        }
+    });
+
+    // Phase 2: task churn (spawn → run → retire, slot recycling).
+    let s = sim.clone();
+    sim.block_on(async move {
+        for _ in 0..50_000u32 {
+            let c = s.clone();
+            s.spawn(async move {
+                c.sleep(SimDuration::from_nanos(1)).await;
+            })
+            .await;
+        }
+    });
+
+    // Phase 3: contended bandwidth pipe (calendar reservations).
+    let pipe = simnet::Pipe::new(&sim, 1_000_000_000, SimDuration::from_nanos(40));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let p = pipe.clone();
+        handles.push(sim.spawn(async move {
+            for _ in 0..5_000u32 {
+                p.transfer(1_500).await;
+            }
+        }));
+    }
+    sim.block_on(async move {
+        simnet::sync::join_all(handles).await;
+    });
+
+    let wall = t0.elapsed();
+    let st = sim.stats();
+    let events = st.events();
+    let eps = events as f64 / wall.as_secs_f64();
+    println!("simnet selftest: {events} events in {:.3}s wall", wall.as_secs_f64());
+    println!("  throughput        {:.0} events/sec", eps);
+    println!("  spawns            {}", st.spawns);
+    println!("  polls             {}", st.polls);
+    println!("  wakes             {}", st.wakes);
+    println!("  redundant_wakes   {}", st.redundant_wakes);
+    println!("  timers_set        {}", st.timers_set);
+    println!("  timer_events      {}", st.timer_events);
+    println!("  timers_cancelled  {}", st.timers_cancelled);
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let out = format!(
+            "[\n  {{\"id\": \"figures/selftest\", \"events\": {events}, \"wall_ns\": {}, \"events_per_sec\": {eps:.0}}}\n]\n",
+            wall.as_nanos(),
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, out).expect("write BENCH_JSON");
+        eprintln!("wrote {path}");
     }
 }

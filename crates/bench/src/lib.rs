@@ -84,37 +84,76 @@ pub fn catalog() -> Vec<(&'static str, Generator)> {
     ]
 }
 
-/// Run every selected experiment group on its own OS thread (simulations
-/// are per-thread and deterministic, so parallelism changes wall time,
-/// not results). Returns figures in catalog order.
+/// Parallelism to use when the caller doesn't pin a thread count: one
+/// worker per available core, capped by the number of experiment groups.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run the selected experiment groups across OS threads (simulations are
+/// per-thread and deterministic, so parallelism changes wall time, not
+/// results). Returns figures in catalog order. Uses [`default_threads`].
 pub fn generate_parallel(which: &str) -> Vec<Figure> {
+    generate_parallel_with(which, default_threads())
+}
+
+/// [`generate_parallel`] with an explicit worker-thread cap. Groups are
+/// claimed from a shared counter, so long groups don't serialize behind a
+/// static partition; results are reassembled in catalog order.
+pub fn generate_parallel_with(which: &str, threads: usize) -> Vec<Figure> {
+    let which = resolve_alias(which);
     let selected: Vec<(&'static str, Generator)> = catalog()
         .into_iter()
         .filter(|(id, _)| which == "all" || id.starts_with(which))
         .collect();
-    let mut slots: Vec<Option<Vec<Figure>>> = selected.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = selected
-            .iter()
-            .map(|(_, gen)| scope.spawn(move |_| gen()))
-            .collect();
-        for (slot, h) in slots.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("figure generator panicked"));
+    let workers = threads.max(1).min(selected.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Figure>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let selected = &selected;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((_, gen)) = selected.get(i) else {
+                    break;
+                };
+                tx.send((i, gen())).expect("collector alive");
+            });
         }
-    })
-    .expect("crossbeam scope");
+    });
+    drop(tx);
+    let mut slots: Vec<Option<Vec<Figure>>> = selected.iter().map(|_| None).collect();
+    for (i, figs) in rx {
+        slots[i] = Some(figs);
+    }
     slots.into_iter().flatten().flatten().collect()
+}
+
+/// Whether `which` selects at least one catalog entry — lets callers
+/// reject a typo'd selector before any (expensive) generation starts.
+pub fn selector_matches(which: &str) -> bool {
+    let which = resolve_alias(which);
+    which == "all" || catalog().iter().any(|(id, _)| id.starts_with(which))
+}
+
+/// Map the human-friendly selector aliases onto catalog ids.
+fn resolve_alias(which: &str) -> &str {
+    match which {
+        "overlap" => "e9",
+        "hotspot" => "e10",
+        "registration" => "e11",
+        w => w,
+    }
 }
 
 /// Generate the figures selected by `which` ("all", a figure id prefix,
 /// or the aliases "overlap"/"hotspot"/"registration"), sequentially.
 pub fn generate(which: &str) -> Vec<Figure> {
-    let which = match which {
-        "overlap" => "e9",
-        "hotspot" => "e10",
-        "registration" => "e11",
-        w => w,
-    };
+    let which = resolve_alias(which);
     catalog()
         .into_iter()
         .filter(|(id, _)| which == "all" || id.starts_with(which))

@@ -1,9 +1,7 @@
 //! Result containers and paper-style table rendering.
 
-use serde::Serialize;
-
 /// One labelled curve: `(x, y)` points.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label (matches the paper's legends).
     pub label: String,
@@ -45,7 +43,7 @@ impl Series {
 }
 
 /// One reproduced figure: several series over a common x axis.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Identifier, e.g. "fig1-latency".
     pub id: String,
@@ -115,8 +113,81 @@ impl Figure {
     }
 
     /// JSON dump for machine consumption (EXPERIMENTS.md regeneration).
+    ///
+    /// Hand-rolled (the workspace builds offline, without serde): 2-space
+    /// pretty printing, `": "` separators, points as `[x, y]` pairs.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serialization")
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_str(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(out, "  \"xlabel\": {},", json_str(&self.xlabel));
+        let _ = writeln!(out, "  \"ylabel\": {},", json_str(&self.ylabel));
+        if self.series.is_empty() {
+            out.push_str("  \"series\": []\n");
+        } else {
+            out.push_str("  \"series\": [\n");
+            for (si, s) in self.series.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"label\": {},", json_str(&s.label));
+                if s.points.is_empty() {
+                    out.push_str("      \"points\": []\n");
+                } else {
+                    out.push_str("      \"points\": [\n");
+                    for (pi, (x, y)) in s.points.iter().enumerate() {
+                        let _ = writeln!(
+                            out,
+                            "        [{}, {}]{}",
+                            json_num(*x),
+                            json_num(*y),
+                            if pi + 1 == s.points.len() { "" } else { "," },
+                        );
+                    }
+                    out.push_str("      ]\n");
+                }
+                let _ = writeln!(
+                    out,
+                    "    }}{}",
+                    if si + 1 == self.series.len() { "" } else { "," },
+                );
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escape and quote a JSON string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an f64 as a JSON number. Rust's shortest round-trip formatting is
+/// already valid JSON for finite values; non-finite values (which no figure
+/// should produce) degrade to null.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 

@@ -44,4 +44,5 @@ pub mod time;
 
 pub use executor::{JoinHandle, Sim};
 pub use pipe::{Link, Pipe, Pipeline, Stage};
+pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};

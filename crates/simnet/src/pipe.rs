@@ -128,7 +128,17 @@ impl Pipe {
         }
         let dur = service.as_nanos().max(1);
         let mut t = earliest.as_nanos();
-        for (&st, &en) in iv.range(..) {
+        // Intervals are disjoint, so both starts and ends are sorted: every
+        // interval ending at or before `t` is a no-op for first-fit. Seek
+        // past that prefix in O(log n) instead of scanning it; the only
+        // candidate straddling `t` is the last interval starting at or
+        // before it. Placement is identical to a full scan.
+        let scan_from = iv
+            .range(..=t)
+            .next_back()
+            .map(|(&st, &en)| if en > t { st } else { st + 1 })
+            .unwrap_or(0);
+        for (&st, &en) in iv.range(scan_from..) {
             if en <= t {
                 continue;
             }
@@ -341,6 +351,9 @@ impl Pipeline {
             return;
         }
         let mut joins = Vec::with_capacity((nsegs / self.chunk + 1) as usize);
+        // One shared copy of the downstream stage chain: each chunk's task
+        // clones the Rc (a refcount bump), not the stage vector.
+        let rest: Rc<[Stage]> = self.stages[1..].into();
         let mut segs_left = nsegs;
         let mut payload_left = bytes;
         while segs_left > 0 {
@@ -354,7 +367,7 @@ impl Pipeline {
             // Stage 0: enter now, FIFO behind this flow's earlier chunks.
             let stage0 = &self.stages[0];
             let (s0, e0) = stage0.pipe.reserve_n(self.sim.now(), cwire, csegs);
-            let rest: Vec<Stage> = self.stages[1..].to_vec();
+            let rest = Rc::clone(&rest);
             let sim = self.sim.clone();
             let seg0_service = stage0.pipe.service_time(seg_wire);
             let lat0 = stage0.latency;
@@ -363,7 +376,7 @@ impl Pipeline {
                 let mut prev_end = e0;
                 let mut prev_seg = seg0_service;
                 let mut prev_lat = lat0;
-                for stage in &rest {
+                for stage in rest.iter() {
                     let by_start = prev_start + prev_seg + prev_lat;
                     if by_start > sim.now() {
                         sim.sleep_until(by_start).await;

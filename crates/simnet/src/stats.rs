@@ -1,9 +1,42 @@
-//! Lightweight shared counters for instrumenting simulated components.
+//! Lightweight shared counters for instrumenting simulated components,
+//! plus the executor-level [`SimStats`] snapshot.
 
 use std::cell::Cell;
 use std::rc::Rc;
 
 use crate::time::SimDuration;
+
+/// Snapshot of the executor's event/poll/wake counters, taken with
+/// [`crate::Sim::stats`]. All counts are cumulative since `Sim::new`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Tasks spawned.
+    pub spawns: u64,
+    /// Task polls executed (each is one scheduling event).
+    pub polls: u64,
+    /// `Waker::wake` calls observed.
+    pub wakes: u64,
+    /// Wakes coalesced away because the task was already scheduled.
+    pub redundant_wakes: u64,
+    /// Timers that reached their deadline and fired.
+    pub timer_events: u64,
+    /// Timers armed (`sleep` registrations that actually hit the heap).
+    pub timers_set: u64,
+    /// Sleeps dropped before firing (reclaimed lazily at heap pop).
+    pub timers_cancelled: u64,
+    /// Tasks currently alive (spawned, not yet completed).
+    pub tasks_live: u64,
+    /// Heap entries outstanding (pending + not-yet-reclaimed cancelled).
+    pub timers_pending: u64,
+}
+
+impl SimStats {
+    /// Total discrete events processed: task polls plus timer firings.
+    /// This is the numerator of the events/second throughput figure.
+    pub fn events(&self) -> u64 {
+        self.polls + self.timer_events
+    }
+}
 
 /// A shared monotonically-increasing counter.
 #[derive(Clone, Default, Debug)]

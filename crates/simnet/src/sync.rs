@@ -88,7 +88,12 @@ impl<T> Future for OneshotReceiver<T> {
         if s.sender_dropped {
             return Poll::Ready(None);
         }
-        s.waker = Some(cx.waker().clone());
+        // Re-registering the same task's waker would be a no-op; skip the
+        // clone (the executor hands out one cached waker per task, so this
+        // is the common case).
+        if !s.waker.as_ref().is_some_and(|w| w.will_wake(cx.waker())) {
+            s.waker = Some(cx.waker().clone());
+        }
         Poll::Pending
     }
 }
@@ -216,7 +221,14 @@ impl<T> Future for Recv<'_, T> {
         if s.senders == 0 {
             return Poll::Ready(None);
         }
-        s.recv_waker = Some(cx.waker().clone());
+        // Same-task re-poll: keep the cached waker, skip the clone.
+        if !s
+            .recv_waker
+            .as_ref()
+            .is_some_and(|w| w.will_wake(cx.waker()))
+        {
+            s.recv_waker = Some(cx.waker().clone());
+        }
         Poll::Pending
     }
 }
@@ -498,6 +510,33 @@ impl FifoGate {
 // ---------------------------------------------------------------------------
 // join helpers
 // ---------------------------------------------------------------------------
+
+/// Outcome of [`select2`]: which future won the race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future completed first.
+    Left(A),
+    /// The second future completed first.
+    Right(B),
+}
+
+/// Await whichever future completes first and drop the loser (cancelling
+/// any resources it holds — e.g. a pending [`crate::executor::Sleep`]
+/// timer, which is reclaimed lazily by the executor).
+pub async fn select2<A: Future, B: Future>(a: A, b: B) -> Either<A::Output, B::Output> {
+    let mut a = Box::pin(a);
+    let mut b = Box::pin(b);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = a.as_mut().poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = b.as_mut().poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    })
+    .await
+}
 
 /// Await two futures concurrently, returning both outputs.
 pub async fn join2<A: Future, B: Future>(a: A, b: B) -> (A::Output, B::Output) {

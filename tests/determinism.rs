@@ -25,3 +25,33 @@ fn figure_generation_is_reproducible() {
     let f2 = netbench::reuse::reuse_ratio(FabricKind::Iwarp, 65536);
     assert_eq!(f1.to_bits(), f2.to_bits());
 }
+
+/// FNV-1a over the ordered, serialized event log of a figure run. Every
+/// series, every point, every byte in order — any executor reordering
+/// (slab recycling, wake coalescing, timer batching, thread scheduling)
+/// shows up as a different digest.
+fn figure_digest(figs: &[netbench::Figure]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for fig in figs {
+        for byte in fig.to_json().bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn fig1_event_order_digest_is_stable_serial_and_parallel() {
+    let serial_a = figure_digest(&bench::generate("fig1"));
+    let serial_b = figure_digest(&bench::generate("fig1"));
+    assert_eq!(
+        serial_a, serial_b,
+        "two serial fig1 runs must produce identical event-order digests"
+    );
+    let parallel = figure_digest(&bench::generate_parallel("fig1"));
+    assert_eq!(
+        serial_a, parallel,
+        "parallel fig1 generation must be bit-identical to serial"
+    );
+}

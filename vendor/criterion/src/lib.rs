@@ -1,0 +1,218 @@
+//! A self-contained, dependency-free subset of the Criterion API.
+//!
+//! The workspace builds in fully offline environments, so this vendored
+//! crate implements the slice of Criterion the bench targets use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is wall-clock median over
+//! `sample_size` samples (after one warm-up call), printed per benchmark
+//! and optionally dumped as a JSON array:
+//!
+//! * pass a positional CLI argument to run only benchmarks whose id
+//!   contains it (`cargo bench -p bench -- fig1`);
+//! * set `BENCH_JSON=/path/out.json` to also record
+//!   `{"id", "median_ns", "samples"}` rows for perf-trajectory tracking.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    median_ns: u128,
+    samples: usize,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes flags like `--bench`; the first free argument is a
+        // substring filter, matching Criterion's CLI convention.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Print the run summary and honour `BENCH_JSON`. Called by
+    /// `criterion_main!` after every group has run.
+    pub fn final_summary(&self) {
+        if self.records.is_empty() {
+            println!("no benchmarks matched the filter");
+            return;
+        }
+        println!("\n{} benchmark(s) run", self.records.len());
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.records.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"median_ns\": {}, \"samples\": {}}}{}\n",
+                    r.id.replace('\\', "\\\\").replace('"', "\\\""),
+                    r.median_ns,
+                    r.samples,
+                    if i + 1 == self.records.len() { "" } else { "," },
+                ));
+            }
+            out.push_str("]\n");
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::write(&path, out).expect("write BENCH_JSON");
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measure one benchmark. The closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        // Warm-up: one untimed call.
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mut per_iter: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                per_iter.push(b.elapsed.as_nanos() / b.iters as u128);
+            }
+        }
+        per_iter.sort_unstable();
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0);
+        println!(
+            "{id:<56} median {:>12} ns/iter  ({} samples)",
+            median,
+            per_iter.len()
+        );
+        self.criterion.records.push(Record {
+            id,
+            median_ns: median,
+            samples: per_iter.len(),
+        });
+        self
+    }
+
+    /// End the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`. Matches Criterion's contract that
+    /// the closure may be called any number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        let out = routine();
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running every group and printing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_median() {
+        let mut c = Criterion {
+            filter: None,
+            records: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].id, "grp/noop");
+        assert_eq!(c.records[0].samples, 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_ids() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            records: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("other", |b| b.iter(|| ()));
+        g.finish();
+        assert!(c.records.is_empty());
+    }
+}
