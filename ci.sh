@@ -18,6 +18,14 @@ cargo test -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> differential sweep: fast path vs per-segment walk (100k cases)"
+FASTPATH_DIFF_CASES=100000 cargo test -q --release --test fastpath_diff
+
+echo "==> smoke: cargo bench -p bench --bench pipeline_throughput"
+# Keeps the bench compiling and its uncontended/contended split honest;
+# the recorded baseline lives in results/pipeline_throughput.json.
+cargo bench -p bench --bench pipeline_throughput > /dev/null
+
 echo "==> smoke: figures fig1 --json results/ci/"
 ./target/release/figures fig1 --json results/ci/ > /dev/null
 test -s results/ci/fig1-latency.json || {
@@ -25,5 +33,11 @@ test -s results/ci/fig1-latency.json || {
     echo "smoke run produced no fig1 JSON" >&2
     exit 1
 }
+
+echo "==> digest: fig1 output matches recorded seed digest"
+# The figure data is bit-for-bit deterministic; any drift from the
+# committed digest means simulation output changed and results/fig1.sha256
+# must be regenerated alongside a deliberate model change.
+(cd results/ci && sha256sum -c ../fig1.sha256)
 
 echo "CI OK"

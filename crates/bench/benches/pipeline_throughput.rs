@@ -1,0 +1,98 @@
+//! Pipeline-traversal microbenchmarks for the cut-through fast path.
+//!
+//! Times `Pipeline::transfer` for large messages over 1/3/5-stage
+//! pipelines, uncontended (a lone transfer — eligible for the closed-form
+//! cut-through speculation, which collapses the whole traversal to a
+//! single completion event) and contended (two simultaneous transfers on
+//! shared stages — forced down the per-segment walk via demotion). The
+//! uncontended/contended ratio is the fast path's figure of merit. Run:
+//!
+//! ```text
+//! cargo bench -p bench --bench pipeline_throughput
+//! BENCH_JSON=$PWD/results/pipeline_throughput.json \
+//!     cargo bench -p bench --bench pipeline_throughput   # from repo root
+//! ```
+//!
+//! The recorded baseline lives in `results/pipeline_throughput.json`;
+//! `ci.sh` smoke-runs this bench to keep it compiling and honest.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simnet::pipe::{Pipe, Pipeline, Stage};
+use simnet::{Sim, SimDuration};
+
+/// Ethernet-ish MSS so large messages span thousands of segments.
+const SEGMENT: u64 = 1460;
+
+/// Build an `n`-stage pipeline of distinct pipes with staggered rates
+/// (middle stage slowest, as in the NIC models) and small overheads.
+fn pipeline(sim: &Sim, n: usize) -> Pipeline {
+    let stages = (0..n)
+        .map(|i| {
+            // 1.05–1.45 GB/s band, slowest mid-pipeline; odd rates avoid
+            // degenerate exact-tie service times.
+            let rate = 1_050_000_003 + 100_000_007 * ((i as u64 + 2) % n as u64);
+            let pipe = Pipe::new(sim, rate, SimDuration::from_nanos(25 + 7 * i as u64));
+            Stage::new(pipe, SimDuration::from_nanos(300 + 90 * i as u64))
+        })
+        .collect();
+    Pipeline::new(sim, stages, SEGMENT)
+}
+
+/// One lone `bytes`-long transfer end to end; returns final sim time.
+fn run_uncontended(nstages: usize, bytes: u64) -> u64 {
+    let sim = Sim::new();
+    let pl = pipeline(&sim, nstages);
+    sim.block_on(async move { pl.transfer(bytes, 54).await });
+    sim.now().as_nanos()
+}
+
+/// Two transfers launched together on the *same* pipeline: the second
+/// reservation demotes the first one's speculation, so both take the
+/// per-segment walk over shared calendars.
+fn run_contended(nstages: usize, bytes: u64) -> u64 {
+    let sim = Sim::new();
+    let pl = pipeline(&sim, nstages);
+    let pa = pl.clone();
+    let pb = pl;
+    let h1 = sim.spawn(async move { pa.transfer(bytes, 54).await });
+    let h2 = sim.spawn(async move { pb.transfer(bytes, 54).await });
+    sim.block_on(async move {
+        simnet::sync::join2(h1, h2).await;
+    });
+    sim.now().as_nanos()
+}
+
+fn bench_depths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_throughput");
+    g.sample_size(10);
+    const BYTES: u64 = 4 << 20; // 4 MB ≈ 2 900 segments
+    for depth in [1usize, 3, 5] {
+        g.bench_function(format!("uncontended_{depth}stage_4m"), |b| {
+            b.iter(|| black_box(run_uncontended(depth, BYTES)))
+        });
+        g.bench_function(format!("contended_{depth}stage_4m"), |b| {
+            b.iter(|| black_box(run_contended(depth, BYTES)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_message_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_throughput");
+    g.sample_size(10);
+    // Large-message sweep at the NIC models' typical depth: cost should
+    // stay near-flat uncontended (one event regardless of size) and grow
+    // linearly contended (event per segment per stage).
+    for (label, bytes) in [("256k", 256u64 << 10), ("1m", 1 << 20), ("16m", 16 << 20)] {
+        g.bench_function(format!("uncontended_3stage_{label}"), |b| {
+            b.iter(|| black_box(run_uncontended(3, bytes)))
+        });
+        g.bench_function(format!("contended_3stage_{label}"), |b| {
+            b.iter(|| black_box(run_contended(3, bytes)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_depths, bench_message_sweep);
+criterion_main!(benches);

@@ -77,6 +77,10 @@ pub struct HostTcpFabric {
     sim: Sim,
     switch: CutThroughSwitch,
     nics: Vec<HostTcpNic>,
+    /// Memoized `src → dst` pipelines; clones share the cached stage slice
+    /// so a socket stream's back-to-back sends keep the simnet cut-through
+    /// fast path warm instead of rebuilding six stages per message.
+    paths: std::cell::RefCell<std::collections::HashMap<(usize, usize), Pipeline>>,
 }
 
 impl HostTcpFabric {
@@ -112,14 +116,26 @@ impl HostTcpFabric {
                     rx_stack: stack_pipe(calib.rx_per_segment)(sim),
                 })
                 .collect(),
+            paths: std::cell::RefCell::new(std::collections::HashMap::new()),
         }
     }
 
     /// The full path `src → dst`: transmit stack, NIC DMA, wire, switch,
     /// receive DMA, then the interrupt-driven receive stack. Protocol
     /// processing stages run on the host CPUs — the defining difference
-    /// from the offloaded fabrics.
+    /// from the offloaded fabrics. Built once per `(src, dst)` and cached.
     fn data_path(&self, src: usize, dst: usize) -> Pipeline {
+        if let Some(p) = self.paths.borrow().get(&(src, dst)) {
+            return p.clone();
+        }
+        let path = self.build_data_path(src, dst);
+        self.paths
+            .borrow_mut()
+            .insert((src, dst), path.clone());
+        path
+    }
+
+    fn build_data_path(&self, src: usize, dst: usize) -> Pipeline {
         let s = &self.nics[src];
         let d = &self.nics[dst];
         let stages = vec![

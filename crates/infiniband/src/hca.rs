@@ -106,6 +106,10 @@ pub struct IbFabric {
     switch: CutThroughSwitch,
     devices: Vec<Rc<HcaDevice>>,
     next_qpn: std::cell::Cell<u32>,
+    /// Memoized `src → dst` pipelines; clones share the cached stage slice
+    /// (and calendars), so repeat transfers on an idle path keep hitting the
+    /// simnet cut-through fast path instead of rebuilding six stages.
+    paths: std::cell::RefCell<std::collections::HashMap<(usize, usize), Pipeline>>,
 }
 
 impl IbFabric {
@@ -124,6 +128,7 @@ impl IbFabric {
                 .map(|n| Rc::new(HcaDevice::new(sim, n, calib)))
                 .collect(),
             next_qpn: std::cell::Cell::new(1),
+            paths: std::cell::RefCell::new(std::collections::HashMap::new()),
         }
     }
 
@@ -149,9 +154,21 @@ impl IbFabric {
         q
     }
 
-    /// Build the one-directional data path `src → dst`.
+    /// The one-directional data path `src → dst`, built once per pair and
+    /// cached.
     pub fn data_path(&self, src: usize, dst: usize) -> Pipeline {
         assert_ne!(src, dst, "loopback is not modelled");
+        if let Some(p) = self.paths.borrow().get(&(src, dst)) {
+            return p.clone();
+        }
+        let path = self.build_data_path(src, dst);
+        self.paths
+            .borrow_mut()
+            .insert((src, dst), path.clone());
+        path
+    }
+
+    fn build_data_path(&self, src: usize, dst: usize) -> Pipeline {
         let s = &self.devices[src];
         let d = &self.devices[dst];
         let c = &s.calib;

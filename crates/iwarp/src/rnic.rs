@@ -20,6 +20,8 @@
 //! on-board memory, so no stage's service time depends on the number of
 //! live connections.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use etherstack::switch::{CutThroughSwitch, SwitchConfig};
@@ -108,6 +110,12 @@ pub struct IwarpFabric {
     sim: Sim,
     switch: CutThroughSwitch,
     devices: Vec<Rc<RnicDevice>>,
+    /// Memoized `src → dst` pipelines. A [`Pipeline`] clone shares its stage
+    /// slice (and thus its pipes' calendars), so handing out the same cached
+    /// path keeps every transfer on one calendar set — which is what lets
+    /// back-to-back messages on an idle path repeatedly take the simnet
+    /// cut-through fast path instead of rebuilding eight stages per call.
+    paths: RefCell<HashMap<(usize, usize), Pipeline>>,
 }
 
 impl IwarpFabric {
@@ -126,6 +134,7 @@ impl IwarpFabric {
             devices: (0..nodes)
                 .map(|n| Rc::new(RnicDevice::new(sim, n, calib)))
                 .collect(),
+            paths: RefCell::new(HashMap::new()),
         }
     }
 
@@ -144,10 +153,23 @@ impl IwarpFabric {
         self.devices.len()
     }
 
-    /// Build the one-directional data path `src → dst` as a segment-granular
-    /// pipeline across both NICs and the switch.
+    /// The one-directional data path `src → dst` as a segment-granular
+    /// pipeline across both NICs and the switch. Paths are built once per
+    /// `(src, dst)` pair and cached; the returned clone shares the cached
+    /// stage slice.
     pub fn data_path(&self, src: usize, dst: usize) -> Pipeline {
         assert_ne!(src, dst, "loopback is not modelled");
+        if let Some(p) = self.paths.borrow().get(&(src, dst)) {
+            return p.clone();
+        }
+        let path = self.build_data_path(src, dst);
+        self.paths
+            .borrow_mut()
+            .insert((src, dst), path.clone());
+        path
+    }
+
+    fn build_data_path(&self, src: usize, dst: usize) -> Pipeline {
         let s = &self.devices[src];
         let d = &self.devices[dst];
         let c = &s.calib;

@@ -46,6 +46,10 @@ pub trait Transport: 'static {
 pub struct IwarpTransport {
     cpu: Cpu,
     post_cost: SimDuration,
+    /// One cached pipeline per destination. Rendezvous RDMA writes reuse
+    /// these paths for every chunk, so an uncontended rendezvous transfer
+    /// completes on a single coalesced event via the simnet cut-through
+    /// fast path rather than thousands of per-segment timer firings.
     paths: HashMap<usize, Pipeline>,
     seg_overhead: u64,
     registry: MemoryRegistry,

@@ -79,6 +79,10 @@ pub struct MxFabric {
     pub mode: LinkMode,
     switch: CutThroughSwitch,
     devices: Vec<Rc<MxNic>>,
+    /// Memoized `src → dst` pipelines; clones share the cached stage slice
+    /// so repeat transfers stay eligible for the simnet cut-through fast
+    /// path without rebuilding the six stages per call.
+    paths: std::cell::RefCell<std::collections::HashMap<(usize, usize), Pipeline>>,
 }
 
 impl MxFabric {
@@ -101,6 +105,7 @@ impl MxFabric {
             devices: (0..nodes)
                 .map(|n| Rc::new(MxNic::new(sim, n, calib)))
                 .collect(),
+            paths: std::cell::RefCell::new(std::collections::HashMap::new()),
         }
     }
 
@@ -137,9 +142,21 @@ impl MxFabric {
         }
     }
 
-    /// Build the one-directional data path `src → dst`.
+    /// The one-directional data path `src → dst`, built once per pair and
+    /// cached.
     pub fn data_path(&self, src: usize, dst: usize) -> Pipeline {
         assert_ne!(src, dst, "loopback is not modelled");
+        if let Some(p) = self.paths.borrow().get(&(src, dst)) {
+            return p.clone();
+        }
+        let path = self.build_data_path(src, dst);
+        self.paths
+            .borrow_mut()
+            .insert((src, dst), path.clone());
+        path
+    }
+
+    fn build_data_path(&self, src: usize, dst: usize) -> Pipeline {
         let s = &self.devices[src];
         let d = &self.devices[dst];
         let c = &s.calib;

@@ -158,6 +158,11 @@ struct TimerEntry {
     at: SimTime,
     seq: u64,
     key: TimerKey,
+    /// Instant the timer was armed. Seqs are assigned in arm order, so at
+    /// equal deadlines an earlier-armed timer always fires first; the
+    /// pipeline fast path uses this to replay tie-breaks it never armed
+    /// real timers for (see `Sim::last_fired_timer`).
+    armed: SimTime,
 }
 
 impl PartialEq for TimerEntry {
@@ -194,6 +199,14 @@ struct Core {
     timer_events: u64,
     timers_set: u64,
     timers_cancelled: u64,
+    // Pipeline cut-through fast-path accounting (updated by `pipe`).
+    fast_path_enabled: bool,
+    fast_path_hits: u64,
+    slow_path_falls: u64,
+    events_coalesced: u64,
+    calendar_peak_len: u64,
+    /// `(deadline, armed)` of the most recently fired timer.
+    last_fired: Option<(SimTime, SimTime)>,
 }
 
 /// Handle to the simulation: clock, spawner and executor in one.
@@ -203,6 +216,12 @@ struct Core {
 pub struct Sim {
     core: Rc<RefCell<Core>>,
     ready: Arc<ReadyQueue>,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sim@{}", self.now())
+    }
 }
 
 impl Default for Sim {
@@ -229,6 +248,12 @@ impl Sim {
                 timer_events: 0,
                 timers_set: 0,
                 timers_cancelled: 0,
+                fast_path_enabled: true,
+                fast_path_hits: 0,
+                slow_path_falls: 0,
+                events_coalesced: 0,
+                calendar_peak_len: 0,
+                last_fired: None,
             })),
             ready: Arc::new(ReadyQueue::default()),
         }
@@ -252,7 +277,54 @@ impl Sim {
             timers_cancelled: core.timers_cancelled,
             tasks_live: core.live_tasks,
             timers_pending: core.timers.len() as u64,
+            fast_path_hits: core.fast_path_hits,
+            slow_path_falls: core.slow_path_falls,
+            events_coalesced: core.events_coalesced,
+            calendar_peak_len: core.calendar_peak_len,
         }
+    }
+
+    /// Enable or disable the pipeline cut-through fast path (on by
+    /// default). Disabling forces every [`crate::Pipeline`] transfer down
+    /// the per-segment walk; the differential tests run the same workload
+    /// both ways and assert identical timing.
+    pub fn set_fast_path(&self, enabled: bool) {
+        self.core.borrow_mut().fast_path_enabled = enabled;
+    }
+
+    /// Whether the pipeline cut-through fast path is enabled.
+    pub fn fast_path_enabled(&self) -> bool {
+        self.core.borrow().fast_path_enabled
+    }
+
+    /// Record a committed cut-through traversal and the scheduling events
+    /// (timer firings + task spawns) it avoided.
+    pub(crate) fn note_fast_path_hit(&self, coalesced: u64) {
+        let mut core = self.core.borrow_mut();
+        core.fast_path_hits += 1;
+        core.events_coalesced += coalesced;
+    }
+
+    /// Record a transfer that took (or was demoted to) the per-segment walk.
+    pub(crate) fn note_slow_path_fall(&self) {
+        self.core.borrow_mut().slow_path_falls += 1;
+    }
+
+    /// Track the high-water mark of a pipe calendar's interval count.
+    pub(crate) fn note_calendar_len(&self, len: u64) {
+        let mut core = self.core.borrow_mut();
+        if len > core.calendar_peak_len {
+            core.calendar_peak_len = len;
+        }
+    }
+
+    /// `(deadline, armed)` of the most recently fired timer. At equal
+    /// deadlines timers fire in arm order, so a speculated sleep armed
+    /// strictly before this one would already have fired by now — the
+    /// pipeline fast path consults this to replay same-instant ordering
+    /// against sleeps it never actually armed.
+    pub(crate) fn last_fired_timer(&self) -> Option<(SimTime, SimTime)> {
+        self.core.borrow().last_fired
     }
 
     /// Spawn a task. It will not run until the executor is driven by
@@ -410,6 +482,7 @@ impl Sim {
                 match std::mem::replace(&mut slot.state, TimerState::Fired) {
                     TimerState::Pending { waker } => {
                         core.timer_events += 1;
+                        core.last_fired = Some((entry.at, entry.armed));
                         waker
                     }
                     TimerState::Cancelled => {
@@ -523,7 +596,13 @@ impl Sim {
         };
         let seq = core.next_timer_seq;
         core.next_timer_seq += 1;
-        core.timers.push(TimerEntry { at, seq, key });
+        let armed = core.now;
+        core.timers.push(TimerEntry {
+            at,
+            seq,
+            key,
+            armed,
+        });
         key
     }
 

@@ -14,7 +14,10 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::task::{Context, Poll, Waker};
 
 use crate::executor::Sim;
 use crate::time::{SimDuration, SimTime};
@@ -24,11 +27,17 @@ struct PipeState {
     bytes_per_sec: u64,
     per_transfer_overhead: SimDuration,
     /// Reserved busy intervals, keyed by start time (ns → end ns). Kept
-    /// sparse: intervals entirely in the past are pruned on every reserve.
+    /// sparse: intervals entirely in the past are pruned on every reserve,
+    /// and exactly-abutting intervals are merged on insert.
     intervals: RefCell<BTreeMap<u64, u64>>,
     busy: Cell<SimDuration>,
     transfers: Cell<u64>,
     bytes: Cell<u64>,
+    /// Live cut-through speculation registered on this pipe, if any, with
+    /// the stage index this pipe occupies in the speculating pipeline.
+    /// Weak: the transfer future owns the speculation; a dropped future
+    /// must not leak a registration.
+    spec: RefCell<Option<(Weak<Speculation>, u32)>>,
 }
 
 /// A FIFO bandwidth resource. Clonable handle; clones share the resource.
@@ -38,10 +47,65 @@ pub struct Pipe {
     state: Rc<PipeState>,
 }
 
-impl std::fmt::Debug for Sim {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Sim@{}", self.now())
+/// Drop calendar entries that end at or before `now_ns`. Intervals are
+/// disjoint, so starts and ends are both sorted: the past entries form a
+/// prefix, removable in one `split_off` instead of per-entry deletes.
+fn prune_past(iv: &mut BTreeMap<u64, u64>, now_ns: u64) {
+    match iv.iter().find(|&(_, &en)| en > now_ns).map(|(&st, _)| st) {
+        Some(first_live) => {
+            if iv.first_key_value().is_some_and(|(&st, _)| st < first_live) {
+                *iv = iv.split_off(&first_live);
+            }
+        }
+        None => iv.clear(),
     }
+}
+
+/// First-fit scan: earliest `t >= earliest_ns` such that `[t, t+dur)` does
+/// not overlap any calendar interval. `dur` must be nonzero.
+fn first_fit(iv: &BTreeMap<u64, u64>, earliest_ns: u64, dur: u64) -> u64 {
+    let mut t = earliest_ns;
+    // Every interval ending at or before `t` is a no-op for first-fit.
+    // Seek past that prefix in O(log n); the only candidate straddling `t`
+    // is the last interval starting at or before it.
+    let scan_from = iv
+        .range(..=t)
+        .next_back()
+        .map(|(&st, &en)| if en > t { st } else { st + 1 })
+        .unwrap_or(0);
+    for (&st, &en) in iv.range(scan_from..) {
+        if en <= t {
+            continue;
+        }
+        if t + dur <= st {
+            break;
+        }
+        t = t.max(en);
+    }
+    t
+}
+
+/// Insert `[st, en)` into the calendar, merging with exactly-touching
+/// neighbours. The union of busy time is unchanged (so placement stays
+/// identical), but FIFO queue-behind chains collapse to a single entry
+/// instead of growing the calendar — and the first-fit scan skips a whole
+/// chain in one step.
+fn insert_merged(iv: &mut BTreeMap<u64, u64>, st: u64, en: u64) {
+    let mut merged_st = st;
+    let mut merged_en = en;
+    if let Some((&pst, &pen)) = iv.range(..=merged_st).next_back() {
+        if pen == merged_st {
+            iv.remove(&pst);
+            merged_st = pst;
+        }
+    }
+    if let Some((&sst, &sen)) = iv.range(merged_en..).next() {
+        if sst == merged_en {
+            iv.remove(&sst);
+            merged_en = sen;
+        }
+    }
+    iv.insert(merged_st, merged_en);
 }
 
 impl Pipe {
@@ -58,7 +122,46 @@ impl Pipe {
                 busy: Cell::new(SimDuration::ZERO),
                 transfers: Cell::new(0),
                 bytes: Cell::new(0),
+                spec: RefCell::new(None),
             }),
+        }
+    }
+
+    /// Two handles to the same underlying resource?
+    pub fn same_resource(&self, other: &Pipe) -> bool {
+        Rc::ptr_eq(&self.state, &other.state)
+    }
+
+    /// Occupancy of `n` back-to-back transfers totalling `bytes`: one
+    /// per-transfer overhead each, one contiguous serialization.
+    fn bulk_service(&self, bytes: u64, n_transfers: u64) -> SimDuration {
+        self.state.per_transfer_overhead * n_transfers
+            + SimDuration::serialize(bytes, self.state.bytes_per_sec)
+    }
+
+    /// If a live speculation is registered here, demote it to the
+    /// per-segment walk: a competing reservation is about to land, so the
+    /// closed-form prediction is no longer safe.
+    fn demote_speculation(&self) {
+        let slot = self.state.spec.borrow_mut().take();
+        if let Some((weak, _)) = slot {
+            if let Some(spec) = weak.upgrade() {
+                spec.demote();
+            }
+        }
+    }
+
+    /// If a live speculation is registered here, materialize the
+    /// reservations (and counters) it would have made by now, so observers
+    /// see exactly the state the per-segment walk would have produced.
+    /// Leaves the speculation active: reads do not perturb timing.
+    fn sync_speculation_reads(&self) {
+        let slot = self.state.spec.borrow().clone();
+        if let Some((weak, stage_idx)) = slot {
+            match weak.upgrade() {
+                Some(spec) => spec.materialize_due(stage_idx as usize, self.sim.now()),
+                None => *self.state.spec.borrow_mut() = None,
+            }
         }
     }
 
@@ -96,8 +199,7 @@ impl Pipe {
     /// Used by [`Pipeline`] to move segment batches without paying one
     /// scheduling event per segment.
     pub fn reserve_n(&self, earliest: SimTime, bytes: u64, n_transfers: u64) -> (SimTime, SimTime) {
-        let service = self.state.per_transfer_overhead * n_transfers
-            + SimDuration::serialize(bytes, self.state.bytes_per_sec);
+        let service = self.bulk_service(bytes, n_transfers);
         let (start, end) = self.reserve_service(earliest, service);
         self.state.transfers.set(self.state.transfers.get() + n_transfers);
         self.state.bytes.set(self.state.bytes.get() + bytes);
@@ -117,37 +219,19 @@ impl Pipe {
     /// Calendar-insert a reservation of `service` length at or after
     /// `earliest` (first fit). Updates busy accounting only.
     fn reserve_service(&self, earliest: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        // A competing reservation invalidates any closed-form traversal in
+        // flight on this pipe; it must fall back before we touch the
+        // calendar so we land exactly where the per-segment walk would put
+        // us. (The demoted speculation's continuation tasks re-enter here,
+        // but only after the registration below has been cleared.)
+        self.demote_speculation();
         let now_ns = self.sim.now().as_nanos();
         let mut iv = self.state.intervals.borrow_mut();
-        while let Some((&st, &en)) = iv.first_key_value() {
-            if en <= now_ns {
-                iv.remove(&st);
-            } else {
-                break;
-            }
-        }
+        prune_past(&mut iv, now_ns);
         let dur = service.as_nanos().max(1);
-        let mut t = earliest.as_nanos();
-        // Intervals are disjoint, so both starts and ends are sorted: every
-        // interval ending at or before `t` is a no-op for first-fit. Seek
-        // past that prefix in O(log n) instead of scanning it; the only
-        // candidate straddling `t` is the last interval starting at or
-        // before it. Placement is identical to a full scan.
-        let scan_from = iv
-            .range(..=t)
-            .next_back()
-            .map(|(&st, &en)| if en > t { st } else { st + 1 })
-            .unwrap_or(0);
-        for (&st, &en) in iv.range(scan_from..) {
-            if en <= t {
-                continue;
-            }
-            if t + dur <= st {
-                break;
-            }
-            t = t.max(en);
-        }
-        iv.insert(t, t + dur);
+        let t = first_fit(&iv, earliest.as_nanos(), dur);
+        insert_merged(&mut iv, t, t + dur);
+        self.sim.note_calendar_len(iv.len() as u64);
         self.state.busy.set(self.state.busy.get() + service);
         (SimTime::from_nanos(t), SimTime::from_nanos(t + dur))
     }
@@ -165,6 +249,7 @@ impl Pipe {
 
     /// Instant at which the pipe's schedule has no further reservations.
     pub fn busy_until(&self) -> SimTime {
+        self.sync_speculation_reads();
         self.state
             .intervals
             .borrow()
@@ -176,16 +261,19 @@ impl Pipe {
 
     /// Total busy time accumulated (for utilization reporting).
     pub fn total_busy(&self) -> SimDuration {
+        self.sync_speculation_reads();
         self.state.busy.get()
     }
 
     /// Total bytes carried.
     pub fn total_bytes(&self) -> u64 {
+        self.sync_speculation_reads();
         self.state.bytes.get()
     }
 
     /// Total transfer count.
     pub fn total_transfers(&self) -> u64 {
+        self.sync_speculation_reads();
         self.state.transfers.get()
     }
 }
@@ -257,10 +345,74 @@ pub const PACE_CHUNK_SEGMENTS: u64 = 8;
 /// serial engine (a pipeline with one dominant stage) does not.
 #[derive(Clone, Debug)]
 pub struct Pipeline {
-    stages: Vec<Stage>,
+    stages: Rc<[Stage]>,
     segment: u64,
     chunk: u64,
     sim: Sim,
+}
+
+/// Per-chunk wire geometry, fixed by the message partition alone (never by
+/// contention) — so it can be computed once and reused by the closed-form
+/// replay, the live walk, and any fallback continuation.
+#[derive(Clone, Copy, Debug)]
+struct ChunkMeta {
+    csegs: u64,
+    cwire: u64,
+    seg_wire: u64,
+}
+
+/// One (chunk, stage) reservation in a speculated traversal: the wall time
+/// at which the per-segment walk would have made it, the instant the sleep
+/// driving it would have been armed, and the occupancy it would have
+/// claimed. All nanoseconds.
+///
+/// `arm` settles same-instant ordering: timers at equal deadlines fire in
+/// arm (seq) order, so when a competing reservation lands at exactly
+/// `wall`, the walk's reserve would precede it iff the walk's timer was
+/// armed strictly before the competitor's ([`Sim::last_fired_timer`]).
+#[derive(Clone, Copy, Debug)]
+struct PlanOp {
+    wall: u64,
+    arm: u64,
+    start: u64,
+    end: u64,
+}
+
+/// Walk one chunk block through `stages[from..]` in wall-clock step with
+/// the data, exactly as cut-through hardware drains it. `prev_*` describe
+/// the reservation the block already holds on stage `from - 1`.
+#[allow(clippy::too_many_arguments)]
+async fn chunk_walk(
+    sim: Sim,
+    stages: Rc<[Stage]>,
+    from: usize,
+    mut prev_start: SimTime,
+    mut prev_end: SimTime,
+    mut prev_seg: SimDuration,
+    mut prev_lat: SimDuration,
+    meta: ChunkMeta,
+) {
+    for stage in stages[from..].iter() {
+        let by_start = prev_start + prev_seg + prev_lat;
+        if by_start > sim.now() {
+            sim.sleep_until(by_start).await;
+        }
+        let seg_service = stage.pipe.service_time(meta.seg_wire);
+        let block = stage.pipe.service_time(meta.cwire)
+            + stage.pipe.service_time(0) * (meta.csegs - 1);
+        // The block may not drain here before it drained upstream.
+        let floor = (prev_end + seg_service + prev_lat) - block;
+        let earliest = sim.now().max(floor);
+        let (st, en) = stage.pipe.reserve_n(earliest, meta.cwire, meta.csegs);
+        prev_start = st;
+        prev_end = en;
+        prev_seg = seg_service;
+        prev_lat = stage.latency;
+    }
+    let exit = prev_end + prev_lat;
+    if exit > sim.now() {
+        sim.sleep_until(exit).await;
+    }
 }
 
 impl Pipeline {
@@ -280,11 +432,34 @@ impl Pipeline {
         assert!(!stages.is_empty(), "pipeline requires at least one stage");
         assert!(chunk > 0, "pipeline requires nonzero pacing chunk");
         Pipeline {
-            stages,
+            stages: stages.into(),
             segment,
             chunk,
             sim: sim.clone(),
         }
+    }
+
+    /// Cut the message into pacing-chunk blocks. The partition depends only
+    /// on the byte count, never on calendar state, so the closed-form
+    /// replay and the live walk always agree on it.
+    fn chunk_partition(&self, bytes: u64, per_segment_overhead_bytes: u64) -> Vec<ChunkMeta> {
+        let nsegs = bytes.div_ceil(self.segment).max(1);
+        let mut metas = Vec::with_capacity(nsegs.div_ceil(self.chunk) as usize);
+        let mut segs_left = nsegs;
+        let mut payload_left = bytes;
+        while segs_left > 0 {
+            let csegs = segs_left.min(self.chunk);
+            let cpayload = payload_left.min(csegs * self.segment);
+            payload_left -= cpayload;
+            segs_left -= csegs;
+            let cwire = cpayload + csegs * per_segment_overhead_bytes;
+            metas.push(ChunkMeta {
+                csegs,
+                cwire,
+                seg_wire: cwire.div_ceil(csegs),
+            });
+        }
+        metas
     }
 
     /// The segment size used to cut messages.
@@ -317,7 +492,7 @@ impl Pipeline {
             };
             let wire_bytes = seg_payload + per_segment_overhead_bytes;
             let mut t = now;
-            for stage in &self.stages {
+            for stage in self.stages.iter() {
                 let (_s, end) = stage.pipe.reserve(t, wire_bytes);
                 t = end + stage.latency;
             }
@@ -350,60 +525,498 @@ impl Pipeline {
             self.sim.sleep_until(done).await;
             return;
         }
-        let mut joins = Vec::with_capacity((nsegs / self.chunk + 1) as usize);
-        // One shared copy of the downstream stage chain: each chunk's task
-        // clones the Rc (a refcount bump), not the stage vector.
-        let rest: Rc<[Stage]> = self.stages[1..].into();
-        let mut segs_left = nsegs;
-        let mut payload_left = bytes;
-        while segs_left > 0 {
-            let csegs = segs_left.min(self.chunk);
-            let cpayload = payload_left.min(csegs * self.segment);
-            payload_left -= cpayload;
-            segs_left -= csegs;
-            let cwire = cpayload + csegs * per_segment_overhead_bytes;
-            let seg_wire = cwire.div_ceil(csegs);
-
+        let metas = self.chunk_partition(bytes, per_segment_overhead_bytes);
+        if self.sim.fast_path_enabled() {
+            if let Some(spec) = self.try_fast_path(&metas) {
+                // Single completion event for the whole traversal. If a
+                // competing reservation demotes the speculation while we
+                // sleep, the continuation tasks it spawned finish the walk
+                // live; the real completion is never earlier than the
+                // prediction, so we wait out the prediction and then park
+                // on the speculation itself.
+                self.sim.sleep_until(spec.completion).await;
+                if spec.phase.get() == SpecPhase::Active {
+                    spec.commit();
+                    self.sim.note_fast_path_hit(spec.coalesced);
+                } else {
+                    SpecWait { spec }.await;
+                }
+                return;
+            }
+            self.sim.note_slow_path_fall();
+        }
+        let mut joins = Vec::with_capacity(metas.len());
+        for (c, &meta) in metas.iter().enumerate() {
             // Stage 0: enter now, FIFO behind this flow's earlier chunks.
             let stage0 = &self.stages[0];
-            let (s0, e0) = stage0.pipe.reserve_n(self.sim.now(), cwire, csegs);
-            let rest = Rc::clone(&rest);
-            let sim = self.sim.clone();
-            let seg0_service = stage0.pipe.service_time(seg_wire);
-            let lat0 = stage0.latency;
-            joins.push(self.sim.spawn(async move {
-                let mut prev_start = s0;
-                let mut prev_end = e0;
-                let mut prev_seg = seg0_service;
-                let mut prev_lat = lat0;
-                for stage in rest.iter() {
-                    let by_start = prev_start + prev_seg + prev_lat;
-                    if by_start > sim.now() {
-                        sim.sleep_until(by_start).await;
-                    }
-                    let seg_service = stage.pipe.service_time(seg_wire);
-                    let block = stage.pipe.service_time(cwire)
-                        + stage.pipe.service_time(0) * (csegs - 1);
-                    // The block may not drain here before it drained
-                    // upstream.
-                    let floor = (prev_end + seg_service + prev_lat) - block;
-                    let earliest = sim.now().max(floor);
-                    let (st, en) = stage.pipe.reserve_n(earliest, cwire, csegs);
-                    prev_start = st;
-                    prev_end = en;
-                    prev_seg = seg_service;
-                    prev_lat = stage.latency;
-                }
-                let exit = prev_end + prev_lat;
-                if exit > sim.now() {
-                    sim.sleep_until(exit).await;
-                }
-            }));
-            if segs_left > 0 && e0 > self.sim.now() {
+            let (s0, e0) = stage0.pipe.reserve_n(self.sim.now(), meta.cwire, meta.csegs);
+            let seg0_service = stage0.pipe.service_time(meta.seg_wire);
+            joins.push(self.sim.spawn(chunk_walk(
+                self.sim.clone(),
+                Rc::clone(&self.stages),
+                1,
+                s0,
+                e0,
+                seg0_service,
+                stage0.latency,
+                meta,
+            )));
+            if c + 1 < metas.len() && e0 > self.sim.now() {
                 self.sim.sleep_until(e0).await;
             }
         }
         crate::sync::join_all(joins).await;
+    }
+
+    /// Attempt the uncontended cut-through fast path: replay the whole
+    /// per-segment walk in closed form against virtual calendars, without
+    /// touching any real state. Legal only when every stage is a distinct,
+    /// currently-idle resource with no other speculation in flight — then
+    /// no competing reservation exists that could interleave, and the
+    /// replay's arithmetic is exactly the walk's (same expressions, same
+    /// saturating `SimTime`/`SimDuration` ops, same first-fit placement).
+    ///
+    /// On success the returned speculation is registered on every stage
+    /// pipe; a competing reservation arriving mid-traversal finds it there
+    /// and demotes it (see [`Speculation::demote`]).
+    fn try_fast_path(&self, metas: &[ChunkMeta]) -> Option<Rc<Speculation>> {
+        let nstages = self.stages.len();
+        let now = self.sim.now();
+        let now_ns = now.as_nanos();
+        for (i, st) in self.stages.iter().enumerate() {
+            // The replay inserts each stage's reservations independently,
+            // which is only order-exact when no two stages share a
+            // calendar.
+            for other in &self.stages[..i] {
+                if st.pipe.same_resource(&other.pipe) {
+                    return None;
+                }
+            }
+            if let Some((w, _)) = st.pipe.state.spec.borrow().as_ref() {
+                if let Some(sp) = w.upgrade() {
+                    if sp.phase.get() == SpecPhase::Active {
+                        return None;
+                    }
+                }
+            }
+            // Idle over the whole horizon: any live reservation could
+            // overlap ours, so require the calendar to be entirely past.
+            let iv = st.pipe.state.intervals.borrow();
+            if iv.last_key_value().is_some_and(|(_, &en)| en > now_ns) {
+                return None;
+            }
+        }
+
+        let mut vcal: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nstages];
+        // Last reservation wall per stage: insertion order into a calendar
+        // must match the walk's wall-clock order, so walls must strictly
+        // increase chunk-over-chunk on every stage.
+        let mut last_wall: Vec<u64> = vec![0; nstages];
+        let mut ops: Vec<PlanOp> = Vec::with_capacity(metas.len() * nstages);
+        let mut completion = now;
+        let mut coalesced: u64 = 0;
+        let mut w_main = now;
+        // Arm instant of the sleep currently driving the pacing loop; the
+        // creation instant stands in before the first pacing sleep.
+        let mut arm_main = now;
+        for (c, meta) in metas.iter().enumerate() {
+            let stage0 = &self.stages[0];
+            if c > 0 && w_main.as_nanos() <= last_wall[0] {
+                return None;
+            }
+            let dur0 = stage0.pipe.bulk_service(meta.cwire, meta.csegs);
+            let (s0, e0) = vreserve(&mut vcal[0], w_main.as_nanos(), dur0.as_nanos().max(1));
+            last_wall[0] = w_main.as_nanos();
+            ops.push(PlanOp {
+                wall: w_main.as_nanos(),
+                arm: arm_main.as_nanos(),
+                start: s0,
+                end: e0,
+            });
+            coalesced += 1; // the chunk task spawn
+            let mut tw = w_main;
+            // The chunk task is polled inside the pacing loop's drive
+            // segment, so until its first own sleep it is ordered by the
+            // pacing loop's driving timer.
+            let mut arm_task = arm_main;
+            let mut prev_start = SimTime::from_nanos(s0);
+            let mut prev_end = SimTime::from_nanos(e0);
+            let mut prev_seg = stage0.pipe.service_time(meta.seg_wire);
+            let mut prev_lat = stage0.latency;
+            for (s, stage) in self.stages.iter().enumerate().skip(1) {
+                let by_start = prev_start + prev_seg + prev_lat;
+                if by_start > tw {
+                    arm_task = tw;
+                    tw = by_start;
+                    coalesced += 1; // the by_start sleep
+                }
+                let seg_service = stage.pipe.service_time(meta.seg_wire);
+                let block = stage.pipe.service_time(meta.cwire)
+                    + stage.pipe.service_time(0) * (meta.csegs - 1);
+                let floor = (prev_end + seg_service + prev_lat) - block;
+                let earliest = tw.max(floor);
+                if c > 0 && tw.as_nanos() <= last_wall[s] {
+                    return None;
+                }
+                let durs = stage.pipe.bulk_service(meta.cwire, meta.csegs);
+                let (st, en) = vreserve(&mut vcal[s], earliest.as_nanos(), durs.as_nanos().max(1));
+                last_wall[s] = tw.as_nanos();
+                ops.push(PlanOp {
+                    wall: tw.as_nanos(),
+                    arm: arm_task.as_nanos(),
+                    start: st,
+                    end: en,
+                });
+                prev_start = SimTime::from_nanos(st);
+                prev_end = SimTime::from_nanos(en);
+                prev_seg = seg_service;
+                prev_lat = stage.latency;
+            }
+            let exit = prev_end + prev_lat;
+            if exit > tw {
+                tw = exit;
+                coalesced += 1; // the exit sleep
+            }
+            completion = completion.max(tw);
+            let e0t = SimTime::from_nanos(e0);
+            if c + 1 < metas.len() && e0t > w_main {
+                arm_main = w_main;
+                w_main = e0t;
+                coalesced += 1; // the pacing sleep in the main loop
+            }
+        }
+
+        let spec = Rc::new(Speculation {
+            sim: self.sim.clone(),
+            stages: Rc::clone(&self.stages),
+            metas: metas.to_vec(),
+            ops,
+            nstages,
+            completion,
+            coalesced: coalesced.saturating_sub(1),
+            phase: Cell::new(SpecPhase::Active),
+            mat: (0..nstages).map(|_| Cell::new(0)).collect(),
+            waker: RefCell::new(None),
+        });
+        // The walk reserves chunk 0 on stage 0 synchronously, before its
+        // first await — in program order ahead of anything else this
+        // instant. Mirror that for real (placement equals the plan's: the
+        // calendar was idle and first-fit is deterministic), so only
+        // timer-driven reservations are ever subject to the due rule.
+        {
+            let meta = metas[0];
+            let (s0, e0) = self.stages[0]
+                .pipe
+                .reserve_n(now, meta.cwire, meta.csegs);
+            debug_assert_eq!(
+                (s0.as_nanos(), e0.as_nanos()),
+                (spec.op(0, 0).start, spec.op(0, 0).end),
+                "eager stage-0 reservation must match the plan"
+            );
+            spec.mat[0].set(1);
+        }
+        for (i, st) in self.stages.iter().enumerate() {
+            *st.pipe.state.spec.borrow_mut() = Some((Rc::downgrade(&spec), i as u32));
+        }
+        Some(spec)
+    }
+}
+
+/// First-fit reserve on a sorted, disjoint virtual calendar, with the same
+/// touching-neighbour merge as the real one. Semantics mirror
+/// [`first_fit`] + [`insert_merged`] exactly, so virtual placement equals
+/// real placement.
+fn vreserve(cal: &mut Vec<(u64, u64)>, earliest: u64, dur: u64) -> (u64, u64) {
+    let mut t = earliest;
+    let mut i = cal.partition_point(|&(_, en)| en <= t);
+    while i < cal.len() {
+        let (st, en) = cal[i];
+        if t + dur <= st {
+            break;
+        }
+        t = t.max(en);
+        i += 1;
+    }
+    let (st_new, en_new) = (t, t + dur);
+    let idx = cal.partition_point(|&(st, _)| st <= st_new);
+    let merge_prev = idx > 0 && cal[idx - 1].1 == st_new;
+    let merge_next = idx < cal.len() && cal[idx].0 == en_new;
+    match (merge_prev, merge_next) {
+        (true, true) => {
+            cal[idx - 1].1 = cal[idx].1;
+            cal.remove(idx);
+        }
+        (true, false) => {
+            cal[idx - 1].1 = en_new;
+        }
+        (false, true) => {
+            cal[idx] = (st_new, cal[idx].1);
+        }
+        (false, false) => {
+            cal.insert(idx, (st_new, en_new));
+        }
+    }
+    (st_new, en_new)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SpecPhase {
+    /// Prediction holds; nothing has been written to real calendars.
+    Active,
+    /// A competing reservation arrived: due reservations were materialized
+    /// and continuation tasks are finishing the walk live.
+    Demoted,
+    /// Traversal complete (committed or continuations drained).
+    Done,
+}
+
+/// A speculated cut-through traversal: the full reservation plan the
+/// per-segment walk *would* execute, computed up front, plus enough state
+/// to lazily materialize or abandon it.
+///
+/// While active, real calendars and counters deliberately lag the plan;
+/// every observer goes through [`Pipe::sync_speculation_reads`] or
+/// [`Pipe::demote_speculation`], which replay the plan's prefix up to the
+/// present before the observer looks.
+struct Speculation {
+    sim: Sim,
+    stages: Rc<[Stage]>,
+    metas: Vec<ChunkMeta>,
+    /// Chunk-major plan: `ops[c * nstages + s]`.
+    ops: Vec<PlanOp>,
+    nstages: usize,
+    /// Predicted completion — exact unless demoted, a lower bound if so.
+    completion: SimTime,
+    /// Scheduling events (sleeps + spawns) the plan avoids, minus the one
+    /// completion sleep the fast path still takes.
+    coalesced: u64,
+    phase: Cell<SpecPhase>,
+    /// Per stage: number of chunks whose reservation has been written to
+    /// the real calendar (reads and demotion advance this cursor).
+    mat: Vec<Cell<u32>>,
+    /// Waker of the owning transfer future, parked in [`SpecWait`].
+    waker: RefCell<Option<Waker>>,
+}
+
+impl Speculation {
+    fn op(&self, c: usize, s: usize) -> PlanOp {
+        self.ops[c * self.nstages + s]
+    }
+
+    /// Would the walk's reservation behind `op` already have executed, as
+    /// seen from the currently running event? Strictly-past walls: yes.
+    /// Walls at exactly `now`: only if the walk's driving timer was armed
+    /// strictly before the one that fired most recently — at equal
+    /// deadlines the earlier-armed timer fires first, and the current
+    /// event runs within the drive segment of that last firing.
+    fn op_due(&self, op: &PlanOp, now_ns: u64) -> bool {
+        if op.wall < now_ns {
+            return true;
+        }
+        if op.wall > now_ns {
+            return false;
+        }
+        matches!(
+            self.sim.last_fired_timer(),
+            Some((deadline, armed)) if deadline.as_nanos() == now_ns && op.arm < armed.as_nanos()
+        )
+    }
+
+    /// Write every planned reservation on stage `s` that is due into the
+    /// real calendar and counters, in plan order (which the strict-wall
+    /// guard made equal to wall order).
+    fn materialize_due(&self, s: usize, now: SimTime) {
+        let now_ns = now.as_nanos();
+        let done = self.mat[s].get() as usize;
+        let mut c = done;
+        while c < self.metas.len() && self.op_due(&self.op(c, s), now_ns) {
+            c += 1;
+        }
+        if c == done {
+            return;
+        }
+        let pipe = &self.stages[s].pipe;
+        {
+            let mut iv = pipe.state.intervals.borrow_mut();
+            for k in done..c {
+                let op = self.op(k, s);
+                insert_merged(&mut iv, op.start, op.end);
+            }
+        }
+        for meta in &self.metas[done..c] {
+            pipe.state
+                .busy
+                .set(pipe.state.busy.get() + pipe.bulk_service(meta.cwire, meta.csegs));
+            pipe.state
+                .transfers
+                .set(pipe.state.transfers.get() + meta.csegs);
+            pipe.state.bytes.set(pipe.state.bytes.get() + meta.cwire);
+        }
+        self.mat[s].set(c as u32);
+    }
+
+    /// Clear this speculation's registration from one pipe (leaving any
+    /// unrelated or newer registration alone).
+    fn unregister(self: &Rc<Self>, pipe: &Pipe) {
+        let mut slot = pipe.state.spec.borrow_mut();
+        let ours = match slot.as_ref() {
+            Some((w, _)) => match w.upgrade() {
+                Some(sp) => Rc::ptr_eq(&sp, self),
+                None => true,
+            },
+            None => false,
+        };
+        if ours {
+            *slot = None;
+        }
+    }
+
+    /// The prediction held to the end: fold the remaining plan into the
+    /// counters. No calendar writes — every planned interval now lies in
+    /// the past, where it can never influence a first-fit placement or
+    /// `busy_until` again (the walk's own intervals would be pruned at the
+    /// next reserve anyway).
+    fn commit(self: &Rc<Self>) {
+        self.phase.set(SpecPhase::Done);
+        for (s, stage) in self.stages.iter().enumerate() {
+            let pipe = &stage.pipe;
+            self.unregister(pipe);
+            let done = self.mat[s].get() as usize;
+            for meta in &self.metas[done..] {
+                pipe.state
+                    .busy
+                    .set(pipe.state.busy.get() + pipe.bulk_service(meta.cwire, meta.csegs));
+                pipe.state
+                    .transfers
+                    .set(pipe.state.transfers.get() + meta.csegs);
+                pipe.state.bytes.set(pipe.state.bytes.get() + meta.cwire);
+            }
+            self.mat[s].set(self.metas.len() as u32);
+        }
+    }
+
+    /// A competing reservation is about to land: abandon the prediction
+    /// and hand the rest of the traversal back to the per-segment walk,
+    /// reconstructed exactly where the lazy run would be right now —
+    /// due reservations materialized, one continuation task per in-flight
+    /// chunk (each parked where its walk task would be parked), and a
+    /// resumed pacing loop for chunks that have not entered stage 0.
+    fn demote(self: &Rc<Self>) {
+        if self.phase.get() != SpecPhase::Active {
+            return;
+        }
+        self.phase.set(SpecPhase::Demoted);
+        self.sim.note_slow_path_fall();
+        // Unregister everywhere first: the continuations below re-enter
+        // `reserve_service`, which must not demote us again.
+        for stage in self.stages.iter() {
+            self.unregister(&stage.pipe);
+        }
+        let now = self.sim.now();
+        for s in 0..self.nstages {
+            self.materialize_due(s, now);
+        }
+        let started = self.mat[0].get() as usize;
+        let mut handles = Vec::new();
+        for c in 0..started {
+            // Stages already holding this chunk's reservation are exactly
+            // the ones `materialize_due` wrote — due-ness is monotone down
+            // the stage chain (walls are non-decreasing, and equal walls
+            // share a driving timer), so the done set is a prefix.
+            let mut done = 1;
+            while done < self.nstages && (c as u32) < self.mat[done].get() {
+                done += 1;
+            }
+            let meta = self.metas[c];
+            if done == self.nstages {
+                // Fully reserved; only the exit sleep remains.
+                let op = self.op(c, self.nstages - 1);
+                let exit = SimTime::from_nanos(op.end) + self.stages[self.nstages - 1].latency;
+                let sim = self.sim.clone();
+                handles.push(self.sim.spawn(async move {
+                    if exit > sim.now() {
+                        sim.sleep_until(exit).await;
+                    }
+                }));
+            } else {
+                let prev_op = self.op(c, done - 1);
+                let prev_stage = &self.stages[done - 1];
+                handles.push(self.sim.spawn(chunk_walk(
+                    self.sim.clone(),
+                    Rc::clone(&self.stages),
+                    done,
+                    SimTime::from_nanos(prev_op.start),
+                    SimTime::from_nanos(prev_op.end),
+                    prev_stage.pipe.service_time(meta.seg_wire),
+                    prev_stage.latency,
+                    meta,
+                )));
+            }
+        }
+        if started < self.metas.len() {
+            let spec = Rc::clone(self);
+            handles.push(self.sim.spawn(async move {
+                spec.resume_main(started).await;
+            }));
+        }
+        let spec = Rc::clone(self);
+        self.sim.spawn(async move {
+            crate::sync::join_all(handles).await;
+            spec.phase.set(SpecPhase::Done);
+            if let Some(w) = spec.waker.borrow_mut().take() {
+                w.wake();
+            }
+        });
+    }
+
+    /// Continue the pacing loop for chunks that had not yet entered
+    /// stage 0. The lazy loop would be parked waiting for the last started
+    /// chunk to clear stage 0 (that instant is strictly in the future,
+    /// else the next chunk would already have started).
+    async fn resume_main(&self, started: usize) {
+        let e0_last = SimTime::from_nanos(self.op(started - 1, 0).end);
+        if e0_last > self.sim.now() {
+            self.sim.sleep_until(e0_last).await;
+        }
+        let stage0 = &self.stages[0];
+        let mut joins = Vec::with_capacity(self.metas.len() - started);
+        for c in started..self.metas.len() {
+            let meta = self.metas[c];
+            let (s0, e0) = stage0.pipe.reserve_n(self.sim.now(), meta.cwire, meta.csegs);
+            joins.push(self.sim.spawn(chunk_walk(
+                self.sim.clone(),
+                Rc::clone(&self.stages),
+                1,
+                s0,
+                e0,
+                stage0.pipe.service_time(meta.seg_wire),
+                stage0.latency,
+                meta,
+            )));
+            if c + 1 < self.metas.len() && e0 > self.sim.now() {
+                self.sim.sleep_until(e0).await;
+            }
+        }
+        crate::sync::join_all(joins).await;
+    }
+}
+
+/// Parks the owning transfer future until a demoted speculation's
+/// continuation tasks drain.
+struct SpecWait {
+    spec: Rc<Speculation>,
+}
+
+impl Future for SpecWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.spec.phase.get() == SpecPhase::Done {
+            Poll::Ready(())
+        } else {
+            *self.spec.waker.borrow_mut() = Some(cx.waker().clone());
+            Poll::Pending
+        }
     }
 }
 
@@ -604,6 +1217,147 @@ mod tests {
             pl.transfer(2000, 100).await;
             assert_eq!(s.now().as_nanos(), 2_200);
         });
+    }
+
+    /// A 3-stage pipeline with asymmetric rates, overheads, and
+    /// inter-stage latencies — awkward enough that any arithmetic drift
+    /// between the closed-form replay and the walk shows up.
+    fn crooked_pipeline(sim: &Sim) -> Pipeline {
+        let a = Pipe::new(sim, 1_700_000_000, SimDuration::from_nanos(37));
+        let b = Pipe::new(sim, 900_000_000, SimDuration::from_nanos(11));
+        let c = Pipe::new(sim, 2_300_000_000, SimDuration::ZERO);
+        Pipeline::new(
+            sim,
+            vec![
+                Stage::new(a, SimDuration::from_nanos(713)),
+                Stage::new(b, SimDuration::ZERO),
+                Stage::new(c, SimDuration::from_nanos(92)),
+            ],
+            1464,
+        )
+    }
+
+    /// Completion time plus every observable per-pipe quantity.
+    fn observe(pl: &Pipeline, end: SimTime) -> Vec<u64> {
+        let mut v = vec![end.as_nanos()];
+        for st in pl.stages() {
+            v.push(st.pipe.total_busy().as_nanos());
+            v.push(st.pipe.total_bytes());
+            v.push(st.pipe.total_transfers());
+            v.push(st.pipe.busy_until().as_nanos());
+        }
+        v
+    }
+
+    #[test]
+    fn fast_path_commits_when_uncontended() {
+        let sim = Sim::new();
+        let fast = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
+        let slow = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let pl = Pipeline::new(
+            &sim,
+            vec![
+                Stage::new(fast, SimDuration::ZERO),
+                Stage::new(slow, SimDuration::ZERO),
+            ],
+            1000,
+        );
+        let s = sim.clone();
+        sim.block_on(async move {
+            pl.transfer(80_000, 0).await;
+            // Same pinned wormhole completion the per-segment walk gives.
+            assert_eq!(s.now().as_nanos(), 500 + 80 * 1_000);
+        });
+        let st = sim.stats();
+        assert_eq!(st.fast_path_hits, 1);
+        assert_eq!(st.slow_path_falls, 0);
+        assert!(st.events_coalesced > 0, "stats: {st:?}");
+    }
+
+    #[test]
+    fn fast_path_matches_walk_exactly_uncontended() {
+        let run = |enable: bool| {
+            let sim = Sim::new();
+            sim.set_fast_path(enable);
+            let pl = crooked_pipeline(&sim);
+            let pl2 = pl.clone();
+            let s = sim.clone();
+            sim.block_on(async move {
+                pl2.transfer(123_456, 40).await;
+                observe(&pl2, s.now())
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn demoted_fast_path_matches_walk() {
+        // A second message enters the shared pipeline mid-traversal of the
+        // first; with the fast path on, the first message's speculation
+        // must demote and finish on the live walk with identical timing.
+        let run = |enable: bool| {
+            let sim = Sim::new();
+            sim.set_fast_path(enable);
+            let pl = crooked_pipeline(&sim);
+            let pa = pl.clone();
+            let pb = pl.clone();
+            let sa = sim.clone();
+            let sb = sim.clone();
+            let h1 = sim.spawn(async move {
+                pa.transfer(200_000, 0).await;
+                sa.now().as_nanos()
+            });
+            let h2 = sim.spawn(async move {
+                sb.sleep(SimDuration::from_micros(30)).await;
+                pb.transfer(64_000, 0).await;
+                sb.now().as_nanos()
+            });
+            let ends = sim.block_on(async move { join_all(vec![h1, h2]).await });
+            let mut v = observe(&pl, sim.now());
+            v.extend(ends);
+            (v, sim.stats().slow_path_falls)
+        };
+        let (on, falls_on) = run(true);
+        let (off, _) = run(false);
+        assert_eq!(on, off);
+        assert!(falls_on > 0, "second message should demote the first");
+    }
+
+    #[test]
+    fn reads_materialize_speculated_prefix() {
+        // Observing a stage mid-speculation must show exactly the state
+        // the walk would have produced by that instant.
+        let probe_at = SimDuration::from_micros(40);
+        let run = |enable: bool| {
+            let sim = Sim::new();
+            sim.set_fast_path(enable);
+            let pl = crooked_pipeline(&sim);
+            let pt = pl.clone();
+            let h = sim.spawn(async move { pt.transfer(300_000, 20).await });
+            let po = pl.clone();
+            let so = sim.clone();
+            let obs = sim.spawn(async move {
+                so.sleep(probe_at).await;
+                observe(&po, so.now())
+            });
+            sim.block_on(async move {
+                let o = obs.await;
+                h.await;
+                o
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn calendar_peak_len_is_tracked() {
+        let sim = Sim::new();
+        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let p = pipe.clone();
+        sim.block_on(async move {
+            p.transfer(1000).await;
+        });
+        assert!(sim.stats().calendar_peak_len >= 1);
     }
 
     #[test]

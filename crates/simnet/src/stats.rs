@@ -28,6 +28,20 @@ pub struct SimStats {
     pub tasks_live: u64,
     /// Heap entries outstanding (pending + not-yet-reclaimed cancelled).
     pub timers_pending: u64,
+    /// Pipeline transfers completed by the cut-through fast path: the whole
+    /// traversal was computed in closed form and finished on a single
+    /// completion event.
+    pub fast_path_hits: u64,
+    /// Pipeline transfers that took the per-segment walk, either because a
+    /// stage calendar was busy at entry or because a competing reservation
+    /// arrived mid-traversal and demoted the speculation.
+    pub slow_path_falls: u64,
+    /// Scheduling events (timer firings + task spawns) avoided by committed
+    /// fast-path traversals.
+    pub events_coalesced: u64,
+    /// High-water mark of any pipe calendar's interval count; guards
+    /// against unbounded calendar growth under multi-connection load.
+    pub calendar_peak_len: u64,
 }
 
 impl SimStats {

@@ -1,0 +1,53 @@
+//! Tier-1 coverage for the `examples/multiconn_scaling.rs` study: a
+//! scaled-down version of its connection sweep that pins the two
+//! properties the example exists to demonstrate — aggregate bandwidth
+//! grows with connection count on the pipelined RNIC, and the simulator
+//! survives the paper's full 256-connection fan-out (the multiconn
+//! workload is what stresses pipe calendars, the slab executor, and the
+//! cut-through fast path's demotion machinery all at once).
+
+use mpisim::FabricKind;
+use netbench::multiconn::{normalized_latency, throughput};
+
+#[test]
+fn iwarp_aggregate_bandwidth_is_monotone_in_connections() {
+    // The example's throughput panel, scaled down: fewer messages per
+    // connection and a coarser sweep. 4 KB messages sit on the clean part
+    // of the scaling curve (wire-time dominated, no cache-knee effects).
+    let sweep = [1usize, 4, 16, 64];
+    let mut prev = 0.0f64;
+    for &n in &sweep {
+        let t = throughput(FabricKind::Iwarp, n, 4096, 4);
+        assert!(
+            t.is_finite() && t > 0.0,
+            "degenerate aggregate bandwidth {t} at {n} connections"
+        );
+        assert!(
+            t >= prev,
+            "iWARP aggregate bandwidth must be monotone in connections: \
+             {prev:.0} MB/s then {t:.0} MB/s at {n} connections"
+        );
+        prev = t;
+    }
+}
+
+#[test]
+fn sweep_survives_256_concurrent_connections() {
+    // The paper's sweep tops out at 256 connections; the simulator must
+    // complete the batch without panicking on either fabric and report a
+    // sane aggregate. (512 B messages maximize per-message event pressure.)
+    for kind in [FabricKind::Iwarp, FabricKind::InfiniBand] {
+        let t = throughput(kind, 256, 512, 2);
+        assert!(
+            t.is_finite() && t > 0.0,
+            "{} collapsed at 256 connections: {t} MB/s",
+            kind.label()
+        );
+        let lat = normalized_latency(kind, 256, 128, 1);
+        assert!(
+            lat.is_finite() && lat > 0.0,
+            "{} normalized latency degenerate at 256 connections: {lat}",
+            kind.label()
+        );
+    }
+}
