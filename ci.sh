@@ -9,14 +9,23 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> simlint --deny-all (determinism & simulation-safety lints)"
+# Workspace-wide AST lint pass: rejects hash-order iteration, wall-clock
+# reads, OS threads, unseeded RNGs, unordered float accumulation, and
+# Relaxed atomics inside simulation-state code. See DESIGN.md.
+cargo run -q -p simlint -- --deny-all
 
 echo "==> differential sweep: fast path vs per-segment walk (100k cases)"
 FASTPATH_DIFF_CASES=100000 cargo test -q --release --test fastpath_diff

@@ -24,7 +24,7 @@ fn fig1_userlevel(c: &mut Criterion) {
                         pair.half_rtt_us(4, 10).await
                     }
                 })
-            })
+            });
         });
     }
     g.finish();
@@ -35,10 +35,10 @@ fn fig2_multiconn(c: &mut Criterion) {
     g.sample_size(10);
     for kind in [FabricKind::Iwarp, FabricKind::InfiniBand] {
         g.bench_function(format!("normlat_32conn_128B_{}", kind.label()), |b| {
-            b.iter(|| netbench::multiconn::normalized_latency(kind, 32, 128, 4))
+            b.iter(|| netbench::multiconn::normalized_latency(kind, 32, 128, 4));
         });
         g.bench_function(format!("throughput_32conn_512B_{}", kind.label()), |b| {
-            b.iter(|| netbench::multiconn::throughput(kind, 32, 512, 10))
+            b.iter(|| netbench::multiconn::throughput(kind, 32, 512, 10));
         });
     }
     g.finish();
@@ -49,7 +49,7 @@ fn fig3_mpi_latency(c: &mut Criterion) {
     g.sample_size(10);
     for kind in FabricKind::ALL {
         g.bench_function(format!("pingpong_4B_{}", kind.label()), |b| {
-            b.iter(|| netbench::mpi_latency::mpi_half_rtt_us(kind, 4, 10))
+            b.iter(|| netbench::mpi_latency::mpi_half_rtt_us(kind, 4, 10));
         });
     }
     g.finish();
@@ -64,7 +64,7 @@ fn fig4_mpi_bandwidth(c: &mut Criterion) {
         netbench::bandwidth::BwMode::BothWay,
     ] {
         g.bench_function(format!("1MB_iWARP_{}", mode.label()), |b| {
-            b.iter(|| netbench::bandwidth::mpi_bandwidth(FabricKind::Iwarp, mode, 1 << 20, 2))
+            b.iter(|| netbench::bandwidth::mpi_bandwidth(FabricKind::Iwarp, mode, 1 << 20, 2));
         });
     }
     g.finish();
@@ -75,7 +75,7 @@ fn fig5_logp(c: &mut Criterion) {
     g.sample_size(10);
     for kind in FabricKind::ALL {
         g.bench_function(format!("logp_1KB_{}", kind.label()), |b| {
-            b.iter(|| netbench::logp::measure(kind, 1024))
+            b.iter(|| netbench::logp::measure(kind, 1024));
         });
     }
     g.finish();
@@ -86,7 +86,7 @@ fn fig6_buffer_reuse(c: &mut Criterion) {
     g.sample_size(10);
     for kind in FabricKind::ALL {
         g.bench_function(format!("ratio_128KB_{}", kind.label()), |b| {
-            b.iter(|| netbench::reuse::reuse_ratio(kind, 128 * 1024))
+            b.iter(|| netbench::reuse::reuse_ratio(kind, 128 * 1024));
         });
     }
     g.finish();
@@ -97,7 +97,7 @@ fn fig7_unexpected_queue(c: &mut Criterion) {
     g.sample_size(10);
     for kind in FabricKind::ALL {
         g.bench_function(format!("ratio_256deep_1B_{}", kind.label()), |b| {
-            b.iter(|| netbench::queues::fig7_ratio(kind, 256, 1))
+            b.iter(|| netbench::queues::fig7_ratio(kind, 256, 1));
         });
     }
     g.finish();
@@ -108,7 +108,7 @@ fn fig8_receive_queue(c: &mut Criterion) {
     g.sample_size(10);
     for kind in FabricKind::ALL {
         g.bench_function(format!("ratio_256deep_16B_{}", kind.label()), |b| {
-            b.iter(|| netbench::queues::fig8_ratio(kind, 256, 16))
+            b.iter(|| netbench::queues::fig8_ratio(kind, 256, 16));
         });
     }
     g.finish();
@@ -119,7 +119,7 @@ fn e9_overlap(c: &mut Criterion) {
     g.sample_size(10);
     for kind in FabricKind::ALL {
         g.bench_function(format!("progress_256KB_{}", kind.label()), |b| {
-            b.iter(|| netbench::overlap::independent_progress_delay(kind, 256 * 1024, 400))
+            b.iter(|| netbench::overlap::independent_progress_delay(kind, 256 * 1024, 400));
         });
     }
     g.finish();

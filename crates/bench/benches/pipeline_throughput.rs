@@ -68,10 +68,10 @@ fn bench_depths(c: &mut Criterion) {
     const BYTES: u64 = 4 << 20; // 4 MB ≈ 2 900 segments
     for depth in [1usize, 3, 5] {
         g.bench_function(format!("uncontended_{depth}stage_4m"), |b| {
-            b.iter(|| black_box(run_uncontended(depth, BYTES)))
+            b.iter(|| black_box(run_uncontended(depth, BYTES)));
         });
         g.bench_function(format!("contended_{depth}stage_4m"), |b| {
-            b.iter(|| black_box(run_contended(depth, BYTES)))
+            b.iter(|| black_box(run_contended(depth, BYTES)));
         });
     }
     g.finish();
@@ -85,10 +85,10 @@ fn bench_message_sweep(c: &mut Criterion) {
     // linearly contended (event per segment per stage).
     for (label, bytes) in [("256k", 256u64 << 10), ("1m", 1 << 20), ("16m", 16 << 20)] {
         g.bench_function(format!("uncontended_3stage_{label}"), |b| {
-            b.iter(|| black_box(run_uncontended(3, bytes)))
+            b.iter(|| black_box(run_uncontended(3, bytes)));
         });
         g.bench_function(format!("contended_3stage_{label}"), |b| {
-            b.iter(|| black_box(run_contended(3, bytes)))
+            b.iter(|| black_box(run_contended(3, bytes)));
         });
     }
     g.finish();

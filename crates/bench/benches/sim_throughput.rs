@@ -33,7 +33,7 @@ async fn race2<A: Future, B: Future>(a: A, b: B) {
         }
         Poll::Pending
     })
-    .await
+    .await;
 }
 
 /// One task arming and waiting out 10 000 sequential timers: the
@@ -51,7 +51,7 @@ fn sequential_timers(c: &mut Criterion) {
                 }
             });
             black_box(sim.now().as_nanos())
-        })
+        });
     });
     g.finish();
 }
@@ -79,7 +79,7 @@ fn notify_ping_pong(c: &mut Criterion) {
                     pong.notified().await;
                 }
             });
-        })
+        });
     });
     g.finish();
 }
@@ -102,7 +102,7 @@ fn spawn_churn(c: &mut Criterion) {
                     .await;
                 }
             });
-        })
+        });
     });
     g.finish();
 }
@@ -122,7 +122,7 @@ fn fanout_same_instant(c: &mut Criterion) {
                 });
             }
             sim.run_until_quiescent();
-        })
+        });
     });
     g.finish();
 }
@@ -144,7 +144,7 @@ fn sleep_cancellation(c: &mut Criterion) {
                 }
             });
             sim.run_until_quiescent();
-        })
+        });
     });
     g.finish();
 }
@@ -170,7 +170,7 @@ fn pipe_contention(c: &mut Criterion) {
             sim.block_on(async move {
                 simnet::sync::join_all(handles).await;
             });
-        })
+        });
     });
     g.finish();
 }

@@ -22,6 +22,8 @@
 //!   simulation throughput (events/second plus the `simnet::SimStats`
 //!   counters) instead of generating figures.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 
 fn main() {
@@ -158,8 +160,11 @@ fn run_selftest() {
     let st = sim.stats();
     let events = st.events();
     let eps = events as f64 / wall.as_secs_f64();
-    println!("simnet selftest: {events} events in {:.3}s wall", wall.as_secs_f64());
-    println!("  throughput        {:.0} events/sec", eps);
+    println!(
+        "simnet selftest: {events} events in {:.3}s wall",
+        wall.as_secs_f64()
+    );
+    println!("  throughput        {eps:.0} events/sec");
     println!("  spawns            {}", st.spawns);
     println!("  polls             {}", st.polls);
     println!("  wakes             {}", st.wakes);

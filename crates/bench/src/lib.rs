@@ -11,6 +11,8 @@
 //!   prints every series as paper-shaped text tables and (with `--json`)
 //!   machine-readable JSON used to regenerate EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use netbench::Figure;
 
 /// The full experiment catalog: `(selector, generator)` pairs. Each
@@ -73,7 +75,10 @@ pub fn catalog() -> Vec<(&'static str, Generator)> {
             vec![ov, ip]
         }),
         ("e10", || vec![netbench::hotspot::hotspot_figure(1024)]),
-        ("e11", || vec![netbench::registration::registration_figure()]),
+        (
+            "e11",
+            || vec![netbench::registration::registration_figure()],
+        ),
         ("ablation", || {
             vec![
                 netbench::ablation::iwarp_pipelining(128),
@@ -87,9 +92,7 @@ pub fn catalog() -> Vec<(&'static str, Generator)> {
 /// Parallelism to use when the caller doesn't pin a thread count: one
 /// worker per available core, capped by the number of experiment groups.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Run the selected experiment groups across OS threads (simulations are

@@ -53,7 +53,10 @@ pub fn ib_context_cache(size: u64) -> Figure {
         "connections",
         "normalized latency us",
     );
-    for (label, entries) in [("8 contexts (real)", 8usize), ("256 contexts (ablated)", 256)] {
+    for (label, entries) in [
+        ("8 contexts (real)", 8usize),
+        ("256 contexts (ablated)", 256),
+    ] {
         let calib = infiniband::MellanoxCalib {
             context_cache_entries: entries,
             ..infiniband::MellanoxCalib::default()

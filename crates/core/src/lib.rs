@@ -23,6 +23,8 @@
 //! workload, and returns a [`report::Figure`] whose series carry the same
 //! labels the paper's legends use.
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod bandwidth;
 pub mod hotspot;

@@ -32,8 +32,22 @@ pub fn throughput_sizes() -> Vec<u64> {
 }
 
 enum ConnPair {
-    Iwarp(iwarp::IwarpQp, iwarp::IwarpQp, MemKey, VirtAddr, MemKey, VirtAddr),
-    Ib(infiniband::IbQp, infiniband::IbQp, MemKey, VirtAddr, MemKey, VirtAddr),
+    Iwarp(
+        iwarp::IwarpQp,
+        iwarp::IwarpQp,
+        MemKey,
+        VirtAddr,
+        MemKey,
+        VirtAddr,
+    ),
+    Ib(
+        infiniband::IbQp,
+        infiniband::IbQp,
+        MemKey,
+        VirtAddr,
+        MemKey,
+        VirtAddr,
+    ),
 }
 
 impl ConnPair {
@@ -358,7 +372,10 @@ mod tests {
         let n8 = normalized_latency(FabricKind::InfiniBand, 8, 128, 5);
         let n32 = normalized_latency(FabricKind::InfiniBand, 32, 128, 5);
         let n128 = normalized_latency(FabricKind::InfiniBand, 128, 128, 5);
-        assert!(n8 < n1, "IB improves up to 8 connections: {n1:.2} → {n8:.2}");
+        assert!(
+            n8 < n1,
+            "IB improves up to 8 connections: {n1:.2} → {n8:.2}"
+        );
         assert!(
             n32 > n8,
             "IB degrades past the context cache: 8conn={n8:.2} 32conn={n32:.2}"

@@ -162,7 +162,7 @@ pub fn fig7_unexpected(kind: FabricKind) -> Figure {
         "latency ratio",
     );
     for size in fig7_sizes() {
-        let mut s = Series::new(format!("{}B", size));
+        let mut s = Series::new(format!("{size}B"));
         for d in queue_depths() {
             s.push(d as f64, fig7_ratio(kind, d, size));
         }
@@ -180,7 +180,7 @@ pub fn fig8_receive_queue(kind: FabricKind) -> Figure {
         "latency ratio",
     );
     for size in fig8_sizes() {
-        let mut s = Series::new(format!("{}B", size));
+        let mut s = Series::new(format!("{size}B"));
         for d in queue_depths() {
             s.push(d as f64, fig8_ratio(kind, d, size));
         }

@@ -56,9 +56,10 @@ pub fn cached_registration_cost_us(kind: FabricKind, size: u64) -> f64 {
             let cpu = Cpu::new(&sim, CpuCosts::default());
             let registry = match kind {
                 FabricKind::Iwarp => iwarp::IwarpFabric::new(&sim, 2).device(0).registry.clone(),
-                FabricKind::InfiniBand => {
-                    infiniband::IbFabric::new(&sim, 2).device(0).registry.clone()
-                }
+                FabricKind::InfiniBand => infiniband::IbFabric::new(&sim, 2)
+                    .device(0)
+                    .registry
+                    .clone(),
                 _ => mx10g::MxFabric::new(&sim, 2, mx10g::LinkMode::MxoM)
                     .device(0)
                     .registry

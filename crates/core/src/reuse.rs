@@ -36,12 +36,7 @@ pub enum ReusePattern {
 }
 
 /// Ping-pong mean half-RTT (µs) under a buffer-re-use pattern.
-pub fn latency_with_pattern(
-    kind: FabricKind,
-    size: u64,
-    pattern: ReusePattern,
-    iters: u64,
-) -> f64 {
+pub fn latency_with_pattern(kind: FabricKind, size: u64, pattern: ReusePattern, iters: u64) -> f64 {
     let sim = Sim::new();
     let world = MpiWorld::build(&sim, kind, 2);
     let r0 = Rc::clone(world.rank(0));
@@ -121,10 +116,7 @@ mod tests {
         // Paper: < 10% impact up to 256 B.
         for kind in [FabricKind::Iwarp, FabricKind::InfiniBand, FabricKind::MxoM] {
             let r = reuse_ratio(kind, 128);
-            assert!(
-                r < 1.15,
-                "{kind:?} 128B ratio {r:.2} should be near 1.0"
-            );
+            assert!(r < 1.15, "{kind:?} 128B ratio {r:.2} should be near 1.0");
         }
     }
 
@@ -140,8 +132,14 @@ mod tests {
             "ordering: IB {ib:.2} > iWARP {iw:.2} > MXoM {mx:.2}"
         );
         assert!((3.2..5.5).contains(&ib), "IB@128K ratio {ib:.2}, paper 4.3");
-        assert!((1.5..2.8).contains(&iw), "iWARP@256K ratio {iw:.2}, paper ~2");
-        assert!((1.15..1.8).contains(&mx), "MXoM@1M ratio {mx:.2}, paper 1.4");
+        assert!(
+            (1.5..2.8).contains(&iw),
+            "iWARP@256K ratio {iw:.2}, paper ~2"
+        );
+        assert!(
+            (1.15..1.8).contains(&mx),
+            "MXoM@1M ratio {mx:.2}, paper 1.4"
+        );
     }
 
     #[test]
@@ -149,9 +147,6 @@ mod tests {
         // Paper: "For very large messages, iWARP performs the best."
         let iw = reuse_ratio(FabricKind::Iwarp, 4 << 20);
         let ib = reuse_ratio(FabricKind::InfiniBand, 4 << 20);
-        assert!(
-            iw < ib,
-            "4MB ratios: iWARP {iw:.2} must beat IB {ib:.2}"
-        );
+        assert!(iw < ib, "4MB ratios: iWARP {iw:.2} must beat IB {ib:.2}");
     }
 }

@@ -10,7 +10,11 @@ const fn make_table(poly: u32) -> [u32; 256] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ poly } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ poly
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;

@@ -80,7 +80,7 @@ pub struct HostTcpFabric {
     /// Memoized `src → dst` pipelines; clones share the cached stage slice
     /// so a socket stream's back-to-back sends keep the simnet cut-through
     /// fast path warm instead of rebuilding six stages per message.
-    paths: std::cell::RefCell<std::collections::HashMap<(usize, usize), Pipeline>>,
+    paths: std::cell::RefCell<std::collections::BTreeMap<(usize, usize), Pipeline>>,
 }
 
 impl HostTcpFabric {
@@ -95,8 +95,8 @@ impl HostTcpFabric {
         let stack_pipe = |per_seg: SimDuration| {
             // A stack that takes `per_seg` per MSS-sized segment is a
             // "bandwidth" resource of mss/per_seg bytes per second.
-            let bps = (calib.mss as u128 * 1_000_000_000 / per_seg.as_nanos().max(1) as u128)
-                as u64;
+            let bps =
+                (calib.mss as u128 * 1_000_000_000 / per_seg.as_nanos().max(1) as u128) as u64;
             move |sim: &Sim| Pipe::new(sim, bps.max(1), SimDuration::ZERO)
         };
         HostTcpFabric {
@@ -116,7 +116,7 @@ impl HostTcpFabric {
                     rx_stack: stack_pipe(calib.rx_per_segment)(sim),
                 })
                 .collect(),
-            paths: std::cell::RefCell::new(std::collections::HashMap::new()),
+            paths: std::cell::RefCell::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -129,9 +129,7 @@ impl HostTcpFabric {
             return p.clone();
         }
         let path = self.build_data_path(src, dst);
-        self.paths
-            .borrow_mut()
-            .insert((src, dst), path.clone());
+        self.paths.borrow_mut().insert((src, dst), path.clone());
         path
     }
 
@@ -157,14 +155,7 @@ impl HostTcpFabric {
     /// when the receiving process holds the data in user space. The
     /// protocol and copy work is charged to the two processes' CPUs —
     /// which is exactly what the offloaded fabrics avoid.
-    pub async fn send_msg(
-        &self,
-        src: usize,
-        dst: usize,
-        src_cpu: &Cpu,
-        dst_cpu: &Cpu,
-        bytes: u64,
-    ) {
+    pub async fn send_msg(&self, src: usize, dst: usize, src_cpu: &Cpu, dst_cpu: &Cpu, bytes: u64) {
         let calib = &self.nics[src].calib;
         let nsegs = bytes.div_ceil(calib.mss).max(1);
         // Syscall + user→kernel copy on the sender.
@@ -181,8 +172,7 @@ impl HostTcpFabric {
         // account it (the pipeline pipes are not `Cpu` objects).
         src_cpu.account_busy(calib.tx_per_segment * nsegs);
         dst_cpu.account_busy(
-            calib.rx_per_segment * nsegs
-                + calib.interrupt_latency * nsegs.div_ceil(calib.coalesce),
+            calib.rx_per_segment * nsegs + calib.interrupt_latency * nsegs.div_ceil(calib.coalesce),
         );
         // Kernel→user copy + syscall return on the receiver.
         dst_cpu.work(SimDuration::from_nanos(900)).await;

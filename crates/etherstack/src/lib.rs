@@ -18,6 +18,8 @@
 //! models; this crate's codecs are pure logic, which makes them directly
 //! property-testable.
 
+#![forbid(unsafe_code)]
+
 pub mod crc;
 pub mod frame;
 pub mod hostnic;
@@ -25,8 +27,8 @@ pub mod ipv4;
 pub mod switch;
 pub mod tcp;
 
-pub use hostnic::{HostTcpCalib, HostTcpFabric};
 pub use frame::{EthernetHeader, ETHERTYPE_IPV4, ETH_HEADER_LEN, ETH_MTU, ETH_WIRE_OVERHEAD};
+pub use hostnic::{HostTcpCalib, HostTcpFabric};
 pub use ipv4::Ipv4Header;
 pub use switch::{CutThroughSwitch, SwitchConfig};
 pub use tcp::{TcpHeader, TcpReassembler, TcpSegmenter, TCP_MSS};

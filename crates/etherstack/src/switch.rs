@@ -98,16 +98,18 @@ mod tests {
         let sim = Sim::new();
         let sw = CutThroughSwitch::new(&sim, SwitchConfig::xg700(), 4);
         // Both flows target port 0: they serialize on its egress pipe.
-        let mk = |_: usize| {
-            Pipeline::new(&sim, vec![sw.stage_to(0)], 1500)
-        };
+        let mk = |_: usize| Pipeline::new(&sim, vec![sw.stage_to(0)], 1500);
         let p1 = mk(0);
         let p2 = mk(1);
         let h1 = sim.spawn(async move { p1.transfer(1_250_000, 0).await });
         let h2 = sim.spawn(async move { p2.transfer(1_250_000, 0).await });
         sim.block_on(async move { simnet::sync::join2(h1, h2).await });
         // Two 1 ms flows into one port take ~2 ms, not 1 ms.
-        assert!(sim.now() > SimTime::from_nanos(1_900_000), "got {}", sim.now());
+        assert!(
+            sim.now() > SimTime::from_nanos(1_900_000),
+            "got {}",
+            sim.now()
+        );
     }
 
     #[test]
@@ -119,7 +121,11 @@ mod tests {
         let h1 = sim.spawn(async move { p1.transfer(1_250_000, 0).await });
         let h2 = sim.spawn(async move { p2.transfer(1_250_000, 0).await });
         sim.block_on(async move { simnet::sync::join2(h1, h2).await });
-        assert!(sim.now() < SimTime::from_nanos(1_200_000), "got {}", sim.now());
+        assert!(
+            sim.now() < SimTime::from_nanos(1_200_000),
+            "got {}",
+            sim.now()
+        );
     }
 
     #[test]

@@ -166,7 +166,7 @@ mod tests {
             })
         };
         let h2 = {
-            let c = cpu.clone();
+            let c = cpu;
             let s = sim.clone();
             sim.spawn(async move {
                 c.work(SimDuration::from_micros(1)).await;
@@ -187,7 +187,7 @@ mod tests {
                 ..CpuCosts::default()
             },
         );
-        let c = cpu.clone();
+        let c = cpu;
         let s = sim.clone();
         sim.block_on(async move {
             c.memcpy(4096).await;

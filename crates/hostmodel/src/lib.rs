@@ -16,14 +16,16 @@
 //! * [`lru::LruCache`] — the small LRU used by the registration cache and
 //!   by the InfiniBand HCA's QP-context cache.
 
+#![forbid(unsafe_code)]
+
 pub mod cpu;
-pub mod nic;
 pub mod lru;
 pub mod mem;
+pub mod nic;
 pub mod pcie;
 
 pub use cpu::Cpu;
-pub use nic::{Cqe, CqeOpcode, CqeStatus};
 pub use lru::LruCache;
 pub use mem::{HostMem, MemoryRegistry, RegistrationCosts, VirtAddr};
+pub use nic::{Cqe, CqeOpcode, CqeStatus};
 pub use pcie::{PcieConfig, PciePort};

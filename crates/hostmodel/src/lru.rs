@@ -4,28 +4,32 @@
 //! QP-context cache — both of which are small (8–64 entries) in the modelled
 //! hardware, so an `O(capacity)` recency scan is simpler and faster than a
 //! linked-list implementation at these sizes.
+//!
+//! Keyed on `BTreeMap`, not `HashMap`: the eviction scan breaks recency
+//! ties in key order and [`LruCache::clear`] drains in key order, so cache
+//! behaviour is bit-for-bit reproducible across runs (hash iteration order
+//! is randomized per process — see simlint's `hash-collections` rule).
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// A fixed-capacity LRU map.
 #[derive(Debug, Clone)]
-pub struct LruCache<K: Eq + Hash + Clone, V> {
+pub struct LruCache<K: Ord + Clone, V> {
     capacity: usize,
-    map: HashMap<K, (V, u64)>,
+    map: BTreeMap<K, (V, u64)>,
     clock: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+impl<K: Ord + Clone, V> LruCache<K, V> {
     /// Create a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity + 1),
+            map: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -80,7 +84,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Drop every entry (cache flush), returning the values.
     pub fn clear(&mut self) -> Vec<(K, V)> {
-        self.map.drain().map(|(k, (v, _))| (k, v)).collect()
+        std::mem::take(&mut self.map)
+            .into_iter()
+            .map(|(k, (v, _))| (k, v))
+            .collect()
     }
 
     /// Current entry count.

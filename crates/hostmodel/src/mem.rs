@@ -13,7 +13,7 @@
 //!   key (STag/lkey) allocation and validation, and an LRU pin-down cache.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -152,7 +152,7 @@ impl Default for RegistrationCosts {
 }
 
 /// A registered-memory key (the iWARP STag / InfiniBand lkey-rkey analogue).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MemKey(pub u32);
 
 /// Outcome of a registration request.
@@ -167,7 +167,7 @@ pub struct Registration {
 struct RegistryState {
     costs: RegistrationCosts,
     cache: LruCache<(u64, u64), MemKey>,
-    regions: HashMap<MemKey, (VirtAddr, u64)>,
+    regions: BTreeMap<MemKey, (VirtAddr, u64)>,
     next_key: u32,
 }
 
@@ -184,7 +184,7 @@ impl MemoryRegistry {
             state: Rc::new(RefCell::new(RegistryState {
                 costs,
                 cache: LruCache::new(costs.cache_capacity.max(1)),
-                regions: HashMap::new(),
+                regions: BTreeMap::new(),
                 next_key: 1,
             })),
         }
@@ -333,8 +333,6 @@ mod tests {
         let mem = HostMem::new();
         let addr = mem.alloc_buffer(8 * PAGE_SIZE);
         let (r, t) = {
-            let cpu = cpu.clone();
-            let reg = reg.clone();
             let s = sim.clone();
             sim.block_on(async move {
                 let r = reg.register_cached(&cpu, addr, 8 * PAGE_SIZE).await;
@@ -354,8 +352,6 @@ mod tests {
         let mem = HostMem::new();
         let addr = mem.alloc_buffer(PAGE_SIZE);
         let (first, second, elapsed_second) = {
-            let cpu = cpu.clone();
-            let reg = reg.clone();
             let s = sim.clone();
             sim.block_on(async move {
                 let first = reg.register_cached(&cpu, addr, PAGE_SIZE).await;
@@ -384,7 +380,6 @@ mod tests {
         let mem = HostMem::new();
         let bufs: Vec<VirtAddr> = (0..3).map(|_| mem.alloc_buffer(PAGE_SIZE)).collect();
         let keys = {
-            let cpu = cpu.clone();
             let reg = reg.clone();
             let bufs = bufs.clone();
             sim.block_on(async move {
@@ -409,7 +404,6 @@ mod tests {
         let mem = HostMem::new();
         let addr = mem.alloc_buffer(PAGE_SIZE);
         let key = {
-            let cpu = cpu.clone();
             let reg = reg.clone();
             sim.block_on(async move { reg.register_pinned(&cpu, addr, PAGE_SIZE).await })
         };

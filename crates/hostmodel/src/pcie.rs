@@ -128,7 +128,7 @@ mod tests {
                 doorbell: SimDuration::from_nanos(250),
             },
         );
-        let p = port.clone();
+        let p = port;
         let s = sim.clone();
         sim.block_on(async move {
             p.dma_read(1000).await;
@@ -150,7 +150,7 @@ mod tests {
             })
         };
         let h2 = {
-            let p = port.clone();
+            let p = port;
             let s = sim.clone();
             sim.spawn(async move {
                 p.dma_write(1_800_000).await;

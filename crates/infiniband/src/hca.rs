@@ -53,7 +53,11 @@ impl HcaDevice {
             pcie: PciePort::new(sim, calib.pcie),
             mem: HostMem::new(),
             registry: MemoryRegistry::new(calib.registration),
-            engine: Pipe::new(sim, calib.engine_bytes_per_sec, calib.engine_packet_overhead),
+            engine: Pipe::new(
+                sim,
+                calib.engine_bytes_per_sec,
+                calib.engine_packet_overhead,
+            ),
             link_tx: Pipe::new(sim, calib.link_bytes_per_sec, SimDuration::ZERO),
             context_cache: RefCell::new(LruCache::new(calib.context_cache_entries)),
         }
@@ -109,7 +113,7 @@ pub struct IbFabric {
     /// Memoized `src → dst` pipelines; clones share the cached stage slice
     /// (and calendars), so repeat transfers on an idle path keep hitting the
     /// simnet cut-through fast path instead of rebuilding six stages.
-    paths: std::cell::RefCell<std::collections::HashMap<(usize, usize), Pipeline>>,
+    paths: std::cell::RefCell<std::collections::BTreeMap<(usize, usize), Pipeline>>,
 }
 
 impl IbFabric {
@@ -128,7 +132,7 @@ impl IbFabric {
                 .map(|n| Rc::new(HcaDevice::new(sim, n, calib)))
                 .collect(),
             next_qpn: std::cell::Cell::new(1),
-            paths: std::cell::RefCell::new(std::collections::HashMap::new()),
+            paths: std::cell::RefCell::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -162,9 +166,7 @@ impl IbFabric {
             return p.clone();
         }
         let path = self.build_data_path(src, dst);
-        self.paths
-            .borrow_mut()
-            .insert((src, dst), path.clone());
+        self.paths.borrow_mut().insert((src, dst), path.clone());
         path
     }
 

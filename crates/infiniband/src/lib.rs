@@ -17,6 +17,8 @@
 //! card stops scaling past 8 connections while the pipelined NetEffect RNIC
 //! keeps improving, and here it is a mechanism, not a curve fit.
 
+#![forbid(unsafe_code)]
+
 pub mod calib;
 pub mod hca;
 pub mod packets;

@@ -43,6 +43,7 @@ pub enum IbWorkRequest {
     },
 }
 
+#[derive(Clone, Copy)]
 struct PostedRecv {
     wr_id: u64,
     addr: VirtAddr,
@@ -81,13 +82,7 @@ pub struct IbQp {
 
 /// Establish a connected QP pair between nodes `a` and `b`, charging each
 /// side's CPU for the QP state transitions.
-pub async fn connect(
-    fab: &IbFabric,
-    a: usize,
-    b: usize,
-    cpu_a: &Cpu,
-    cpu_b: &Cpu,
-) -> (IbQp, IbQp) {
+pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cpu) -> (IbQp, IbQp) {
     let dev_a = fab.device(a);
     let dev_b = fab.device(b);
     let path_ab = fab.data_path(a, b);
@@ -368,8 +363,16 @@ mod tests {
             let (qa, qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
             let buf_a = qa.device().mem.alloc_buffer(64);
             let buf_b = qb.device().mem.alloc_buffer(64);
-            let rk_a = qa.device().registry.register_pinned(&cpu_a, buf_a, 64).await;
-            let rk_b = qb.device().registry.register_pinned(&cpu_b, buf_b, 64).await;
+            let rk_a = qa
+                .device()
+                .registry
+                .register_pinned(&cpu_a, buf_a, 64)
+                .await;
+            let rk_b = qb
+                .device()
+                .registry
+                .register_pinned(&cpu_b, buf_b, 64)
+                .await;
             let iters = 50u64;
             let sim2 = qa.sim.clone();
             // Warm the ping-pong once so context caches are hot.

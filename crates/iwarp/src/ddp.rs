@@ -125,7 +125,13 @@ impl DdpSegment {
 }
 
 /// Cut a tagged message into MULPDU-sized segments.
-pub fn segment_tagged(opcode: u8, stag: u32, to: u64, payload: &[u8], mulpdu: usize) -> Vec<DdpSegment> {
+pub fn segment_tagged(
+    opcode: u8,
+    stag: u32,
+    to: u64,
+    payload: &[u8],
+    mulpdu: usize,
+) -> Vec<DdpSegment> {
     assert!(mulpdu > TAGGED_HEADER_LEN);
     let chunk = mulpdu - TAGGED_HEADER_LEN;
     if payload.is_empty() {
@@ -153,7 +159,13 @@ pub fn segment_tagged(opcode: u8, stag: u32, to: u64, payload: &[u8], mulpdu: us
 }
 
 /// Cut an untagged message into MULPDU-sized segments.
-pub fn segment_untagged(opcode: u8, qn: u32, msn: u32, payload: &[u8], mulpdu: usize) -> Vec<DdpSegment> {
+pub fn segment_untagged(
+    opcode: u8,
+    qn: u32,
+    msn: u32,
+    payload: &[u8],
+    mulpdu: usize,
+) -> Vec<DdpSegment> {
     assert!(mulpdu > UNTAGGED_HEADER_LEN);
     let chunk = mulpdu - UNTAGGED_HEADER_LEN;
     if payload.is_empty() {
@@ -184,7 +196,7 @@ pub fn segment_untagged(opcode: u8, qn: u32, msn: u32, payload: &[u8], mulpdu: u
 /// Reassembles untagged DDP messages per (QN, MSN).
 #[derive(Debug, Default)]
 pub struct UntaggedReassembler {
-    partial: std::collections::HashMap<(u32, u32), PartialMsg>,
+    partial: std::collections::BTreeMap<(u32, u32), PartialMsg>,
 }
 
 #[derive(Debug, Default)]

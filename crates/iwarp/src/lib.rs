@@ -20,6 +20,8 @@
 //! on-board memory. [`calib`] holds every timing constant with the paper
 //! value that anchors it.
 
+#![forbid(unsafe_code)]
+
 pub mod calib;
 pub mod ddp;
 pub mod mpa;

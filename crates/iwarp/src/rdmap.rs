@@ -260,7 +260,10 @@ mod tests {
         for s in m.to_segments(0, 128) {
             assert!(apply_tagged(&s, &mut region));
         }
-        assert_eq!(region[100..400], (0..300).map(|i| i as u8).collect::<Vec<_>>()[..]);
+        assert_eq!(
+            region[100..400],
+            (0..300).map(|i| i as u8).collect::<Vec<_>>()[..]
+        );
         assert_eq!(region[..100], vec![0u8; 100][..]);
     }
 

@@ -21,7 +21,7 @@
 //! live connections.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use etherstack::switch::{CutThroughSwitch, SwitchConfig};
@@ -115,7 +115,7 @@ pub struct IwarpFabric {
     /// path keeps every transfer on one calendar set — which is what lets
     /// back-to-back messages on an idle path repeatedly take the simnet
     /// cut-through fast path instead of rebuilding eight stages per call.
-    paths: RefCell<HashMap<(usize, usize), Pipeline>>,
+    paths: RefCell<BTreeMap<(usize, usize), Pipeline>>,
 }
 
 impl IwarpFabric {
@@ -134,7 +134,7 @@ impl IwarpFabric {
             devices: (0..nodes)
                 .map(|n| Rc::new(RnicDevice::new(sim, n, calib)))
                 .collect(),
-            paths: RefCell::new(HashMap::new()),
+            paths: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -163,9 +163,7 @@ impl IwarpFabric {
             return p.clone();
         }
         let path = self.build_data_path(src, dst);
-        self.paths
-            .borrow_mut()
-            .insert((src, dst), path.clone());
+        self.paths.borrow_mut().insert((src, dst), path.clone());
         path
     }
 

@@ -64,6 +64,7 @@ pub enum WorkRequest {
     },
 }
 
+#[derive(Clone, Copy)]
 struct PostedRecv {
     wr_id: u64,
     addr: VirtAddr,
@@ -428,8 +429,16 @@ mod tests {
             let (qa, qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
             let buf_a = qa.device().mem.alloc_buffer(64);
             let buf_b = qb.device().mem.alloc_buffer(64);
-            let stag_a = qa.device().registry.register_pinned(&cpu_a, buf_a, 64).await;
-            let stag_b = qb.device().registry.register_pinned(&cpu_b, buf_b, 64).await;
+            let stag_a = qa
+                .device()
+                .registry
+                .register_pinned(&cpu_a, buf_a, 64)
+                .await;
+            let stag_b = qb
+                .device()
+                .registry
+                .register_pinned(&cpu_b, buf_b, 64)
+                .await;
             let iters = 50u64;
             let sim2 = qa.sim.clone();
             let t0 = sim2.now();
@@ -575,7 +584,6 @@ mod tests {
     fn posts_cost_host_cpu_but_transfers_do_not() {
         let (sim, fab, cpu_a, cpu_b) = setup();
         let busy = sim.block_on({
-            let cpu_a = cpu_a.clone();
             async move {
                 let (qa, qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
                 let dst = qb.device().mem.alloc_buffer(1 << 20);

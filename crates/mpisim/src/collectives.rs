@@ -83,11 +83,7 @@ pub async fn bcast(
 /// Recursive-doubling allreduce (sum) over a vector of `f64`s. Returns
 /// the reduced vector. Non-power-of-two sizes fold the excess ranks into
 /// the power-of-two core before doubling and fan the result back out.
-pub async fn allreduce_sum(
-    rank: &dyn MpiRank,
-    buf: VirtAddr,
-    mut values: Vec<f64>,
-) -> Vec<f64> {
+pub async fn allreduce_sum(rank: &dyn MpiRank, buf: VirtAddr, mut values: Vec<f64>) -> Vec<f64> {
     let n = rank.size();
     let me = rank.rank();
     let bytes = (values.len() * 8) as u64;
@@ -126,7 +122,15 @@ pub async fn allreduce_sum(
     }
     // Unfold: send results back to the folded-out ranks.
     if me < rem {
-        send(rank, me + pof2, tag + 0x40, buf, bytes, Some(encode(&values))).await;
+        send(
+            rank,
+            me + pof2,
+            tag + 0x40,
+            buf,
+            bytes,
+            Some(encode(&values)),
+        )
+        .await;
     } else if folded_out {
         recv(rank, Source::Rank(me - pof2), tag + 0x40, buf, bytes).await;
         values = decode(&rank.mem().read(buf, bytes));

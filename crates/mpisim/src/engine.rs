@@ -16,7 +16,7 @@
 //!   re-using one buffer copies hot — the eager-range effect in Fig. 6.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::{Rc, Weak};
 
 use hostmodel::cpu::Cpu;
@@ -141,8 +141,8 @@ pub struct HostEngine<T: Transport> {
     transport: T,
     posted: RefCell<VecDeque<Posted>>,
     unexpected: RefCell<VecDeque<Unex>>,
-    rts_send: RefCell<HashMap<u64, RtsSend>>,
-    fin_wait: RefCell<HashMap<u64, FinWait>>,
+    rts_send: RefCell<BTreeMap<u64, RtsSend>>,
+    fin_wait: RefCell<BTreeMap<u64, FinWait>>,
     next_rts: Cell<u64>,
     hot_bufs: RefCell<LruCache<u64, ()>>,
     peers: RefCell<Vec<Weak<HostEngine<T>>>>,
@@ -169,8 +169,8 @@ impl<T: Transport> HostEngine<T> {
             transport,
             posted: RefCell::new(VecDeque::new()),
             unexpected: RefCell::new(VecDeque::new()),
-            rts_send: RefCell::new(HashMap::new()),
-            fin_wait: RefCell::new(HashMap::new()),
+            rts_send: RefCell::new(BTreeMap::new()),
+            fin_wait: RefCell::new(BTreeMap::new()),
             next_rts: Cell::new(1),
             hot_bufs: RefCell::new(LruCache::new(cfg.hot_buffers.max(1))),
             peers: RefCell::new(Vec::new()),
@@ -553,13 +553,7 @@ impl<T: Transport> MpiRank for HostMpiRank<T> {
         Box::pin(async move { self.engine.isend(dest, tag, buf, len, payload).await })
     }
 
-    fn irecv(
-        &self,
-        src: Source,
-        tag: u32,
-        buf: VirtAddr,
-        len: u64,
-    ) -> LocalFuture<'_, MpiRequest> {
+    fn irecv(&self, src: Source, tag: u32, buf: VirtAddr, len: u64) -> LocalFuture<'_, MpiRequest> {
         Box::pin(async move { self.engine.irecv(src, tag, buf, len).await })
     }
 
@@ -576,7 +570,11 @@ mod tests {
     use crate::world::iwarp_mpi_config;
     use hostmodel::cpu::CpuCosts;
 
-    fn two_engines() -> (Sim, Rc<HostEngine<IwarpTransport>>, Rc<HostEngine<IwarpTransport>>) {
+    fn two_engines() -> (
+        Sim,
+        Rc<HostEngine<IwarpTransport>>,
+        Rc<HostEngine<IwarpTransport>>,
+    ) {
         let sim = Sim::new();
         let fab = iwarp::IwarpFabric::new(&sim, 2);
         let cfg = iwarp_mpi_config();

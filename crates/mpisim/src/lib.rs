@@ -18,6 +18,8 @@
 //! [`world::MpiWorld`] builds a ready-to-use set of ranks over any of the
 //! four fabric configurations (iWARP, IB, MXoE, MXoM).
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 pub mod engine;
 pub mod mxrank;

@@ -103,13 +103,7 @@ impl MpiRank for MxMpiRank {
         })
     }
 
-    fn irecv(
-        &self,
-        src: Source,
-        tag: u32,
-        buf: VirtAddr,
-        len: u64,
-    ) -> LocalFuture<'_, MpiRequest> {
+    fn irecv(&self, src: Source, tag: u32, buf: VirtAddr, len: u64) -> LocalFuture<'_, MpiRequest> {
         Box::pin(async move {
             self.ep.cpu().work(self.glue).await;
             let (src_bits, mut mask) = match src {

@@ -60,8 +60,7 @@ pub trait MpiRank {
         payload: Option<Vec<u8>>,
     ) -> LocalFuture<'_, MpiRequest>;
     /// Non-blocking receive into `buf`.
-    fn irecv(&self, src: Source, tag: u32, buf: VirtAddr, len: u64)
-        -> LocalFuture<'_, MpiRequest>;
+    fn irecv(&self, src: Source, tag: u32, buf: VirtAddr, len: u64) -> LocalFuture<'_, MpiRequest>;
     /// Instrumentation (not timed): is a matching message already waiting
     /// in the unexpected queue? Benchmarks use this to force worst-case
     /// late receives, as the queue-usage methodology requires.

@@ -7,7 +7,7 @@
 //! device models; the per-fabric differences that matter (IB's serial
 //! per-message processor work, registration cost gaps) live here.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use hostmodel::cpu::Cpu;
@@ -50,21 +50,21 @@ pub struct IwarpTransport {
     /// these paths for every chunk, so an uncontended rendezvous transfer
     /// completes on a single coalesced event via the simnet cut-through
     /// fast path rather than thousands of per-segment timer firings.
-    paths: HashMap<usize, Pipeline>,
+    paths: BTreeMap<usize, Pipeline>,
     seg_overhead: u64,
     registry: MemoryRegistry,
-    peers: HashMap<usize, (MemoryRegistry, HostMem)>,
+    peers: BTreeMap<usize, (MemoryRegistry, HostMem)>,
     /// Per-destination in-order delivery (the TCP stream guarantee).
-    order: HashMap<usize, FifoGate>,
+    order: BTreeMap<usize, FifoGate>,
 }
 
 impl IwarpTransport {
     /// Build the adapter for `node` over `fab`, bound to process `cpu`.
     pub fn new(fab: &iwarp::IwarpFabric, node: usize, cpu: &Cpu) -> Self {
         let dev = fab.device(node);
-        let mut paths = HashMap::new();
-        let mut peers = HashMap::new();
-        let mut order = HashMap::new();
+        let mut paths = BTreeMap::new();
+        let mut peers = BTreeMap::new();
+        let mut order = BTreeMap::new();
         for n in 0..fab.nodes() {
             if n == node {
                 continue;
@@ -93,7 +93,9 @@ impl Transport for IwarpTransport {
         let ticket = self.order[&dest].ticket();
         Box::pin(async move {
             self.cpu.work(self.post_cost).await;
-            self.paths[&dest].transfer(wire_bytes, self.seg_overhead).await;
+            self.paths[&dest]
+                .transfer(wire_bytes, self.seg_overhead)
+                .await;
             let gate = &self.order[&dest];
             gate.enter(ticket).await;
             gate.leave();
@@ -140,12 +142,12 @@ pub struct IbTransport {
     msg_cost_tx: SimDuration,
     msg_cost_rx: SimDuration,
     dev: Rc<infiniband::HcaDevice>,
-    paths: HashMap<usize, Pipeline>,
+    paths: BTreeMap<usize, Pipeline>,
     pkt_overhead: u64,
     registry: MemoryRegistry,
-    peers: HashMap<usize, (Rc<infiniband::HcaDevice>, MemoryRegistry, HostMem)>,
+    peers: BTreeMap<usize, (Rc<infiniband::HcaDevice>, MemoryRegistry, HostMem)>,
     /// Per-destination in-order delivery (the RC-QP guarantee).
-    order: HashMap<usize, FifoGate>,
+    order: BTreeMap<usize, FifoGate>,
     /// This rank's node index; QP numbers for the pair (a, b) are derived
     /// deterministically so both sides agree without a handshake.
     node: usize,
@@ -160,9 +162,9 @@ impl IbTransport {
     /// Build the adapter for `node` over `fab`, bound to process `cpu`.
     pub fn new(fab: &infiniband::IbFabric, node: usize, cpu: &Cpu) -> Self {
         let dev = fab.device(node);
-        let mut paths = HashMap::new();
-        let mut peers = HashMap::new();
-        let mut order = HashMap::new();
+        let mut paths = BTreeMap::new();
+        let mut peers = BTreeMap::new();
+        let mut order = BTreeMap::new();
         for n in 0..fab.nodes() {
             if n == node {
                 continue;
@@ -197,7 +199,9 @@ impl Transport for IbTransport {
             self.dev
                 .engine_message(mpi_qpn(self.node, dest), self.msg_cost_tx)
                 .await;
-            self.paths[&dest].transfer(wire_bytes, self.pkt_overhead).await;
+            self.paths[&dest]
+                .transfer(wire_bytes, self.pkt_overhead)
+                .await;
             let (pd, _, _) = &self.peers[&dest];
             pd.engine_message(mpi_qpn(dest, self.node), self.msg_cost_rx)
                 .await;

@@ -92,7 +92,9 @@ enum UnexpectedKind {
     Eager { payload: Option<Vec<u8>> },
     /// A rendezvous RTS waiting for a matching receive; completing it
     /// triggers the pull.
-    Rts { pull: Box<dyn FnOnce(VirtAddr, u64, MxRequest)> },
+    Rts {
+        pull: Box<dyn FnOnce(VirtAddr, u64, MxRequest)>,
+    },
 }
 
 struct Unexpected {
@@ -259,9 +261,7 @@ impl MxEndpoint {
             // match.
             let (walked, matched) = {
                 let mut posted = peer_inner.posted.borrow_mut();
-                let pos = posted
-                    .iter()
-                    .position(|p| matches(bits, p.bits, p.mask));
+                let pos = posted.iter().position(|p| matches(bits, p.bits, p.mask));
                 match pos {
                     Some(i) => (i + 1, Some(posted.remove(i).unwrap())),
                     None => {
@@ -269,7 +269,9 @@ impl MxEndpoint {
                         peer_inner.unexpected.borrow_mut().push_back(Unexpected {
                             bits,
                             len,
-                            kind: UnexpectedKind::Eager { payload: payload.take() },
+                            kind: UnexpectedKind::Eager {
+                                payload: payload.take(),
+                            },
                         });
                         (walked, None)
                     }
@@ -380,13 +382,7 @@ impl MxEndpoint {
     }
 
     /// Non-blocking matched receive (`mx_irecv`).
-    pub async fn irecv(
-        &self,
-        bits: MatchInfo,
-        mask: u64,
-        addr: VirtAddr,
-        len: u64,
-    ) -> MxRequest {
+    pub async fn irecv(&self, bits: MatchInfo, mask: u64, addr: VirtAddr, len: u64) -> MxRequest {
         self.cpu.work(self.nic.calib.post_cost).await;
         let req = MxRequest::new();
         // Probe the unexpected list and, on a miss, enqueue the posted
@@ -460,7 +456,13 @@ mod tests {
                 .irecv(MatchInfo::mpi(0, 0, 7), MatchInfo::EXACT, rbuf, 256)
                 .await;
             let s = ea
-                .isend(&addr_b, MatchInfo::mpi(0, 0, 7), ea.nic().mem.alloc_buffer(64), 5, Some(b"lanai".to_vec()))
+                .isend(
+                    &addr_b,
+                    MatchInfo::mpi(0, 0, 7),
+                    ea.nic().mem.alloc_buffer(64),
+                    5,
+                    Some(b"lanai".to_vec()),
+                )
                 .await;
             let st = r.wait().await;
             assert_eq!(st.len, 5);
@@ -475,7 +477,13 @@ mod tests {
         sim.block_on(async move {
             let addr_b = ea.connect(&fab, &eb);
             let s = ea
-                .isend(&addr_b, MatchInfo::mpi(0, 0, 42), ea.nic().mem.alloc_buffer(64), 4, Some(b"late".to_vec()))
+                .isend(
+                    &addr_b,
+                    MatchInfo::mpi(0, 0, 42),
+                    ea.nic().mem.alloc_buffer(64),
+                    4,
+                    Some(b"late".to_vec()),
+                )
                 .await;
             s.wait().await;
             assert_eq!(eb.unexpected_depth(), 1);
@@ -504,15 +512,16 @@ mod tests {
             let addr_b = ea.connect(&fab, &eb);
             let rbuf = eb.nic().mem.alloc_buffer(64);
             let r = eb
-                .irecv(
-                    MatchInfo::mpi(0, 0, 0),
-                    MatchInfo::ANY_TAG_MASK,
-                    rbuf,
-                    64,
-                )
+                .irecv(MatchInfo::mpi(0, 0, 0), MatchInfo::ANY_TAG_MASK, rbuf, 64)
                 .await;
-            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 999), ea.nic().mem.alloc_buffer(64), 2, Some(b"ok".to_vec()))
-                .await;
+            ea.isend(
+                &addr_b,
+                MatchInfo::mpi(0, 0, 999),
+                ea.nic().mem.alloc_buffer(64),
+                2,
+                Some(b"ok".to_vec()),
+            )
+            .await;
             assert_eq!(r.wait().await.len, 2);
         });
     }
@@ -529,7 +538,13 @@ mod tests {
                 .irecv(MatchInfo::mpi(0, 0, 3), MatchInfo::EXACT, rbuf, n)
                 .await;
             let s = ea
-                .isend(&addr_b, MatchInfo::mpi(0, 0, 3), ea.nic().mem.alloc_buffer(n), n, Some(data.clone()))
+                .isend(
+                    &addr_b,
+                    MatchInfo::mpi(0, 0, 3),
+                    ea.nic().mem.alloc_buffer(n),
+                    n,
+                    Some(data.clone()),
+                )
                 .await;
             let (rs, ss) = join2(r.wait(), s.wait()).await;
             assert_eq!(rs.len, n);
@@ -545,7 +560,9 @@ mod tests {
             let addr_b = ea.connect(&fab, &eb);
             let n = 128 * 1024u64;
             let sb = ea.nic().mem.alloc_buffer(n);
-            let s = ea.isend(&addr_b, MatchInfo::mpi(0, 1, 9), sb, n, None).await;
+            let s = ea
+                .isend(&addr_b, MatchInfo::mpi(0, 1, 9), sb, n, None)
+                .await;
             // Sender must NOT complete: no receive exists yet.
             assert!(s.test().is_none());
             let rbuf = eb.nic().mem.alloc_buffer(n);
@@ -611,7 +628,8 @@ mod tests {
                 .irecv(MatchInfo::mpi(0, 0, 5), MatchInfo::EXACT, buf, 64)
                 .await;
             let t0 = sim2.now();
-            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 5), buf, 4, None).await;
+            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 5), buf, 4, None)
+                .await;
             r.wait().await;
             let t_short = sim2.now() - t0;
             // Long queue: 200 decoys in front.
@@ -623,7 +641,8 @@ mod tests {
                 .irecv(MatchInfo::mpi(0, 0, 6), MatchInfo::EXACT, buf, 64)
                 .await;
             let t0 = sim2.now();
-            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 6), buf, 4, None).await;
+            ea.isend(&addr_b, MatchInfo::mpi(0, 0, 6), buf, 4, None)
+                .await;
             r.wait().await;
             (t_short, sim2.now() - t0)
         });

@@ -17,6 +17,8 @@
 //! * The same NIC and library run over a Myrinet switch (**MXoM**) or a
 //!   10GbE switch (**MXoE**); the paper measures both.
 
+#![forbid(unsafe_code)]
+
 pub mod calib;
 pub mod endpoint;
 pub mod matching;

@@ -61,7 +61,11 @@ mod tests {
     fn any_tag_ignores_tag() {
         let s = MatchInfo::mpi(1, 2, 977);
         assert!(matches(s, MatchInfo::mpi(1, 2, 0), MatchInfo::ANY_TAG_MASK));
-        assert!(!matches(s, MatchInfo::mpi(1, 3, 0), MatchInfo::ANY_TAG_MASK));
+        assert!(!matches(
+            s,
+            MatchInfo::mpi(1, 3, 0),
+            MatchInfo::ANY_TAG_MASK
+        ));
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub struct MxFabric {
     /// Memoized `src → dst` pipelines; clones share the cached stage slice
     /// so repeat transfers stay eligible for the simnet cut-through fast
     /// path without rebuilding the six stages per call.
-    paths: std::cell::RefCell<std::collections::HashMap<(usize, usize), Pipeline>>,
+    paths: std::cell::RefCell<std::collections::BTreeMap<(usize, usize), Pipeline>>,
 }
 
 impl MxFabric {
@@ -105,7 +105,7 @@ impl MxFabric {
             devices: (0..nodes)
                 .map(|n| Rc::new(MxNic::new(sim, n, calib)))
                 .collect(),
-            paths: std::cell::RefCell::new(std::collections::HashMap::new()),
+            paths: std::cell::RefCell::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -150,9 +150,7 @@ impl MxFabric {
             return p.clone();
         }
         let path = self.build_data_path(src, dst);
-        self.paths
-            .borrow_mut()
-            .insert((src, dst), path.clone());
+        self.paths.borrow_mut().insert((src, dst), path.clone());
         path
     }
 

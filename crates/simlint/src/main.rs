@@ -1,0 +1,208 @@
+//! `simlint` CLI — lint the workspace's simulation-scope code for
+//! determinism and simulation-safety violations.
+//!
+//! ```text
+//! cargo run -p simlint --                    # lint the workspace, warn only
+//! cargo run -p simlint -- --deny-all        # CI mode: nonzero exit on any finding
+//! cargo run -p simlint -- --json            # machine-readable, one JSON object per line
+//! cargo run -p simlint -- --list-rules      # rule registry with summaries
+//! cargo run -p simlint -- path/to/file.rs   # lint explicit files (fixtures, spot checks)
+//! cargo run -p simlint -- --dump file.rs    # debug: show the parsed item structure
+//! ```
+
+#![forbid(unsafe_code)]
+
+use quote::ToTokens;
+use simlint::rules::all_rules;
+use simlint::{find_workspace_root, lint_source, workspace_files, Diagnostic};
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    deny_all: bool,
+    json: bool,
+    list_rules: bool,
+    dump: Option<PathBuf>,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: simlint [--deny-all] [--json] [--list-rules] [--dump FILE] [--root DIR] [FILES...]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny_all: false,
+        json: false,
+        list_rules: false,
+        dump: None,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--dump" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| "--dump requires FILE".to_owned())?;
+                opts.dump = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| "--root requires DIR".to_owned())?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}\n{}", usage()));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        println!("simlint rules (all deny by default under --deny-all):");
+        for rule in all_rules() {
+            println!("  {:<18} {}", rule.name(), rule.summary());
+        }
+        println!(
+            "\nsuppress in place with: // simlint: allow(rule-name) -- reason\n\
+             engine diagnostics: parse-error, malformed-allow, unknown-rule, unused-allow"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &opts.dump {
+        return dump_file(path);
+    }
+
+    let files = if opts.files.is_empty() {
+        let cwd = std::env::current_dir().expect("cwd");
+        let root = match opts.root.clone().or_else(|| find_workspace_root(&cwd)) {
+            Some(root) => root,
+            None => {
+                eprintln!("simlint: no workspace root found above {}", cwd.display());
+                return ExitCode::from(2);
+            }
+        };
+        match workspace_files(&root) {
+            Ok(files) => files,
+            Err(err) => {
+                eprintln!("simlint: walking {}: {err}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        opts.files.clone()
+    };
+
+    let rules = all_rules();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(err) => {
+                eprintln!("simlint: reading {}: {err}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        checked += 1;
+        diags.extend(lint_source(file, &src, &rules));
+    }
+
+    if opts.json {
+        for d in &diags {
+            println!("{}", d.to_json());
+        }
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!(
+                "simlint: clean ({checked} files checked, {} rules)",
+                rules.len()
+            );
+        } else {
+            println!(
+                "simlint: {} diagnostic{} across {checked} files",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+
+    if opts.deny_all && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Debug aid: show how the vendored `syn` split a file into items, with a
+/// token-preview of each (rendered through `quote::ToTokens`).
+fn dump_file(path: &Path) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(err) => {
+            eprintln!("simlint: reading {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let file = match syn::parse_file(&src) {
+        Ok(file) => file,
+        Err(err) => {
+            eprintln!("simlint: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}: {} top-level items", path.display(), file.items.len());
+    for item in &file.items {
+        dump_item(item, 1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn dump_item(item: &syn::Item, depth: usize) {
+    let name = item
+        .ident
+        .as_ref()
+        .map_or_else(String::new, |i| format!(" {i}"));
+    let preview: String = item
+        .tokens
+        .to_token_stream()
+        .to_string()
+        .chars()
+        .take(60)
+        .collect();
+    println!(
+        "{}{:?}{} @ {}:{}  {preview}",
+        "  ".repeat(depth),
+        item.kind,
+        name,
+        item.span.start().line,
+        item.span.start().column,
+    );
+    for sub in &item.sub_items {
+        dump_item(sub, depth + 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! The determinism & simulation-safety rule set.
+//!
+//! Every rule is a token-pattern walker over [`FlatTok`] sequences (plus the
+//! item structure from the vendored `syn` where it helps). Rules are
+//! *syntactic by design* — see the crate docs — and every rule here exists
+//! because its target has a concrete, silent failure mode in a discrete-event
+//! simulation; DESIGN.md ("Determinism invariants") documents each one.
+
+use crate::{path_at, skip_group, Diagnostic, FileContext, FlatTok};
+
+use proc_macro2::{Delimiter, Span};
+
+/// A single named lint with a one-line summary and a checker.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    /// One line for `--list-rules` and the docs.
+    fn summary(&self) -> &'static str;
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>);
+}
+
+/// The full registry, in stable reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(HashCollections),
+        Box::new(WallClock),
+        Box::new(ThreadSpawn),
+        Box::new(UnseededRng),
+        Box::new(FloatHashAccum),
+        Box::new(RelaxedAtomics),
+    ]
+}
+
+fn report(
+    ctx: &FileContext,
+    span: Span,
+    rule: &'static str,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    out.push(Diagnostic {
+        file: ctx.file.clone(),
+        line: span.start().line,
+        column: span.start().column,
+        rule,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// hash-collections
+// ---------------------------------------------------------------------------
+
+/// Hash-ordered containers iterate in a per-process-randomized order
+/// (`RandomState` seeds from the OS), so *any* reachable iteration —
+/// including `Debug` formatting and drop order of drained entries — leaks
+/// nondeterminism into event ordering. Sim-state code must use `BTreeMap`/
+/// `BTreeSet` (or `Vec` + sort) instead; lookups that genuinely never
+/// iterate may carry an allow with justification.
+struct HashCollections;
+
+const HASH_IDENTS: &[(&str, &str)] = &[
+    ("HashMap", "use `BTreeMap` (deterministic iteration order)"),
+    ("HashSet", "use `BTreeSet` (deterministic iteration order)"),
+    ("hash_map", "use `std::collections::btree_map` equivalents"),
+    ("hash_set", "use `std::collections::btree_set` equivalents"),
+    ("RandomState", "hash seeding is per-process random"),
+    ("DefaultHasher", "hash seeding is per-process random"),
+    (
+        "FxHashMap",
+        "use `BTreeMap` (deterministic iteration order)",
+    ),
+    (
+        "FxHashSet",
+        "use `BTreeSet` (deterministic iteration order)",
+    ),
+    ("AHashMap", "use `BTreeMap` (deterministic iteration order)"),
+    ("AHashSet", "use `BTreeSet` (deterministic iteration order)"),
+];
+
+impl Rule for HashCollections {
+    fn name(&self) -> &'static str {
+        "hash-collections"
+    }
+
+    fn summary(&self) -> &'static str {
+        "hash-ordered containers (HashMap/HashSet/RandomState) iterate in randomized order; sim state requires BTree containers"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        for tok in &ctx.flat {
+            if let FlatTok::Ident(name, span) = tok {
+                if let Some((_, hint)) = HASH_IDENTS.iter().find(|(n, _)| n == name) {
+                    report(
+                        ctx,
+                        *span,
+                        self.name(),
+                        format!("`{name}` in simulation-scope code: {hint}"),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+/// The DES core advances virtual time only; a `std::time` read couples
+/// simulation behaviour to host scheduling and load, which breaks replay
+/// bit-exactness. Simulated code reads `Sim::now()` / `SimTime` instead.
+struct WallClock;
+
+const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "std::time reads (Instant/SystemTime) couple sim behaviour to the host clock; use Sim::now()/SimTime"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.flat;
+        for (i, tok) in toks.iter().enumerate() {
+            if let FlatTok::Ident(name, span) = tok {
+                if WALL_CLOCK_IDENTS.contains(&name.as_str()) {
+                    report(
+                        ctx,
+                        *span,
+                        self.name(),
+                        format!("`{name}` is wall-clock time; simulated code must use `Sim::now()`/`SimTime`"),
+                        out,
+                    );
+                } else if path_at(toks, i, &["std", "time"]) {
+                    report(
+                        ctx,
+                        *span,
+                        self.name(),
+                        "`std::time` is wall-clock time; simulated code must use `simnet::time`"
+                            .to_owned(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread-spawn
+// ---------------------------------------------------------------------------
+
+/// The executor is single-threaded on purpose: OS threads introduce
+/// scheduler-dependent interleavings that no seed can replay. Concurrency
+/// inside a simulation is expressed as sim tasks (`Sim::spawn`), never as
+/// `std::thread`.
+struct ThreadSpawn;
+
+impl Rule for ThreadSpawn {
+    fn name(&self) -> &'static str {
+        "thread-spawn"
+    }
+
+    fn summary(&self) -> &'static str {
+        "std::thread in sim code introduces OS-scheduler nondeterminism; use Sim::spawn tasks"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.flat;
+        for (i, tok) in toks.iter().enumerate() {
+            let FlatTok::Ident(name, span) = tok else {
+                continue;
+            };
+            // Matched as paths, not bare idents: `simnet` exports its own
+            // (simulated-task) `spawn` and `JoinHandle`, which are the
+            // *correct* spellings — only the `std::thread` forms are banned.
+            let hit = name == "thread"
+                && (path_at(toks, i, &["std", "thread"]) || path_at(toks, i, &["thread", "spawn"]));
+            if hit {
+                report(
+                    ctx,
+                    *span,
+                    self.name(),
+                    "`std::thread` in simulation-scope code; express concurrency as `Sim::spawn` tasks".to_owned(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unseeded-rng
+// ---------------------------------------------------------------------------
+
+/// Any RNG whose seed comes from the environment (OS entropy, thread-local
+/// state) makes two runs diverge by construction. Randomness in simulations
+/// must flow from an explicit, logged seed (`seed_from_u64`, a fixed seed
+/// array, or the proptest harness's own seed plumbing).
+struct UnseededRng;
+
+const RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+    "fastrand",
+];
+
+impl Rule for UnseededRng {
+    fn name(&self) -> &'static str {
+        "unseeded-rng"
+    }
+
+    fn summary(&self) -> &'static str {
+        "environment-seeded RNGs (thread_rng/from_entropy/OsRng) diverge across runs; seed explicitly"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.flat;
+        for (i, tok) in toks.iter().enumerate() {
+            let FlatTok::Ident(name, span) = tok else {
+                continue;
+            };
+            let hit = RNG_IDENTS.contains(&name.as_str())
+                || (name == "rand" && path_at(toks, i, &["rand", "random"]));
+            if hit {
+                report(
+                    ctx,
+                    *span,
+                    self.name(),
+                    format!("`{name}` draws entropy from the environment; construct RNGs from an explicit seed"),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-hash-accum
+// ---------------------------------------------------------------------------
+
+/// Float addition is not associative, so reducing an *unordered* iterator
+/// (`.values()`, `.keys()` of a hash container) into an `f32`/`f64` yields
+/// run-dependent low bits even when the element set is identical. The fix
+/// is an ordered source (BTree containers, sorted Vec) — made explicit in
+/// `stats.rs`-style reducers.
+struct FloatHashAccum;
+
+const UNORDERED_SOURCES: &[&str] = &["values", "keys", "into_values", "into_keys"];
+const REDUCERS: &[&str] = &["sum", "product"];
+
+fn float_literal(text: &str) -> bool {
+    text.contains('.') || text.ends_with("f32") || text.ends_with("f64")
+}
+
+impl Rule for FloatHashAccum {
+    fn name(&self) -> &'static str {
+        "float-hash-accum"
+    }
+
+    fn summary(&self) -> &'static str {
+        "f32/f64 reduction over .values()/.keys() iteration is order-sensitive; reduce over an ordered source"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.flat;
+        let mut i = 0usize;
+        while i < toks.len() {
+            // Chain start: `. values ( … )` (or keys/into_values/into_keys).
+            let started = i + 2 < toks.len()
+                && toks[i].is_punct('.')
+                && matches!(&toks[i + 1], FlatTok::Ident(n, _) if UNORDERED_SOURCES.contains(&n.as_str()))
+                && matches!(&toks[i + 2], FlatTok::Open(Delimiter::Parenthesis, _));
+            if !started {
+                i += 1;
+                continue;
+            }
+            let FlatTok::Ident(source, _) = &toks[i + 1] else {
+                unreachable!("matched ident above");
+            };
+            let mut j = skip_group(toks, i + 2);
+            // Walk the rest of the method chain looking for a float reducer.
+            while j < toks.len() && toks[j].is_punct('.') {
+                let Some(FlatTok::Ident(link, link_span)) = toks.get(j + 1) else {
+                    break;
+                };
+                let mut k = j + 2;
+                // Optional turbofish: `:: < … >` with nested angle brackets.
+                let mut turbofish = String::new();
+                if k + 2 < toks.len()
+                    && toks[k].is_punct(':')
+                    && toks[k + 1].is_punct(':')
+                    && toks[k + 2].is_punct('<')
+                {
+                    k += 2;
+                    let mut depth = 0i32;
+                    while k < toks.len() {
+                        match &toks[k] {
+                            FlatTok::Punct('<', _) => depth += 1,
+                            FlatTok::Punct('>', _) => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            FlatTok::Ident(s, _) => turbofish.push_str(s),
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                let Some(FlatTok::Open(Delimiter::Parenthesis, _)) = toks.get(k) else {
+                    break; // field access / end of chain
+                };
+                let args_end = skip_group(toks, k);
+                let is_float_reduce = REDUCERS.contains(&link.as_str())
+                    && (turbofish.contains("f64") || turbofish.contains("f32"));
+                let is_float_fold = link == "fold" && {
+                    // Seed is the first argument; a leading `-` is fine.
+                    let mut a = k + 1;
+                    if toks.get(a).is_some_and(|t| t.is_punct('-')) {
+                        a += 1;
+                    }
+                    matches!(toks.get(a), Some(FlatTok::Lit(l, _)) if float_literal(l))
+                };
+                if is_float_reduce || is_float_fold {
+                    report(
+                        ctx,
+                        *link_span,
+                        self.name(),
+                        format!(
+                            "float `{link}` over `.{source}()` of a keyed container; keyed iteration order is a \
+                             determinism hazard for non-associative float addition — sort into a Vec first, or \
+                             prove the container is a BTree type and annotate"
+                        ),
+                        out,
+                    );
+                }
+                j = args_end;
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// relaxed-atomics
+// ---------------------------------------------------------------------------
+
+/// `Ordering::Relaxed` permits reorderings that only show up under real
+/// parallelism — exactly the regime sim code must never enter, so a Relaxed
+/// atomic in sim scope is either dead weight or a latent race. The
+/// single-threaded executor's observational counters carry explicit allows.
+struct RelaxedAtomics;
+
+impl Rule for RelaxedAtomics {
+    fn name(&self) -> &'static str {
+        "relaxed-atomics"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Ordering::Relaxed in sim scope hides latent races; use SeqCst or justify with an allow"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        for tok in &ctx.flat {
+            if let FlatTok::Ident(name, span) = tok {
+                if name == "Relaxed" {
+                    report(
+                        ctx,
+                        *span,
+                        self.name(),
+                        "`Ordering::Relaxed` in simulation-scope code; use `SeqCst` (or justify the relaxation)"
+                            .to_owned(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: directive hygiene. A reason-less allow is `malformed-allow`, a
+// typo'd rule name is `unknown-rule`; neither registers a suppression.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn missing_reason() -> u64 {
+    // simlint: allow(relaxed-atomics)
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+fn typoed_rule() -> u64 {
+    // simlint: allow(relaxed-atomic) -- singular typo
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,14 @@
+// Fixture: two identical violations; the annotated one must be suppressed,
+// the bare one must still fire — exactly one diagnostic for this file.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn annotated() -> u64 {
+    // simlint: allow(relaxed-atomics) -- observational counter, never read back into sim state
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+fn bare() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

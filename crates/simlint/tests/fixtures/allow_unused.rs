@@ -1,0 +1,6 @@
+// Fixture: a stale allow that suppresses nothing must itself be reported
+// (`unused-allow`), so exemptions cannot outlive the code they excused.
+fn clean() -> u64 {
+    // simlint: allow(wall-clock) -- left behind after a refactor
+    7
+}

@@ -1,0 +1,16 @@
+// Fixture: must NOT trigger `float-hash-accum` — ordered sources (slices,
+// Vec) and integer reductions are both fine.
+use std::collections::BTreeMap;
+
+fn mean_latency(samples: &[f64]) -> f64 {
+    let total = samples.iter().sum::<f64>();
+    total / samples.len() as f64
+}
+
+fn event_count(per_stage: &BTreeMap<u32, u64>) -> u64 {
+    per_stage.values().sum::<u64>()
+}
+
+fn counted(per_stage: &BTreeMap<u32, u64>) -> u64 {
+    per_stage.values().fold(0, |acc, v| acc + v)
+}

@@ -1,0 +1,18 @@
+// Fixture: must trigger `float-hash-accum` — float addition is not
+// associative, so reducing a hash-ordered iterator gives run-dependent bits.
+// (`hash-collections` fires here too; this fixture's assertions only pin the
+// float-accumulation rule.)
+use std::collections::HashMap;
+
+fn mean_latency(samples: &HashMap<u32, f64>) -> f64 {
+    let total = samples.values().sum::<f64>();
+    total / samples.len() as f64
+}
+
+fn mapped(samples: &HashMap<u32, (f64, u64)>) -> f64 {
+    samples.values().map(|v| v.0).sum::<f64>()
+}
+
+fn folded(samples: &HashMap<u32, f64>) -> f64 {
+    samples.values().fold(0.0, |acc, v| acc + v)
+}

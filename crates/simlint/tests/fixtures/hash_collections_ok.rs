@@ -1,0 +1,20 @@
+// Fixture: must NOT trigger `hash-collections` — BTree containers and
+// sorted vectors are the deterministic equivalents.
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+struct State {
+    routes: BTreeMap<u32, u64>,
+    seen: BTreeSet<u64>,
+    backlog: VecDeque<u64>,
+}
+
+fn build() -> BTreeMap<String, u64> {
+    BTreeMap::new()
+}
+
+fn sorted_drain(state: &mut State) -> Vec<u64> {
+    let mut out: Vec<u64> = state.seen.iter().copied().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,17 @@
+// Fixture: must trigger `hash-collections` (imports, fields, constructors,
+// hasher types all count — any reachable iteration is hash-ordered).
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    routes: HashMap<u32, u64>,
+    seen: HashSet<u64>,
+}
+
+fn build() -> HashMap<String, f64> {
+    HashMap::new()
+}
+
+fn hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}

@@ -1,0 +1,14 @@
+// Fixture: must NOT trigger `relaxed-atomics` — SeqCst (or a plain Cell in
+// single-threaded sim code) is the supported spelling.
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+fn record() -> u64 {
+    EVENTS.fetch_add(1, Ordering::SeqCst)
+}
+
+fn record_single_threaded(counter: &Cell<u64>) {
+    counter.set(counter.get() + 1);
+}

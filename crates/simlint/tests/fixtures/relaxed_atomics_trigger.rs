@@ -1,0 +1,9 @@
+// Fixture: must trigger `relaxed-atomics` — Relaxed permits reorderings
+// that only bite under real parallelism, which sim code must never rely on.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+fn record() -> u64 {
+    EVENTS.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,12 @@
+// Fixture: must NOT trigger `thread-spawn` — simnet's task spawn and its
+// JoinHandle are the deterministic, single-threaded concurrency primitives.
+use simnet::{JoinHandle, Sim};
+
+fn fan_out(sim: &Sim) -> JoinHandle<u64> {
+    sim.spawn(async { 42 })
+}
+
+async fn join_in_sim(sim: &Sim) -> u64 {
+    let handle = sim.spawn(async { 7 });
+    handle.await
+}

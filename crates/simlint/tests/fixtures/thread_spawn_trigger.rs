@@ -1,0 +1,12 @@
+// Fixture: must trigger `thread-spawn` — OS threads put event ordering at
+// the mercy of the host scheduler.
+use std::thread;
+
+fn fan_out() -> std::thread::JoinHandle<u64> {
+    thread::spawn(|| 42)
+}
+
+fn fan_out_fq() {
+    let h = std::thread::spawn(|| ());
+    h.join().unwrap();
+}

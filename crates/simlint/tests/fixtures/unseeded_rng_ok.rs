@@ -1,0 +1,11 @@
+// Fixture: must NOT trigger `unseeded-rng` — explicit seeds (logged, replayable)
+// are the supported way to get randomness into a simulation.
+fn roll(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let fixed = rand::rngs::StdRng::from_seed([7u8; 32]);
+    rng.next_u64()
+}
+
+fn mix(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

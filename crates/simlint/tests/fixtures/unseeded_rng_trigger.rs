@@ -1,0 +1,8 @@
+// Fixture: must trigger `unseeded-rng` — entropy-seeded generators diverge
+// across runs by construction.
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let jitter: f64 = rand::random();
+    let seeded_from_os = rand::rngs::StdRng::from_entropy();
+    (jitter * 10.0) as u64
+}

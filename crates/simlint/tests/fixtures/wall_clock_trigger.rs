@@ -1,0 +1,11 @@
+// Fixture: must trigger `wall-clock` — any std::time read couples the
+// simulation to host scheduling.
+use std::time::Instant;
+
+fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap();
+    t0.elapsed().as_nanos() + epoch.as_nanos()
+}

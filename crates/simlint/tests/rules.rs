@@ -1,0 +1,144 @@
+//! Fixture-driven rule tests: every rule has a must-trigger and a
+//! must-not-trigger fixture, the allow-list machinery is pinned down to
+//! "suppresses exactly one diagnostic", and — the gate the rest of the
+//! repository relies on — the workspace's own simulation scope must lint
+//! clean, so `cargo test` fails the moment a determinism hazard lands.
+
+use simlint::rules::all_rules;
+use simlint::{find_workspace_root, lint_source, workspace_files, Diagnostic};
+
+use std::path::{Path, PathBuf};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = fixture_path(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading fixture {name}: {e}"));
+    lint_source(&path, &src, &all_rules())
+}
+
+fn count_rule(diags: &[Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+/// Each (rule, trigger fixture, ok fixture) triple. Trigger fixtures may
+/// legitimately trip *other* rules too (a HashMap float-sum trips both the
+/// hash and the float rule), so trigger assertions count only their own rule
+/// while ok fixtures must be clean across the board.
+const CASES: &[(&str, &str, &str)] = &[
+    (
+        "hash-collections",
+        "hash_collections_trigger.rs",
+        "hash_collections_ok.rs",
+    ),
+    ("wall-clock", "wall_clock_trigger.rs", "wall_clock_ok.rs"),
+    (
+        "thread-spawn",
+        "thread_spawn_trigger.rs",
+        "thread_spawn_ok.rs",
+    ),
+    (
+        "unseeded-rng",
+        "unseeded_rng_trigger.rs",
+        "unseeded_rng_ok.rs",
+    ),
+    (
+        "float-hash-accum",
+        "float_hash_accum_trigger.rs",
+        "float_hash_accum_ok.rs",
+    ),
+    (
+        "relaxed-atomics",
+        "relaxed_atomics_trigger.rs",
+        "relaxed_atomics_ok.rs",
+    ),
+];
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    for (rule, trigger, _) in CASES {
+        let diags = lint_fixture(trigger);
+        assert!(
+            count_rule(&diags, rule) >= 1,
+            "{trigger} must trigger {rule}; got: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_fixture() {
+    for (rule, _, ok) in CASES {
+        let diags = lint_fixture(ok);
+        assert!(
+            diags.is_empty(),
+            "{ok} must produce no diagnostics (pinning {rule}'s non-matches); got: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn rule_registry_matches_fixture_table() {
+    let names: Vec<&str> = all_rules().iter().map(|r| r.name()).collect();
+    let covered: Vec<&str> = CASES.iter().map(|(rule, _, _)| *rule).collect();
+    assert_eq!(
+        names, covered,
+        "every registered rule needs a fixture row (and vice versa)"
+    );
+}
+
+#[test]
+fn allow_suppresses_exactly_one_diagnostic() {
+    // Two identical violations, one annotated: exactly one must survive,
+    // and no unused-allow may appear (the annotation did real work).
+    let diags = lint_fixture("allow_suppression.rs");
+    assert_eq!(
+        count_rule(&diags, "relaxed-atomics"),
+        1,
+        "one of the two violations must be suppressed: {diags:#?}"
+    );
+    assert_eq!(count_rule(&diags, "unused-allow"), 0, "{diags:#?}");
+    assert_eq!(diags.len(), 1, "nothing else may fire: {diags:#?}");
+}
+
+#[test]
+fn stale_allow_is_reported() {
+    let diags = lint_fixture("allow_unused.rs");
+    assert_eq!(count_rule(&diags, "unused-allow"), 1, "{diags:#?}");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+}
+
+#[test]
+fn directive_hygiene_is_enforced() {
+    // A reason-less allow and a typo'd rule name must both be reported, and
+    // neither registers a suppression — so both Relaxed sites still fire.
+    let diags = lint_fixture("allow_malformed.rs");
+    assert_eq!(count_rule(&diags, "malformed-allow"), 1, "{diags:#?}");
+    assert_eq!(count_rule(&diags, "unknown-rule"), 1, "{diags:#?}");
+    assert_eq!(count_rule(&diags, "relaxed-atomics"), 2, "{diags:#?}");
+}
+
+#[test]
+fn workspace_simulation_scope_is_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("simlint lives inside the workspace");
+    let rules = all_rules();
+    let mut diags = Vec::new();
+    for file in workspace_files(&root).expect("walk workspace") {
+        let src = std::fs::read_to_string(&file).expect("read source");
+        diags.extend(lint_source(&file, &src, &rules));
+    }
+    assert!(
+        diags.is_empty(),
+        "the workspace's simulation scope must lint clean; fix or `// simlint: allow(rule) -- reason` these:\n{}",
+        diags
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

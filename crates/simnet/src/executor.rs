@@ -77,7 +77,10 @@ struct ReadyQueue {
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue.lock().expect("ready queue poisoned").push_back(id);
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
     }
 
     fn pop(&self) -> Option<TaskId> {
@@ -102,10 +105,15 @@ impl Wake for TaskWaker {
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
+        // The executor is single-threaded; these atomics exist only because
+        // `Wake` requires `Send + Sync`. No cross-thread ordering can arise.
+        // simlint: allow(relaxed-atomics) -- observational wake counter, single-threaded executor
         self.ready.wakes.fetch_add(1, MemOrder::Relaxed);
+        // simlint: allow(relaxed-atomics) -- wake-coalescing flag, single-threaded executor
         if !self.scheduled.swap(true, MemOrder::Relaxed) {
             self.ready.push(self.id);
         } else {
+            // simlint: allow(relaxed-atomics) -- observational wake counter, single-threaded executor
             self.ready.redundant_wakes.fetch_add(1, MemOrder::Relaxed);
         }
     }
@@ -143,9 +151,13 @@ struct TimerSlot {
 }
 
 enum TimerState {
-    Vacant { next_free: Option<u32> },
+    Vacant {
+        next_free: Option<u32>,
+    },
     /// Armed; the waker is the owning task's (refcounted, not allocated).
-    Pending { waker: Option<Waker> },
+    Pending {
+        waker: Option<Waker>,
+    },
     /// The deadline was reached; the [`Sleep`] will observe and free it.
     Fired,
     /// The [`Sleep`] was dropped first; the heap entry frees it at pop.
@@ -270,7 +282,9 @@ impl Sim {
         SimStats {
             spawns: core.spawns,
             polls: core.polls,
+            // simlint: allow(relaxed-atomics) -- stats snapshot of observational counter
             wakes: self.ready.wakes.load(MemOrder::Relaxed),
+            // simlint: allow(relaxed-atomics) -- stats snapshot of observational counter
             redundant_wakes: self.ready.redundant_wakes.load(MemOrder::Relaxed),
             timer_events: core.timer_events,
             timers_set: core.timers_set,
@@ -526,6 +540,7 @@ impl Sim {
                 Some(fut) => {
                     // Clear the flag *before* polling: a wake that lands
                     // mid-poll must re-enqueue the task.
+                    // simlint: allow(relaxed-atomics) -- wake-coalescing flag, single-threaded executor
                     entry.shared.scheduled.store(false, MemOrder::Relaxed);
                     let waker = entry.waker.clone();
                     core.polls += 1;
@@ -559,6 +574,7 @@ impl Sim {
                 entry.fut = Some(fut);
                 if entry.repoll {
                     entry.repoll = false;
+                    // simlint: allow(relaxed-atomics) -- wake-coalescing flag, single-threaded executor
                     entry.shared.scheduled.store(true, MemOrder::Relaxed);
                     drop(core);
                     self.ready.push(id);

@@ -36,6 +36,8 @@
 //! assert_eq!(got, 5_000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod executor;
 pub mod pipe;
 pub mod stats;

@@ -71,8 +71,7 @@ fn first_fit(iv: &BTreeMap<u64, u64>, earliest_ns: u64, dur: u64) -> u64 {
     let scan_from = iv
         .range(..=t)
         .next_back()
-        .map(|(&st, &en)| if en > t { st } else { st + 1 })
-        .unwrap_or(0);
+        .map_or(0, |(&st, &en)| if en > t { st } else { st + 1 });
     for (&st, &en) in iv.range(scan_from..) {
         if en <= t {
             continue;
@@ -201,7 +200,9 @@ impl Pipe {
     pub fn reserve_n(&self, earliest: SimTime, bytes: u64, n_transfers: u64) -> (SimTime, SimTime) {
         let service = self.bulk_service(bytes, n_transfers);
         let (start, end) = self.reserve_service(earliest, service);
-        self.state.transfers.set(self.state.transfers.get() + n_transfers);
+        self.state
+            .transfers
+            .set(self.state.transfers.get() + n_transfers);
         self.state.bytes.set(self.state.bytes.get() + bytes);
         (start, end)
     }
@@ -254,8 +255,7 @@ impl Pipe {
             .intervals
             .borrow()
             .last_key_value()
-            .map(|(_, &en)| SimTime::from_nanos(en))
-            .unwrap_or(SimTime::ZERO)
+            .map_or(SimTime::ZERO, |(_, &en)| SimTime::from_nanos(en))
             .max(self.sim.now())
     }
 
@@ -392,14 +392,14 @@ async fn chunk_walk(
     mut prev_lat: SimDuration,
     meta: ChunkMeta,
 ) {
-    for stage in stages[from..].iter() {
+    for stage in &stages[from..] {
         let by_start = prev_start + prev_seg + prev_lat;
         if by_start > sim.now() {
             sim.sleep_until(by_start).await;
         }
         let seg_service = stage.pipe.service_time(meta.seg_wire);
-        let block = stage.pipe.service_time(meta.cwire)
-            + stage.pipe.service_time(0) * (meta.csegs - 1);
+        let block =
+            stage.pipe.service_time(meta.cwire) + stage.pipe.service_time(0) * (meta.csegs - 1);
         // The block may not drain here before it drained upstream.
         let floor = (prev_end + seg_service + prev_lat) - block;
         let earliest = sim.now().max(floor);
@@ -549,7 +549,9 @@ impl Pipeline {
         for (c, &meta) in metas.iter().enumerate() {
             // Stage 0: enter now, FIFO behind this flow's earlier chunks.
             let stage0 = &self.stages[0];
-            let (s0, e0) = stage0.pipe.reserve_n(self.sim.now(), meta.cwire, meta.csegs);
+            let (s0, e0) = stage0
+                .pipe
+                .reserve_n(self.sim.now(), meta.cwire, meta.csegs);
             let seg0_service = stage0.pipe.service_time(meta.seg_wire);
             joins.push(self.sim.spawn(chunk_walk(
                 self.sim.clone(),
@@ -705,9 +707,7 @@ impl Pipeline {
         // timer-driven reservations are ever subject to the due rule.
         {
             let meta = metas[0];
-            let (s0, e0) = self.stages[0]
-                .pipe
-                .reserve_n(now, meta.cwire, meta.csegs);
+            let (s0, e0) = self.stages[0].pipe.reserve_n(now, meta.cwire, meta.csegs);
             debug_assert_eq!(
                 (s0.as_nanos(), e0.as_nanos()),
                 (spec.op(0, 0).start, spec.op(0, 0).end),
@@ -982,7 +982,9 @@ impl Speculation {
         let mut joins = Vec::with_capacity(self.metas.len() - started);
         for c in started..self.metas.len() {
             let meta = self.metas[c];
-            let (s0, e0) = stage0.pipe.reserve_n(self.sim.now(), meta.cwire, meta.csegs);
+            let (s0, e0) = stage0
+                .pipe
+                .reserve_n(self.sim.now(), meta.cwire, meta.csegs);
             joins.push(self.sim.spawn(chunk_walk(
                 self.sim.clone(),
                 Rc::clone(&self.stages),
@@ -1034,7 +1036,7 @@ mod tests {
         let sim = Sim::new();
         // 1 GB/s → 1000 bytes take 1 µs.
         let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
-        let p = pipe.clone();
+        let p = pipe;
         let s = sim.clone();
         sim.block_on(async move {
             p.transfer(1000).await;
@@ -1080,7 +1082,7 @@ mod tests {
     fn link_adds_propagation_after_serialization() {
         let sim = Sim::new();
         let link = Link::new(&sim, 1_250_000_000, us(1));
-        let l = link.clone();
+        let l = link;
         let s = sim.clone();
         sim.block_on(async move {
             l.transfer(1250).await; // 1 µs wire + 1 µs propagation
@@ -1114,8 +1116,8 @@ mod tests {
         let pl = Pipeline::new(
             &sim,
             vec![
-                Stage::new(fast.clone(), SimDuration::ZERO),
-                Stage::new(slow.clone(), SimDuration::ZERO),
+                Stage::new(fast, SimDuration::ZERO),
+                Stage::new(slow, SimDuration::ZERO),
             ],
             1000,
         );
@@ -1168,15 +1170,9 @@ mod tests {
 
         // Serial: two messages one after the other.
         let serial = {
-            let pl = pl.clone();
             let sim2 = Sim::new();
             let stages: Vec<Stage> = (0..3)
-                .map(|_| {
-                    Stage::new(
-                        Pipe::new(&sim2, 1_000_000_000, us(1)),
-                        SimDuration::ZERO,
-                    )
-                })
+                .map(|_| Stage::new(Pipe::new(&sim2, 1_000_000_000, us(1)), SimDuration::ZERO))
                 .collect();
             let pl2 = Pipeline::new(&sim2, stages, pl.segment_size());
             let s = sim2.clone();
@@ -1192,10 +1188,7 @@ mod tests {
             let pl = pl.clone();
             sim.spawn(async move { pl.transfer(1000, 0).await })
         };
-        let h2 = {
-            let pl = pl.clone();
-            sim.spawn(async move { pl.transfer(1000, 0).await })
-        };
+        let h2 = { sim.spawn(async move { pl.transfer(1000, 0).await }) };
         sim.block_on(async move {
             join_all(vec![h1, h2]).await;
         });
@@ -1280,7 +1273,7 @@ mod tests {
             let sim = Sim::new();
             sim.set_fast_path(enable);
             let pl = crooked_pipeline(&sim);
-            let pl2 = pl.clone();
+            let pl2 = pl;
             let s = sim.clone();
             sim.block_on(async move {
                 pl2.transfer(123_456, 40).await;
@@ -1334,7 +1327,7 @@ mod tests {
             let pl = crooked_pipeline(&sim);
             let pt = pl.clone();
             let h = sim.spawn(async move { pt.transfer(300_000, 20).await });
-            let po = pl.clone();
+            let po = pl;
             let so = sim.clone();
             let obs = sim.spawn(async move {
                 so.sleep(probe_at).await;
@@ -1353,7 +1346,7 @@ mod tests {
     fn calendar_peak_len_is_tracked() {
         let sim = Sim::new();
         let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
-        let p = pipe.clone();
+        let p = pipe;
         sim.block_on(async move {
             p.transfer(1000).await;
         });

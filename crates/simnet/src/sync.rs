@@ -262,9 +262,7 @@ impl Semaphore {
 
     /// Acquire one permit, waiting if none are available.
     pub fn acquire(&self) -> Acquire {
-        Acquire {
-            sem: self.clone(),
-        }
+        Acquire { sem: self.clone() }
     }
 
     /// Return one permit and wake the longest-waiting acquirer, if any.
@@ -433,7 +431,7 @@ impl Barrier {
                 Poll::Pending
             }
         })
-        .await
+        .await;
     }
 }
 
@@ -494,7 +492,7 @@ impl FifoGate {
                 Poll::Pending
             }
         })
-        .await
+        .await;
     }
 
     /// Release the gate for the next ticket.
@@ -697,10 +695,8 @@ mod tests {
         });
         // Second wait must block until notified again.
         let n3 = n.clone();
-        let s = sim.clone();
         sim.spawn({
-            let n = n.clone();
-            let s = s.clone();
+            let s = sim.clone();
             async move {
                 s.sleep(SimDuration::from_nanos(50)).await;
                 n.notify_one();

@@ -280,7 +280,11 @@ mod tests {
         let a = SimTime::from_nanos(1_000);
         let b = SimTime::from_nanos(4_500);
         assert_eq!((b - a).as_nanos(), 3_500);
-        assert_eq!(b.duration_since(a).as_micros_f64(), 3.5);
+        // 3500 ns is exactly 3.5 us in f64, so bit equality holds.
+        assert_eq!(
+            b.duration_since(a).as_micros_f64().to_bits(),
+            3.5_f64.to_bits()
+        );
     }
 
     #[test]

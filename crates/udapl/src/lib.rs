@@ -14,6 +14,8 @@
 //! Because the simulated fabrics share completion types, the provider
 //! switch is a plain enum — exactly the portability argument uDAPL made.
 
+#![forbid(unsafe_code)]
+
 use hostmodel::cpu::Cpu;
 use hostmodel::mem::{HostMem, MemKey, VirtAddr};
 use hostmodel::nic::{Cqe, CqeStatus};

@@ -55,10 +55,12 @@ fn run(kind: FabricKind, n: usize) -> f64 {
                         let buf = r.alloc_buffer((ELEMS * 8) as u64);
                         let mine = vec![r.rank() as f64; ELEMS];
                         let out = allreduce_sum(&*r, buf, mine).await;
-                        // Every rank must agree on the global sum.
+                        // Every rank must agree on the global sum — and the
+                        // reduction is deterministic, so agreement is
+                        // bit-exact, not approximate.
                         let expect = (0..r.size()).map(|x| x as f64).sum::<f64>();
-                        assert_eq!(out[0], expect);
-                        assert_eq!(out[ELEMS - 1], expect);
+                        assert_eq!(out[0].to_bits(), expect.to_bits());
+                        assert_eq!(out[ELEMS - 1].to_bits(), expect.to_bits());
                     }
                 })
                 .collect();

@@ -10,7 +10,10 @@ use simnet::Sim;
 
 fn main() {
     println!("== small-message latency (4 B half-RTT, us) ==");
-    println!("{:>8} {:>12} {:>12} {:>10}", "fabric", "user-level", "MPI", "overhead");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "fabric", "user-level", "MPI", "overhead"
+    );
     for kind in FabricKind::ALL {
         let sim = Sim::new();
         let user = sim.block_on({

@@ -44,7 +44,6 @@ fn run(kind: FabricKind) -> (f64, f64) {
     let t_total = sim.block_on({
         let sim = sim.clone();
         let ranks: Vec<_> = (0..RANKS).map(|r| Rc::clone(world.rank(r))).collect();
-        let barrier = barrier.clone();
         async move {
             let mut tasks = Vec::new();
             #[allow(clippy::needless_range_loop)] // r is the MPI rank id
@@ -65,9 +64,7 @@ fn run(kind: FabricKind) -> (f64, f64) {
                         let t0 = sim.now();
                         // Post both receives first (good MPI practice).
                         let r_up = me.irecv(Source::Rank(up), 1, recv_up, HALO_BYTES).await;
-                        let r_dn = me
-                            .irecv(Source::Rank(down), 2, recv_down, HALO_BYTES)
-                            .await;
+                        let r_dn = me.irecv(Source::Rank(down), 2, recv_down, HALO_BYTES).await;
                         let s_up = me.isend(up, 2, send_up, HALO_BYTES, None).await;
                         let s_dn = me.isend(down, 1, send_down, HALO_BYTES, None).await;
                         r_up.wait().await;

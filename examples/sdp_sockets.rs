@@ -103,14 +103,22 @@ fn main() {
     };
 
     println!("== software layers over the same NetEffect iWARP RNIC ==");
-    println!("{:>22} {:>14} {:>14}", "layer", "64B lat (us)", "4MB bw (MB/s)");
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "layer", "64B lat (us)", "4MB bw (MB/s)"
+    );
     println!(
         "{:>22} {:>14.2} {:>14}",
         "verbs (RDMA Write)", verbs_lat, "1082"
     );
     println!("{:>22} {:>14.2} {:>14.0}", "SDP sockets", sdp_lat, sdp_bulk);
-    println!("{:>22} {:>14} {:>14}", "host TCP (era, ref.)", "~50", "~600");
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "host TCP (era, ref.)", "~50", "~600"
+    );
     println!();
-    println!("SDP keeps socket semantics while staying within ~{:.0}% of verbs latency",
-        (sdp_lat / verbs_lat - 1.0) * 100.0);
+    println!(
+        "SDP keeps socket semantics while staying within ~{:.0}% of verbs latency",
+        (sdp_lat / verbs_lat - 1.0) * 100.0
+    );
 }

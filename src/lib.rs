@@ -50,6 +50,8 @@
 //! assert!(latency_us > 5.0 && latency_us < 15.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use etherstack;
 pub use hostmodel;
 pub use infiniband;

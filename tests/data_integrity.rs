@@ -8,7 +8,9 @@ use mpisim::{FabricKind, MpiWorld};
 use simnet::Sim;
 
 fn patterned(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| (i as u64 * 131 + seed as u64) as u8).collect()
+    (0..n)
+        .map(|i| (i as u64 * 131 + seed as u64) as u8)
+        .collect()
 }
 
 #[test]
@@ -44,15 +46,7 @@ fn interleaved_tags_keep_payloads_separate() {
         sim.block_on(async move {
             let b = r0.alloc_buffer(64);
             for tag in 0..8u32 {
-                send(
-                    &*r0,
-                    1,
-                    tag,
-                    b,
-                    8,
-                    Some(vec![tag as u8; 8]),
-                )
-                .await;
+                send(&*r0, 1, tag, b, 8, Some(vec![tag as u8; 8])).await;
             }
             // Receive in reverse tag order: every message must match its
             // own tag's payload.
@@ -60,7 +54,11 @@ fn interleaved_tags_keep_payloads_separate() {
                 let rb = r1.alloc_buffer(64);
                 let st = recv(&*r1, Source::Rank(0), tag, rb, 64).await;
                 assert_eq!(st.len, 8);
-                assert_eq!(r1.mem().read(rb, 8), vec![tag as u8; 8], "{kind:?} tag {tag}");
+                assert_eq!(
+                    r1.mem().read(rb, 8),
+                    vec![tag as u8; 8],
+                    "{kind:?} tag {tag}"
+                );
             }
         });
     }

@@ -108,7 +108,11 @@ fn gen_scenario(rng: &mut Rng) -> Scenario {
                     };
                     Op::Message(delay, pl, bytes, rng.range(0, 48))
                 }
-                6..=7 => Op::Raw(delay, rng.range(0, npipes as u64) as usize, rng.range(1, 4_000)),
+                6..=7 => Op::Raw(
+                    delay,
+                    rng.range(0, npipes as u64) as usize,
+                    rng.range(1, 4_000),
+                ),
                 _ => Op::Observe(delay, rng.range(0, npipes as u64) as usize),
             }
         })
@@ -221,7 +225,10 @@ fn fast_path_is_observationally_equivalent_to_walk() {
     // The sweep must actually exercise both paths — a refactor that
     // silently disables speculation (or never demotes it) is itself a bug.
     assert!(hits > cases / 10, "fast path barely taken: {hits} hits");
-    assert!(falls > cases / 20, "demotion barely exercised: {falls} falls");
+    assert!(
+        falls > cases / 20,
+        "demotion barely exercised: {falls} falls"
+    );
 }
 
 #[test]

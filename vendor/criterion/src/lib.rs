@@ -13,6 +13,8 @@
 //! * set `BENCH_JSON=/path/out.json` to also record
 //!   `{"id", "median_ns", "samples"}` rows for perf-trajectory tracking.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -34,9 +36,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // cargo passes flags like `--bench`; the first free argument is a
         // substring filter, matching Criterion's CLI convention.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             filter,
             records: Vec::new(),

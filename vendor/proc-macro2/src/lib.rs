@@ -1,0 +1,950 @@
+//! Offline drop-in subset of the `proc-macro2` API.
+//!
+//! This workspace builds with no network and no crates-io cache, so — like
+//! `vendor/proptest` and `vendor/criterion` — this crate implements exactly
+//! the API subset its consumers (`vendor/syn`, `vendor/quote`,
+//! `crates/simlint`) use: a standalone Rust lexer that turns source text into
+//! a [`TokenStream`] of [`TokenTree`]s, each carrying a [`Span`] with real
+//! line/column positions. There is no compiler bridge and no procedural-macro
+//! support; this is purely the "fallback" half of the real crate.
+//!
+//! The lexer understands the full surface-level token grammar needed to scan
+//! this repository: nested block comments, line comments, all string-literal
+//! forms (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`), character literals
+//! vs. lifetimes, raw identifiers, numeric literals with exponents and type
+//! suffixes, and the three bracket kinds as nested [`Group`]s.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A line/column pair, 1-based line and 0-based column, matching the real
+/// proc-macro2 `LineColumn` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LineColumn {
+    pub line: usize,
+    pub column: usize,
+}
+
+/// A region of source code. Unlike the real crate, spans are always concrete
+/// (there is no call-site hygiene), so `start`/`end` are plain fields exposed
+/// through the usual accessor methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: LineColumn,
+    end: LineColumn,
+}
+
+impl Span {
+    /// A span pointing at the very beginning of the file; stand-in for the
+    /// real crate's hygiene-carrying `Span::call_site()`.
+    pub fn call_site() -> Self {
+        Span {
+            start: LineColumn { line: 1, column: 0 },
+            end: LineColumn { line: 1, column: 0 },
+        }
+    }
+
+    pub fn new(start: LineColumn, end: LineColumn) -> Self {
+        Span { start, end }
+    }
+
+    pub fn start(&self) -> LineColumn {
+        self.start
+    }
+
+    pub fn end(&self) -> LineColumn {
+        self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Which bracket pair delimits a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    Parenthesis,
+    Brace,
+    Bracket,
+    /// Invisible delimiters never arise from lexing text; the variant exists
+    /// only for API parity.
+    None,
+}
+
+impl Delimiter {
+    fn open_char(self) -> char {
+        match self {
+            Delimiter::Parenthesis => '(',
+            Delimiter::Brace => '{',
+            Delimiter::Bracket => '[',
+            Delimiter::None => ' ',
+        }
+    }
+
+    fn close_char(self) -> char {
+        match self {
+            Delimiter::Parenthesis => ')',
+            Delimiter::Brace => '}',
+            Delimiter::Bracket => ']',
+            Delimiter::None => ' ',
+        }
+    }
+}
+
+/// Whether a [`Punct`] is immediately followed by another punctuation
+/// character (`Joint`, as in the first `:` of `::`) or not (`Alone`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    Alone,
+    Joint,
+}
+
+/// A bracketed sub-stream: `( … )`, `[ … ]` or `{ … }`.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    pub fn new(delimiter: Delimiter, stream: TokenStream) -> Self {
+        Group {
+            delimiter,
+            stream,
+            span: Span::call_site(),
+        }
+    }
+
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    pub fn stream(&self) -> TokenStream {
+        self.stream.clone()
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            self.delimiter.open_char(),
+            self.stream,
+            self.delimiter.close_char()
+        )
+    }
+}
+
+/// An identifier or keyword, including raw identifiers (`r#type`).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    sym: String,
+    span: Span,
+}
+
+impl Ident {
+    pub fn new(sym: &str, span: Span) -> Self {
+        Ident {
+            sym: sym.to_owned(),
+            span,
+        }
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sym)
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.sym == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.sym == *other
+    }
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    pub fn new(ch: char, spacing: Spacing, span: Span) -> Self {
+        Punct { ch, spacing, span }
+    }
+
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ch)
+    }
+}
+
+/// A literal token, stored as its raw source text (`42u64`, `"hi"`, `1.5e-3`).
+#[derive(Debug, Clone)]
+pub struct Literal {
+    repr: String,
+    span: Span,
+}
+
+impl Literal {
+    pub fn new(repr: &str, span: Span) -> Self {
+        Literal {
+            repr: repr.to_owned(),
+            span,
+        }
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// A single token tree: the unit of a [`TokenStream`].
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    Group(Group),
+    Ident(Ident),
+    Punct(Punct),
+    Literal(Literal),
+}
+
+impl TokenTree {
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+impl fmt::Display for TokenTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenTree::Group(g) => g.fmt(f),
+            TokenTree::Ident(i) => i.fmt(f),
+            TokenTree::Punct(p) => p.fmt(f),
+            TokenTree::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<Group> for TokenTree {
+    fn from(g: Group) -> Self {
+        TokenTree::Group(g)
+    }
+}
+
+impl From<Ident> for TokenTree {
+    fn from(i: Ident) -> Self {
+        TokenTree::Ident(i)
+    }
+}
+
+impl From<Punct> for TokenTree {
+    fn from(p: Punct) -> Self {
+        TokenTree::Punct(p)
+    }
+}
+
+impl From<Literal> for TokenTree {
+    fn from(l: Literal) -> Self {
+        TokenTree::Literal(l)
+    }
+}
+
+/// A sequence of [`TokenTree`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    pub fn new() -> Self {
+        TokenStream::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    pub fn push(&mut self, tree: TokenTree) {
+        self.trees.push(tree);
+    }
+
+    pub fn trees(&self) -> &[TokenTree] {
+        &self.trees
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenStream {
+    type Item = &'a TokenTree;
+    type IntoIter = std::slice::Iter<'a, TokenTree>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.iter()
+    }
+}
+
+impl FromIterator<TokenTree> for TokenStream {
+    fn from_iter<I: IntoIterator<Item = TokenTree>>(iter: I) -> Self {
+        TokenStream {
+            trees: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, tree) in self.trees.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            tree.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A lexing failure, carrying the position where the lexer gave up.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    span: Span,
+    message: String,
+}
+
+impl LexError {
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.span.start.line, self.span.start.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    fn from_str(src: &str) -> Result<Self, LexError> {
+        Lexer::new(src).lex_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+const PUNCT_CHARS: &str = "~!@#$%^&*-=+|;:,<.>/?'";
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 0,
+        }
+    }
+
+    fn here(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 0;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: &str) -> LexError {
+        let at = self.here();
+        LexError {
+            span: Span::new(at, at),
+            message: message.to_owned(),
+        }
+    }
+
+    fn lex_all(mut self) -> Result<TokenStream, LexError> {
+        let stream = self.lex_stream(None)?;
+        if self.peek().is_some() {
+            return Err(self.error("unmatched closing delimiter"));
+        }
+        Ok(stream)
+    }
+
+    /// Lex until EOF (`closing == None`) or until the expected closing
+    /// delimiter of an open group is consumed.
+    fn lex_stream(&mut self, closing: Option<char>) -> Result<TokenStream, LexError> {
+        let mut out = TokenStream::new();
+        loop {
+            self.skip_trivia()?;
+            let Some(c) = self.peek() else {
+                return match closing {
+                    None => Ok(out),
+                    Some(_) => Err(self.error("unclosed delimiter at end of input")),
+                };
+            };
+            match c {
+                '(' | '[' | '{' => {
+                    let start = self.here();
+                    let delim = match c {
+                        '(' => Delimiter::Parenthesis,
+                        '[' => Delimiter::Bracket,
+                        _ => Delimiter::Brace,
+                    };
+                    self.bump();
+                    let inner = self.lex_stream(Some(delim.close_char()))?;
+                    let end = self.here();
+                    out.push(TokenTree::Group(Group {
+                        delimiter: delim,
+                        stream: inner,
+                        span: Span::new(start, end),
+                    }));
+                }
+                ')' | ']' | '}' => {
+                    if Some(c) == closing {
+                        self.bump();
+                        return Ok(out);
+                    }
+                    return match closing {
+                        None => Ok(out),
+                        Some(_) => Err(self.error("mismatched closing delimiter")),
+                    };
+                }
+                _ => {
+                    let tree = self.lex_token(c)?;
+                    out.push(tree);
+                }
+            }
+        }
+    }
+
+    fn lex_token(&mut self, c: char) -> Result<TokenTree, LexError> {
+        if c.is_ascii_digit() {
+            return self.lex_number();
+        }
+        if c == '"' {
+            return self.lex_string();
+        }
+        if c == '\'' {
+            return self.lex_quote();
+        }
+        if is_ident_start(c) {
+            // String-ish prefixes: r"", r#"", b"", br"", b'', c"".
+            if let Some(tree) = self.try_lex_prefixed()? {
+                return Ok(tree);
+            }
+            return Ok(self.lex_ident());
+        }
+        if PUNCT_CHARS.contains(c) {
+            let start = self.here();
+            self.bump();
+            let joint = self
+                .peek()
+                .is_some_and(|n| PUNCT_CHARS.contains(n) && n != '\'');
+            let spacing = if joint {
+                Spacing::Joint
+            } else {
+                Spacing::Alone
+            };
+            return Ok(TokenTree::Punct(Punct {
+                ch: c,
+                spacing,
+                span: Span::new(start, self.here()),
+            }));
+        }
+        Err(self.error(&format!("unexpected character {c:?}")))
+    }
+
+    /// Skip whitespace, line comments (incl. doc comments) and nested block
+    /// comments. Comments never reach the token stream; `simlint` re-scans
+    /// raw source lines for its `// simlint: allow(…)` annotations.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenTree {
+        let start = self.here();
+        let mut sym = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                sym.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Ident(Ident {
+            sym,
+            span: Span::new(start, self.here()),
+        })
+    }
+
+    /// Handle identifier-leading literal forms: raw strings (`r"…"`,
+    /// `r#"…"#`), byte strings (`b"…"`, `br#"…"#`), byte chars (`b'x'`),
+    /// C strings (`c"…"`) and raw identifiers (`r#ident`). Returns `None`
+    /// when the upcoming token is a plain identifier.
+    fn try_lex_prefixed(&mut self) -> Result<Option<TokenTree>, LexError> {
+        let c0 = self.peek().unwrap_or(' ');
+        let c1 = self.peek_at(1);
+        let c2 = self.peek_at(2);
+        match (c0, c1) {
+            // r"…" | r#"…"# | br-like below; r#ident is a raw identifier.
+            ('r', Some('"')) => Ok(Some(self.lex_raw_string(1)?)),
+            ('r', Some('#')) => {
+                // Distinguish r#"…" (raw string) from r#ident (raw ident).
+                let mut ahead = 1;
+                while self.peek_at(ahead) == Some('#') {
+                    ahead += 1;
+                }
+                if self.peek_at(ahead) == Some('"') {
+                    Ok(Some(self.lex_raw_string(1)?))
+                } else {
+                    // Raw identifier: consume `r#`, then the identifier.
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    let TokenTree::Ident(inner) = self.lex_ident() else {
+                        return Err(self.error("expected identifier after r#"));
+                    };
+                    Ok(Some(TokenTree::Ident(Ident {
+                        sym: inner.sym,
+                        span: Span::new(start, self.here()),
+                    })))
+                }
+            }
+            ('b', Some('"')) => Ok(Some(self.lex_cooked_string_literal(1)?)),
+            ('b', Some('\'')) => Ok(Some(self.lex_byte_char()?)),
+            ('b', Some('r')) if matches!(c2, Some('"') | Some('#')) => {
+                Ok(Some(self.lex_raw_string(2)?))
+            }
+            ('c', Some('"')) => Ok(Some(self.lex_cooked_string_literal(1)?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Lex a normal (escapable) string literal, consuming `prefix_len`
+    /// identifier characters first (`b"…"` / `c"…"`; 0 for a bare `"…"`).
+    fn lex_cooked_string_literal(&mut self, prefix_len: usize) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        let mut repr = String::new();
+        for _ in 0..prefix_len {
+            repr.push(self.bump().expect("prefix present"));
+        }
+        self.lex_string_body(&mut repr)?;
+        self.lex_suffix(&mut repr);
+        Ok(TokenTree::Literal(Literal {
+            repr,
+            span: Span::new(start, self.here()),
+        }))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenTree, LexError> {
+        self.lex_cooked_string_literal(0)
+    }
+
+    /// Consume `"…"` with escapes into `repr` (opening quote pending).
+    fn lex_string_body(&mut self, repr: &mut String) -> Result<(), LexError> {
+        repr.push(self.bump().expect("opening quote"));
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    repr.push('\\');
+                    match self.bump() {
+                        Some(e) => repr.push(e),
+                        None => return Err(self.error("unterminated string escape")),
+                    }
+                }
+                Some('"') => {
+                    repr.push('"');
+                    return Ok(());
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    /// Raw (and raw-byte) strings: consume `prefix_len` chars (`r` / `br`),
+    /// then `#…#"…"#…#` with a matching hash count.
+    fn lex_raw_string(&mut self, prefix_len: usize) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        let mut repr = String::new();
+        for _ in 0..prefix_len {
+            repr.push(self.bump().expect("prefix present"));
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            repr.push(self.bump().expect("hash"));
+            hashes += 1;
+        }
+        if self.peek() != Some('"') {
+            return Err(self.error("malformed raw string literal"));
+        }
+        repr.push(self.bump().expect("quote"));
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    repr.push('"');
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        repr.push(self.bump().expect("hash"));
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        self.lex_suffix(&mut repr);
+                        return Ok(TokenTree::Literal(Literal {
+                            repr,
+                            span: Span::new(start, self.here()),
+                        }));
+                    }
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.error("unterminated raw string literal")),
+            }
+        }
+    }
+
+    fn lex_byte_char(&mut self) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        let mut repr = String::new();
+        repr.push(self.bump().expect("b prefix"));
+        self.lex_char_body(&mut repr)?;
+        Ok(TokenTree::Literal(Literal {
+            repr,
+            span: Span::new(start, self.here()),
+        }))
+    }
+
+    /// After seeing `'`: decide between a char literal and a lifetime.
+    fn lex_quote(&mut self) -> Result<TokenTree, LexError> {
+        let next = self.peek_at(1);
+        let after = self.peek_at(2);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) => after == Some('\''),
+            Some('\'') => false, // `''` — malformed; treat as punct pair
+            Some(_) => true,     // e.g. `' '` or `'1'`
+            None => false,
+        };
+        if is_char {
+            let start = self.here();
+            let mut repr = String::new();
+            self.lex_char_body(&mut repr)?;
+            return Ok(TokenTree::Literal(Literal {
+                repr,
+                span: Span::new(start, self.here()),
+            }));
+        }
+        // Lifetime: emit `'` as a Joint punct; the following identifier is
+        // lexed as a normal ident, matching real proc-macro2 behaviour.
+        let start = self.here();
+        self.bump();
+        Ok(TokenTree::Punct(Punct {
+            ch: '\'',
+            spacing: Spacing::Joint,
+            span: Span::new(start, self.here()),
+        }))
+    }
+
+    /// Consume `'…'` (with escapes) into `repr`.
+    fn lex_char_body(&mut self, repr: &mut String) -> Result<(), LexError> {
+        repr.push(self.bump().expect("opening quote"));
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    repr.push('\\');
+                    match self.bump() {
+                        Some(e) => repr.push(e),
+                        None => return Err(self.error("unterminated char escape")),
+                    }
+                }
+                Some('\'') => {
+                    repr.push('\'');
+                    return Ok(());
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.error("unterminated char literal")),
+            }
+        }
+    }
+
+    /// Numeric literal: integer or float, with radix prefixes, `_`
+    /// separators, exponents and alphanumeric type suffixes.
+    fn lex_number(&mut self) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        let mut repr = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                repr.push(c);
+                self.bump();
+                // `1e-3` / `2.5E+7`: a sign directly after an exponent `e`
+                // in a decimal literal belongs to the number.
+                if (c == 'e' || c == 'E')
+                    && !repr.starts_with("0x")
+                    && !repr.starts_with("0X")
+                    && matches!(self.peek(), Some('+') | Some('-'))
+                    && self.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    repr.push(self.bump().expect("sign"));
+                }
+            } else if c == '.'
+                && !repr.contains('.')
+                && self.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Fractional part — but not `1..2` (range) or `1.method()`.
+                repr.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(TokenTree::Literal(Literal {
+            repr,
+            span: Span::new(start, self.here()),
+        }))
+    }
+
+    /// Optional literal type suffix (`"x"suffix` is rare but legal pre-2021;
+    /// mainly this catches `1.0f64`-style suffixes already consumed above —
+    /// for strings it is a no-op in practice).
+    fn lex_suffix(&mut self, repr: &mut String) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                repr.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> TokenStream {
+        src.parse().expect("lexes")
+    }
+
+    fn idents(stream: &TokenStream) -> Vec<String> {
+        let mut out = Vec::new();
+        collect_idents(stream, &mut out);
+        out
+    }
+
+    fn collect_idents(stream: &TokenStream, out: &mut Vec<String>) {
+        for tree in stream {
+            match tree {
+                TokenTree::Ident(i) => out.push(i.to_string()),
+                TokenTree::Group(g) => collect_idents(&g.stream, out),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn lexes_basic_items() {
+        let ts = lex("fn main() { let x: u32 = 1 + 2; }");
+        assert_eq!(idents(&ts), ["fn", "main", "let", "x", "u32"]);
+    }
+
+    #[test]
+    fn comments_are_stripped_and_nested() {
+        let ts = lex("a /* x /* y */ z */ b // tail\nc");
+        assert_eq!(idents(&ts), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn strings_and_chars_and_lifetimes() {
+        let ts = lex(r##"let s = "a\"b"; let r = r#"raw "x" "#; f::<'a>('c', b'\n')"##);
+        let ids = idents(&ts);
+        assert!(ids.contains(&"a".to_owned()), "lifetime ident survives");
+        assert_eq!(ids.iter().filter(|s| *s == "let").count(), 2);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let ts = lex("1.5e-3 + 0x_ff - 2..10 * 1_000u64");
+        let lits: Vec<String> = ts
+            .trees()
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) => Some(l.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, ["1.5e-3", "0x_ff", "2", "10", "1_000u64"]);
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let ts = lex("a\n  bee");
+        let TokenTree::Ident(b) = &ts.trees()[1] else {
+            panic!("expected ident");
+        };
+        assert_eq!(b.span().start().line, 2);
+        assert_eq!(b.span().start().column, 2);
+        assert_eq!(b.span().end().column, 5);
+    }
+
+    #[test]
+    fn groups_nest_and_span() {
+        let ts = lex("f(a, [b, {c}])");
+        assert_eq!(idents(&ts), ["f", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ts = lex("r#type");
+        assert_eq!(idents(&ts), ["type"]);
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        assert!("fn f( {".parse::<TokenStream>().is_err());
+        assert!("}".parse::<TokenStream>().is_err());
+    }
+}

@@ -9,6 +9,8 @@
 //! (and every machine) explores the same cases. Shrinking is not
 //! implemented; a failing case panics with the generated inputs instead.
 
+#![forbid(unsafe_code)]
+
 /// Per-test configuration. Only `cases` is honoured.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
@@ -151,7 +153,9 @@ pub mod strategy {
             }
         )*};
     }
-    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F));
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+        A, B, C, D, E, F
+    ));
 
     /// Uniform choice between boxed strategies with a common value type;
     /// built by [`crate::prop_oneof!`].

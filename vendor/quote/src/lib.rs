@@ -1,0 +1,114 @@
+//! Offline drop-in subset of the `quote` API.
+//!
+//! Vendored like `vendor/proptest` and `vendor/criterion`: implements exactly
+//! the API subset this workspace uses — the [`ToTokens`] trait and
+//! [`TokenStreamExt`] append helpers, which `vendor/syn` and `crates/simlint`
+//! use to re-render matched token runs into diagnostic snippets. The `quote!`
+//! macro itself (template interpolation) is not provided; nothing here
+//! generates code, it only round-trips tokens back to text.
+
+#![forbid(unsafe_code)]
+
+use proc_macro2::{Group, Ident, Literal, Punct, TokenStream, TokenTree};
+
+/// Types that can write themselves into a [`TokenStream`].
+pub trait ToTokens {
+    fn to_tokens(&self, tokens: &mut TokenStream);
+
+    fn to_token_stream(&self) -> TokenStream {
+        let mut tokens = TokenStream::new();
+        self.to_tokens(&mut tokens);
+        tokens
+    }
+}
+
+impl ToTokens for TokenTree {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.push(self.clone());
+    }
+}
+
+impl ToTokens for TokenStream {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        for tree in self {
+            tokens.push(tree.clone());
+        }
+    }
+}
+
+impl ToTokens for Ident {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.push(TokenTree::Ident(self.clone()));
+    }
+}
+
+impl ToTokens for Punct {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.push(TokenTree::Punct(self.clone()));
+    }
+}
+
+impl ToTokens for Literal {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.push(TokenTree::Literal(self.clone()));
+    }
+}
+
+impl ToTokens for Group {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.push(TokenTree::Group(self.clone()));
+    }
+}
+
+impl<T: ToTokens + ?Sized> ToTokens for &T {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        (**self).to_tokens(tokens);
+    }
+}
+
+/// Append-style extension methods on [`TokenStream`], mirroring the real
+/// crate's trait of the same name.
+pub trait TokenStreamExt {
+    fn append<T: Into<TokenTree>>(&mut self, token: T);
+    fn append_all<I>(&mut self, iter: I)
+    where
+        I: IntoIterator,
+        I::Item: ToTokens;
+}
+
+impl TokenStreamExt for TokenStream {
+    fn append<T: Into<TokenTree>>(&mut self, token: T) {
+        self.push(token.into());
+    }
+
+    fn append_all<I>(&mut self, iter: I)
+    where
+        I: IntoIterator,
+        I::Item: ToTokens,
+    {
+        for item in iter {
+            item.to_tokens(self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_tokens_to_text() {
+        let ts: TokenStream = "std :: time :: Instant".parse().expect("lexes");
+        let mut out = TokenStream::new();
+        ts.to_tokens(&mut out);
+        assert_eq!(out.to_string(), "std : : time : : Instant");
+    }
+
+    #[test]
+    fn append_all_collects() {
+        let ts: TokenStream = "a b c".parse().expect("lexes");
+        let mut out = TokenStream::new();
+        out.append_all(&ts);
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,523 @@
+//! Offline drop-in subset of the `syn` API.
+//!
+//! Vendored like `vendor/proptest` and `vendor/criterion`: this workspace
+//! builds with no network, so this crate implements exactly the slice of syn
+//! that `crates/simlint` consumes — [`parse_file`] turning source text into a
+//! [`File`] of kinded, spanned [`Item`]s, where each item keeps its full
+//! token stream (lexed by the vendored `proc-macro2`). There is no typed
+//! expression AST: simlint's rules are token-pattern walkers, so items expose
+//! tokens plus just enough structure (kind, name, body group) to scope a
+//! match, and the [`visit`] module provides the recursive token walk.
+//!
+//! The item parser is deliberately coarse: it splits a file (and, recursively,
+//! `mod`/`impl`/`trait` bodies) into items by keyword dispatch and
+//! terminator scanning (`;` vs. braced body). That is enough to parse every
+//! file in this repository; exotic grammar it cannot split cleanly degrades
+//! into `ItemKind::Other` items, never into silently dropped tokens — every
+//! token of the input is preserved in exactly one item.
+
+#![forbid(unsafe_code)]
+
+use proc_macro2::{Delimiter, Group, Ident, Span, TokenStream, TokenTree};
+
+use std::fmt;
+
+/// A parse failure (currently only lex-level failures surface).
+#[derive(Debug, Clone)]
+pub struct Error {
+    span: Span,
+    message: String,
+}
+
+impl Error {
+    pub fn new(span: Span, message: impl fmt::Display) -> Self {
+        Error {
+            span,
+            message: message.to_string(),
+        }
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.span.start().line,
+            self.span.start().column,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// What sort of item a top-level declaration is. Determined by the first
+/// keyword after attributes/visibility/`unsafe`/`async`/`const` qualifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Use,
+    Fn,
+    Struct,
+    Enum,
+    Union,
+    Trait,
+    Impl,
+    Mod,
+    TypeAlias,
+    Const,
+    Static,
+    ExternCrate,
+    MacroInvocation,
+    /// Anything the coarse splitter could not classify.
+    Other,
+}
+
+/// One item: its kind, its name (when syntactically evident), every token of
+/// the declaration, and — for kinds with a braced body — the recursively
+/// parsed sub-items of that body.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// The declared name (`use` items and unnameable kinds leave this empty).
+    pub ident: Option<Ident>,
+    /// Every token of the item, including attributes and the body group.
+    pub tokens: TokenStream,
+    /// For `mod`/`impl`/`trait` items with inline bodies: the parsed items
+    /// of the body. The body tokens also remain inside `tokens`.
+    pub sub_items: Vec<Item>,
+    pub span: Span,
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    pub shebang: Option<String>,
+    /// Inner attributes (`#![…]`) at the top of the file, as raw tokens.
+    pub attrs: Vec<TokenStream>,
+    pub items: Vec<Item>,
+}
+
+impl File {
+    /// Every token of the file in order, inner attributes included.
+    pub fn all_tokens(&self) -> TokenStream {
+        let mut out = TokenStream::new();
+        for attr in &self.attrs {
+            for tree in attr {
+                out.push(tree.clone());
+            }
+        }
+        for item in &self.items {
+            for tree in &item.tokens {
+                out.push(tree.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Parse a whole source file.
+pub fn parse_file(mut content: &str) -> Result<File> {
+    // Strip BOM and shebang exactly like real syn.
+    if let Some(rest) = content.strip_prefix('\u{feff}') {
+        content = rest;
+    }
+    let mut shebang = None;
+    if content.starts_with("#!") && !content.starts_with("#![") {
+        let line_end = content.find('\n').unwrap_or(content.len());
+        shebang = Some(content[..line_end].to_owned());
+        content = &content[line_end..];
+    }
+    let stream: TokenStream = content
+        .parse()
+        .map_err(|e: proc_macro2::LexError| Error::new(e.span(), e))?;
+    let mut parser = ItemParser::new(stream);
+    let (attrs, items) = parser.parse_items(true)?;
+    Ok(File {
+        shebang,
+        attrs,
+        items,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Coarse item splitter
+// ---------------------------------------------------------------------------
+
+struct ItemParser {
+    trees: Vec<TokenTree>,
+    pos: usize,
+}
+
+/// Keywords that may qualify an item before its defining keyword.
+const QUALIFIERS: &[&str] = &["pub", "unsafe", "async", "extern", "default"];
+
+impl ItemParser {
+    fn new(stream: TokenStream) -> Self {
+        ItemParser {
+            trees: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.trees.get(self.pos)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&TokenTree> {
+        self.trees.get(self.pos + ahead)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.trees.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Parse a run of items until the trees are exhausted. When `top_level`,
+    /// leading `#![…]` inner attributes are collected separately.
+    fn parse_items(&mut self, top_level: bool) -> Result<(Vec<TokenStream>, Vec<Item>)> {
+        let mut attrs = Vec::new();
+        if top_level {
+            while self.at_inner_attr() {
+                attrs.push(self.consume_inner_attr());
+            }
+        }
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            items.push(self.parse_item()?);
+        }
+        Ok((attrs, items))
+    }
+
+    fn at_inner_attr(&self) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+            && matches!(self.peek_at(1), Some(TokenTree::Punct(p)) if p.as_char() == '!')
+            && matches!(
+                self.peek_at(2),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+            )
+    }
+
+    fn consume_inner_attr(&mut self) -> TokenStream {
+        let mut out = TokenStream::new();
+        for _ in 0..3 {
+            if let Some(t) = self.bump() {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    fn parse_item(&mut self) -> Result<Item> {
+        let start_pos = self.pos;
+        let mut tokens = TokenStream::new();
+        let start_span = self.peek().map_or_else(Span::call_site, TokenTree::span);
+
+        // Leading outer attributes: `#[…]` pairs.
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+            && matches!(
+                self.peek_at(1),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+            )
+        {
+            tokens.push(self.bump().expect("attr #"));
+            tokens.push(self.bump().expect("attr group"));
+        }
+
+        // Qualifiers: `pub`, `pub(crate)`, `unsafe`, `async`, `extern "C"`,
+        // `const` (as in `const fn`, disambiguated below), `default`.
+        let mut extern_qualifier = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Ident(id)) if QUALIFIERS.contains(&id.to_string().as_str()) => {
+                    extern_qualifier = *id == "extern";
+                    tokens.push(self.bump().expect("qualifier"));
+                    // `pub(crate)` / `pub(in …)` restriction group.
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.push(self.bump().expect("restriction"));
+                        }
+                    }
+                }
+                // `extern "C" fn` / `extern crate` — the ABI string.
+                Some(TokenTree::Literal(_)) if extern_qualifier => {
+                    extern_qualifier = false;
+                    tokens.push(self.bump().expect("abi"));
+                }
+                // `const fn f` — `const` is a qualifier only when followed
+                // by `fn`; otherwise it begins a `const` item.
+                Some(TokenTree::Ident(id))
+                    if *id == "const"
+                        && matches!(self.peek_at(1), Some(TokenTree::Ident(k)) if *k == "fn") =>
+                {
+                    tokens.push(self.bump().expect("const qualifier"));
+                }
+                _ => break,
+            }
+        }
+
+        // Defining keyword → kind, name position and terminator style.
+        let kind = match self.peek() {
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "use" => ItemKind::Use,
+                "fn" => ItemKind::Fn,
+                "struct" => ItemKind::Struct,
+                "enum" => ItemKind::Enum,
+                "union" => ItemKind::Union,
+                "trait" => ItemKind::Trait,
+                "impl" => ItemKind::Impl,
+                "mod" => ItemKind::Mod,
+                "type" => ItemKind::TypeAlias,
+                "const" => ItemKind::Const,
+                "static" => ItemKind::Static,
+                "crate" => ItemKind::ExternCrate, // after `extern` qualifier
+                "macro_rules" => ItemKind::MacroInvocation,
+                _ => {
+                    // `name!(…);` / `name! { … }` macro invocation items.
+                    if matches!(self.peek_at(1), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                        ItemKind::MacroInvocation
+                    } else {
+                        ItemKind::Other
+                    }
+                }
+            },
+            Some(_) => ItemKind::Other,
+            None => {
+                // Qualifiers/attrs at end of input (shouldn't happen in valid
+                // code): emit what we have as an Other item.
+                return Ok(Item {
+                    kind: ItemKind::Other,
+                    ident: None,
+                    tokens,
+                    sub_items: Vec::new(),
+                    span: start_span,
+                });
+            }
+        };
+        if self.pos == start_pos && self.peek().is_none() {
+            return Err(Error::new(start_span, "empty item"));
+        }
+
+        // Item name: the first plain identifier after the defining keyword
+        // (skipping the keyword itself). `impl`/`use` names are not tracked.
+        let keyword_consumed = matches!(kind, ItemKind::Other);
+        if !keyword_consumed {
+            tokens.push(self.bump().expect("defining keyword"));
+        }
+        let ident = match kind {
+            ItemKind::Impl | ItemKind::Use | ItemKind::Other => None,
+            _ => match self.peek() {
+                Some(TokenTree::Ident(id)) => Some(id.clone()),
+                _ => None,
+            },
+        };
+
+        // Scan to the terminator. Kinds whose initializer may legally
+        // contain a top-level brace group end only at `;`; the rest end at
+        // the first top-level `{…}` group or at `;`, whichever comes first.
+        let semicolon_only = matches!(
+            kind,
+            ItemKind::Use
+                | ItemKind::TypeAlias
+                | ItemKind::Const
+                | ItemKind::Static
+                | ItemKind::ExternCrate
+        );
+        let mut body: Option<Group> = None;
+        let mut end_span = start_span;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    let t = self.bump().expect("semicolon");
+                    end_span = t.span();
+                    tokens.push(t);
+                    break;
+                }
+                Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Brace && !semicolon_only =>
+                {
+                    let TokenTree::Group(g) = self.bump().expect("body group") else {
+                        unreachable!("peeked a group");
+                    };
+                    end_span = g.span();
+                    body = Some(g.clone());
+                    tokens.push(TokenTree::Group(g));
+                    break;
+                }
+                Some(_) => {
+                    let t = self.bump().expect("item token");
+                    end_span = t.span();
+                    tokens.push(t);
+                }
+                None => break,
+            }
+        }
+
+        // Recursively split bodies that contain nested items.
+        let sub_items = match (kind, &body) {
+            (ItemKind::Mod | ItemKind::Impl | ItemKind::Trait, Some(g)) => {
+                let mut inner = ItemParser::new(g.stream());
+                // Inner attributes are legal at the top of a mod body.
+                let (_, items) = inner.parse_items(true)?;
+                items
+            }
+            _ => Vec::new(),
+        };
+
+        Ok(Item {
+            kind,
+            ident,
+            tokens,
+            sub_items,
+            span: start_span.join(end_span),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token visitors
+// ---------------------------------------------------------------------------
+
+/// Recursive token walking, in the spirit of `syn::visit`.
+pub mod visit {
+    use super::{File, Group, Item, TokenStream, TokenTree};
+
+    /// Visitor over every token of a file, recursing into groups. Only the
+    /// hooks a rule needs must be implemented.
+    pub trait Visit {
+        fn visit_ident(&mut self, _ident: &proc_macro2::Ident) {}
+        fn visit_punct(&mut self, _punct: &proc_macro2::Punct) {}
+        fn visit_literal(&mut self, _literal: &proc_macro2::Literal) {}
+        /// Called before descending into a group; return `false` to skip it.
+        fn visit_group(&mut self, _group: &Group) -> bool {
+            true
+        }
+    }
+
+    pub fn visit_file<V: Visit>(visitor: &mut V, file: &File) {
+        for attr in &file.attrs {
+            visit_stream(visitor, attr);
+        }
+        for item in &file.items {
+            visit_item(visitor, item);
+        }
+    }
+
+    pub fn visit_item<V: Visit>(visitor: &mut V, item: &Item) {
+        // `tokens` already contains the body group, so walking `tokens`
+        // covers sub-items too; they are not re-walked separately.
+        visit_stream(visitor, &item.tokens);
+    }
+
+    pub fn visit_stream<V: Visit>(visitor: &mut V, stream: &TokenStream) {
+        for tree in stream {
+            match tree {
+                TokenTree::Ident(i) => visitor.visit_ident(i),
+                TokenTree::Punct(p) => visitor.visit_punct(p),
+                TokenTree::Literal(l) => visitor.visit_literal(l),
+                TokenTree::Group(g) => {
+                    if visitor.visit_group(g) {
+                        visit_stream(visitor, &g.stream());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_top_level_items() {
+        let file = parse_file(
+            r#"
+            //! doc
+            #![deny(missing_docs)]
+            use std::collections::HashMap;
+
+            pub struct Foo { x: u32 }
+
+            pub(crate) const N: usize = { 3 + 4 };
+
+            impl Foo {
+                pub fn new() -> Self { Foo { x: 0 } }
+            }
+
+            mod inner {
+                pub fn helper() {}
+            }
+
+            macro_rules! m { () => {} }
+            "#,
+        )
+        .expect("parses");
+        let kinds: Vec<ItemKind> = file.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                ItemKind::Use,
+                ItemKind::Struct,
+                ItemKind::Const,
+                ItemKind::Impl,
+                ItemKind::Mod,
+                ItemKind::MacroInvocation,
+            ]
+        );
+        assert_eq!(file.attrs.len(), 1);
+        assert_eq!(
+            file.items[1].ident.as_ref().expect("name").to_string(),
+            "Foo"
+        );
+        assert_eq!(file.items[3].sub_items.len(), 1);
+        assert_eq!(file.items[3].sub_items[0].kind, ItemKind::Fn);
+        assert_eq!(file.items[4].sub_items[0].kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn const_fn_is_a_fn() {
+        let file = parse_file("pub const fn f() -> u32 { 1 }").expect("parses");
+        assert_eq!(file.items[0].kind, ItemKind::Fn);
+        assert_eq!(file.items[0].ident.as_ref().expect("name").to_string(), "f");
+    }
+
+    #[test]
+    fn braced_const_initializer_does_not_split() {
+        let file = parse_file("const X: u32 = { 1 + 2 }; fn after() {}").expect("parses");
+        assert_eq!(file.items.len(), 2);
+        assert_eq!(file.items[0].kind, ItemKind::Const);
+        assert_eq!(file.items[1].kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn shebang_is_stripped() {
+        let file = parse_file("#!/usr/bin/env run\nfn main() {}").expect("parses");
+        assert!(file.shebang.is_some());
+        assert_eq!(file.items[0].kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn every_token_lands_in_exactly_one_item() {
+        let src = "use a::b; fn f(x: u32) -> u32 { x + 1 } struct S;";
+        let file = parse_file(src).expect("parses");
+        let total: usize = file.items.iter().map(|i| i.tokens.len()).sum();
+        let direct: proc_macro2::TokenStream = src.parse().expect("lexes");
+        assert_eq!(total, direct.len());
+    }
+
+    #[test]
+    fn lex_error_surfaces_with_position() {
+        let err = parse_file("fn broken( {").expect_err("must fail");
+        assert!(err.to_string().contains("parse error"));
+    }
+}
