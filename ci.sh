@@ -21,11 +21,19 @@ cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (broken intra-doc links are errors)"
+RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc -q --no-deps --workspace
+
 echo "==> simlint --deny-all (determinism & simulation-safety lints)"
 # Workspace-wide AST lint pass: rejects hash-order iteration, wall-clock
 # reads, OS threads, unseeded RNGs, unordered float accumulation, and
 # Relaxed atomics inside simulation-state code. See DESIGN.md.
 cargo run -q -p simlint -- --deny-all
+
+mkdir -p results/ci
+echo "==> simlint --json artifact: results/ci/simlint.json"
+# Machine-readable per-rule violation/allow tally for trend tracking.
+cargo run -q -p simlint -- --deny-all --json > results/ci/simlint.json
 
 echo "==> differential sweep: fast path vs per-segment walk (100k cases)"
 FASTPATH_DIFF_CASES=100000 cargo test -q --release --test fastpath_diff
@@ -36,6 +44,9 @@ echo "==> smoke: cargo bench -p bench --bench pipeline_throughput"
 cargo bench -p bench --bench pipeline_throughput > /dev/null
 
 echo "==> smoke: figures fig1 --json results/ci/"
+# Drop stale figure JSON first so a generator that silently stops writing
+# a file cannot pass the digest check on a leftover from a previous run.
+rm -f results/ci/fig1-*.json
 ./target/release/figures fig1 --json results/ci/ > /dev/null
 test -s results/ci/fig1-latency.json || {
     ls results/ci/ >&2
@@ -48,5 +59,22 @@ echo "==> digest: fig1 output matches recorded seed digest"
 # committed digest means simulation output changed and results/fig1.sha256
 # must be regenerated alongside a deliberate model change.
 (cd results/ci && sha256sum -c ../fig1.sha256)
+
+echo "==> conformance: cargo test --features simcheck (oracles on)"
+# Re-run the workspace tests with the runtime conformance oracles compiled
+# in (DESIGN.md "Runtime conformance checking"). Covers the per-oracle
+# mutation tests in crates/simcheck and the simcheck_e2e figure run.
+cargo test -q --workspace --features simcheck
+
+echo "==> conformance: checked fig1 run is byte-identical to unchecked"
+# The oracles are pure observers: a figure run with them compiled in must
+# reproduce the exact bytes of the unchecked run above. A separate output
+# directory keeps the two artifacts distinguishable, and a separate build
+# avoids clobbering the unchecked figures binary used above.
+cargo build -q --release -p bench --features simcheck
+mkdir -p results/ci-simcheck
+rm -f results/ci-simcheck/fig1-*.json
+./target/release/figures fig1 --json results/ci-simcheck/ > /dev/null
+(cd results/ci-simcheck && sha256sum -c ../fig1.sha256)
 
 echo "CI OK"

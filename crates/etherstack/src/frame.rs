@@ -72,7 +72,13 @@ impl EthernetHeader {
 /// frame size).
 pub fn wire_bytes(l2_payload: u64) -> u64 {
     let frame = (l2_payload + ETH_HEADER_LEN as u64 + ETH_FCS_LEN as u64).max(64);
-    frame + (ETH_PREAMBLE_LEN + ETH_IFG_LEN) as u64
+    let wire = frame + (ETH_PREAMBLE_LEN + ETH_IFG_LEN) as u64;
+    // Conformance oracle (rule `ether.frame-accounting`): cross-check that
+    // the accounting covers header + FCS (CRC) + min-frame pad + preamble +
+    // IFG against simcheck's independent restatement.
+    #[cfg(feature = "simcheck")]
+    let _ = simcheck::ether::check_wire_accounting(l2_payload, wire, None);
+    wire
 }
 
 #[cfg(test)]

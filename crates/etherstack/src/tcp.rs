@@ -75,6 +75,10 @@ pub struct TcpSegment {
 pub struct TcpSegmenter {
     next_seq: u32,
     mss: usize,
+    /// Conformance oracle: emitted segments must be sequence-contiguous
+    /// (rule `ether.tcp-seq`).
+    #[cfg(feature = "simcheck")]
+    check: simcheck::ether::TcpTxOracle,
 }
 
 impl TcpSegmenter {
@@ -82,13 +86,22 @@ impl TcpSegmenter {
     /// `mss`.
     pub fn new(isn: u32, mss: usize) -> Self {
         assert!(mss > 0);
-        TcpSegmenter { next_seq: isn, mss }
+        TcpSegmenter {
+            next_seq: isn,
+            mss,
+            #[cfg(feature = "simcheck")]
+            check: simcheck::ether::TcpTxOracle::new(0),
+        }
     }
 
     /// Append `data` to the stream, producing the segments it occupies.
     pub fn push(&mut self, data: &[u8]) -> Vec<TcpSegment> {
         let mut out = Vec::with_capacity(data.len() / self.mss + 1);
         for chunk in data.chunks(self.mss) {
+            #[cfg(feature = "simcheck")]
+            let _ = self
+                .check
+                .observe_segment(self.next_seq, chunk.len() as u32, None);
             out.push(TcpSegment {
                 seq: self.next_seq,
                 payload: chunk.to_vec(),
@@ -111,6 +124,10 @@ pub struct TcpReassembler {
     /// Out-of-order segments keyed by sequence number.
     pending: std::collections::BTreeMap<u32, Vec<u8>>,
     assembled: Vec<u8>,
+    /// Conformance oracle: the expected-seq cursor advances exactly by the
+    /// bytes delivered (rule `ether.tcp-seq`).
+    #[cfg(feature = "simcheck")]
+    check: simcheck::ether::TcpRxOracle,
 }
 
 impl TcpReassembler {
@@ -120,6 +137,8 @@ impl TcpReassembler {
             expected: isn,
             pending: std::collections::BTreeMap::new(),
             assembled: Vec::new(),
+            #[cfg(feature = "simcheck")]
+            check: simcheck::ether::TcpRxOracle::new(0),
         }
     }
 
@@ -139,10 +158,22 @@ impl TcpReassembler {
             seq = self.expected;
         }
         self.pending.insert(seq, payload);
+        #[cfg(feature = "simcheck")]
+        let before = self.expected;
+        #[cfg(feature = "simcheck")]
+        let mut delivered: u32 = 0;
         while let Some(p) = self.pending.remove(&self.expected) {
             self.expected = self.expected.wrapping_add(p.len() as u32);
+            #[cfg(feature = "simcheck")]
+            {
+                delivered = delivered.wrapping_add(p.len() as u32);
+            }
             self.assembled.extend_from_slice(&p);
         }
+        #[cfg(feature = "simcheck")]
+        let _ = self
+            .check
+            .observe_advance(before, self.expected, delivered, None);
     }
 
     /// Drain the in-order assembled bytes.

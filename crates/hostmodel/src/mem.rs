@@ -169,6 +169,10 @@ struct RegistryState {
     cache: LruCache<(u64, u64), MemKey>,
     regions: BTreeMap<MemKey, (VirtAddr, u64)>,
     next_key: u32,
+    /// Conformance oracle: independent shadow of `regions`, cross-validated
+    /// on every `check` (rule `host.mr-bounds`).
+    #[cfg(feature = "simcheck")]
+    shadow: simcheck::host::MrShadowOracle,
 }
 
 /// Registration bookkeeping for one NIC.
@@ -186,6 +190,8 @@ impl MemoryRegistry {
                 cache: LruCache::new(costs.cache_capacity.max(1)),
                 regions: BTreeMap::new(),
                 next_key: 1,
+                #[cfg(feature = "simcheck")]
+                shadow: simcheck::host::MrShadowOracle::new(),
             })),
         }
     }
@@ -220,9 +226,13 @@ impl MemoryRegistry {
             let key = MemKey(s.next_key);
             s.next_key += 1;
             s.regions.insert(key, (addr, len));
+            #[cfg(feature = "simcheck")]
+            let _ = s.shadow.on_register(key.0, addr.0, len, None);
             let mut cost = s.costs.base + s.costs.per_page * addr.pages(len);
             if let Some((_old, old_key)) = s.cache.insert(cache_key, key) {
                 s.regions.remove(&old_key);
+                #[cfg(feature = "simcheck")]
+                let _ = s.shadow.on_deregister(old_key.0, None);
                 cost += s.costs.dereg;
             }
             (key, cost)
@@ -242,6 +252,8 @@ impl MemoryRegistry {
             let key = MemKey(s.next_key);
             s.next_key += 1;
             s.regions.insert(key, (addr, len));
+            #[cfg(feature = "simcheck")]
+            let _ = s.shadow.on_register(key.0, addr.0, len, None);
             (key, s.costs.base + s.costs.per_page * addr.pages(len))
         };
         cpu.work(cost).await;
@@ -253,6 +265,8 @@ impl MemoryRegistry {
         let cost = {
             let mut s = self.state.borrow_mut();
             s.regions.remove(&key);
+            #[cfg(feature = "simcheck")]
+            let _ = s.shadow.on_deregister(key.0, None);
             // Purge any cache entry pointing at this key (small cache, so a
             // drain-and-reinsert pass is fine).
             let survivors: Vec<_> = s
@@ -274,10 +288,13 @@ impl MemoryRegistry {
     /// out-of-bounds accesses (which surface as remote protection errors).
     pub fn check(&self, key: MemKey, addr: VirtAddr, len: u64) -> bool {
         let s = self.state.borrow();
-        match s.regions.get(&key) {
+        let ok = match s.regions.get(&key) {
             Some((base, rlen)) => addr.0 >= base.0 && addr.0 + len <= base.0 + rlen,
             None => false,
-        }
+        };
+        #[cfg(feature = "simcheck")]
+        let _ = s.shadow.observe_check(key.0, addr.0, len, ok, None);
+        ok
     }
 
     /// Pin-down cache statistics: `(hits, misses, evictions)`.

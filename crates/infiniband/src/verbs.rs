@@ -78,6 +78,13 @@ pub struct IbQp {
     remote: Rc<QpEndpoint>,
     cq_rx: RefCell<Receiver<Cqe>>,
     pkt_overhead: u64,
+    /// Conformance oracle: QP state-machine legality (rule `ib.qp-state`).
+    #[cfg(feature = "simcheck")]
+    state_check: RefCell<simcheck::ib::QpStateOracle>,
+    /// Conformance oracle: send-queue completions arrive in post order
+    /// (rule `ib.cq-order`).
+    #[cfg(feature = "simcheck")]
+    cq_check: Rc<RefCell<simcheck::ib::CqOrderOracle>>,
 }
 
 /// Establish a connected QP pair between nodes `a` and `b`, charging each
@@ -109,6 +116,21 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
     };
     let ep_a = mk_ep(cq_tx_a);
     let ep_b = mk_ep(cq_tx_b);
+    // Conformance oracle: walk each QP through the canonical RC bring-up
+    // (RESET → INIT → RTR → RTS) that the connect handshake models.
+    #[cfg(feature = "simcheck")]
+    let mk_state = |qpn: u32| {
+        let mut st = simcheck::ib::QpStateOracle::new(u64::from(qpn));
+        let now = Some(fab.sim().now().as_nanos());
+        for s in [
+            simcheck::ib::QpState::Init,
+            simcheck::ib::QpState::Rtr,
+            simcheck::ib::QpState::Rts,
+        ] {
+            let _ = st.observe_transition(s, now);
+        }
+        RefCell::new(st)
+    };
     let qp_a = IbQp {
         sim: fab.sim().clone(),
         cpu: cpu_a.clone(),
@@ -121,6 +143,12 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
         remote: Rc::clone(&ep_b),
         cq_rx: RefCell::new(cq_rx_a),
         pkt_overhead: ovh,
+        #[cfg(feature = "simcheck")]
+        state_check: mk_state(qpn_a),
+        #[cfg(feature = "simcheck")]
+        cq_check: Rc::new(RefCell::new(simcheck::ib::CqOrderOracle::new(u64::from(
+            qpn_a,
+        )))),
     };
     let qp_b = IbQp {
         sim: fab.sim().clone(),
@@ -134,6 +162,12 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
         remote: ep_a,
         cq_rx: RefCell::new(cq_rx_b),
         pkt_overhead: ovh,
+        #[cfg(feature = "simcheck")]
+        state_check: mk_state(qpn_b),
+        #[cfg(feature = "simcheck")]
+        cq_check: Rc::new(RefCell::new(simcheck::ib::CqOrderOracle::new(u64::from(
+            qpn_b,
+        )))),
     };
     (qp_a, qp_b)
 }
@@ -159,6 +193,20 @@ impl IbQp {
     /// completion arrives on the CQ.
     pub async fn post_send_wr(&self, wr: IbWorkRequest) {
         self.charge_post().await;
+        // Conformance oracles: posts require RTS; the completion for this
+        // WQE must surface in post order.
+        #[cfg(feature = "simcheck")]
+        let cqe_seq = {
+            let _ = self
+                .state_check
+                .borrow_mut()
+                .observe_post_send(Some(self.sim.now().as_nanos()));
+            self.cq_check.borrow_mut().on_post()
+        };
+        #[cfg(feature = "simcheck")]
+        let cq_check = Rc::clone(&self.cq_check);
+        #[cfg(feature = "simcheck")]
+        let check_sim = self.sim.clone();
         // RC QPs deliver in post order.
         let ticket = self.remote.order.ticket();
         let tx_path = self.tx_path.clone();
@@ -190,6 +238,10 @@ impl IbQp {
                     remote_ep.order.enter(ticket).await;
                     remote_ep.order.leave();
                     if !peer_dev.registry.check(rkey, remote_addr, len) {
+                        #[cfg(feature = "simcheck")]
+                        let _ = cq_check
+                            .borrow_mut()
+                            .observe_completion(cqe_seq, Some(check_sim.now().as_nanos()));
                         let _ = local_ep.cq_tx.send(Cqe {
                             wr_id,
                             opcode: CqeOpcode::RdmaWrite,
@@ -202,6 +254,10 @@ impl IbQp {
                         peer_dev.mem.write(remote_addr, &p);
                     }
                     remote_ep.placement.notify_one();
+                    #[cfg(feature = "simcheck")]
+                    let _ = cq_check
+                        .borrow_mut()
+                        .observe_completion(cqe_seq, Some(check_sim.now().as_nanos()));
                     let _ = local_ep.cq_tx.send(Cqe {
                         wr_id,
                         opcode: CqeOpcode::RdmaWrite,
@@ -219,6 +275,10 @@ impl IbQp {
                         .engine_message(peer_qpn, peer_dev.calib.msg_cost_rx)
                         .await;
                     deliver_send(&remote_ep, &peer_dev.mem, len, payload);
+                    #[cfg(feature = "simcheck")]
+                    let _ = cq_check
+                        .borrow_mut()
+                        .observe_completion(cqe_seq, Some(check_sim.now().as_nanos()));
                     let _ = local_ep.cq_tx.send(Cqe {
                         wr_id,
                         opcode: CqeOpcode::Send,
@@ -233,6 +293,12 @@ impl IbQp {
     /// Post a receive buffer for incoming Sends.
     pub async fn post_recv(&self, wr_id: u64, addr: VirtAddr, len: u64) {
         self.charge_post().await;
+        // Conformance oracle: receive posts require INIT or later.
+        #[cfg(feature = "simcheck")]
+        let _ = self
+            .state_check
+            .borrow_mut()
+            .observe_post_recv(Some(self.sim.now().as_nanos()));
         let pending = self.local.unmatched.borrow_mut().pop_front();
         match pending {
             Some((slen, payload)) => complete_recv(

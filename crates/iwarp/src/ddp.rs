@@ -197,6 +197,10 @@ pub fn segment_untagged(
 #[derive(Debug, Default)]
 pub struct UntaggedReassembler {
     partial: std::collections::BTreeMap<(u32, u32), PartialMsg>,
+    /// Conformance oracle: per-queue completion MSNs must be strictly
+    /// increasing (rule `iwarp.ddp-msn`).
+    #[cfg(feature = "simcheck")]
+    check: simcheck::iwarp::DdpMsnOracle,
 }
 
 #[derive(Debug, Default)]
@@ -232,6 +236,8 @@ impl UntaggedReassembler {
         }
         if p.have_last && p.total == Some(p.received) {
             let msg = self.partial.remove(&(qn, msn)).unwrap().bytes;
+            #[cfg(feature = "simcheck")]
+            let _ = self.check.observe_complete(qn, msn);
             Some((qn, msn, msg))
         } else {
             None

@@ -83,6 +83,10 @@ struct QpEndpoint {
     unmatched: RefCell<VecDeque<(u64, Option<Vec<u8>>)>>,
     cq_tx: Sender<Cqe>,
     placement: Notify,
+    /// Conformance oracle: deliveries admitted by `order` must consume
+    /// consecutive tickets (rule `iwarp.ddp-msn` at the verbs layer).
+    #[cfg(feature = "simcheck")]
+    delivery: RefCell<simcheck::iwarp::DeliveryOrderOracle>,
 }
 
 /// One side of an iWARP queue pair.
@@ -99,6 +103,10 @@ pub struct IwarpQp {
     remote: Rc<QpEndpoint>,
     cq_rx: RefCell<Receiver<Cqe>>,
     seg_overhead: u64,
+    /// Conformance oracle: RDMAP opcode legality on this side's outgoing
+    /// stream (rule `iwarp.rdmap-state`).
+    #[cfg(feature = "simcheck")]
+    rdmap_check: Rc<RefCell<simcheck::iwarp::RdmapStateOracle>>,
 }
 
 /// Establish a connected QP pair between `a` and `b` (TCP three-way
@@ -124,12 +132,17 @@ pub async fn connect(
 
     let (cq_tx_a, cq_rx_a) = mpsc();
     let (cq_tx_b, cq_rx_b) = mpsc();
+    // Connection ids for the oracle reports: one per stream direction.
+    #[cfg(feature = "simcheck")]
+    let (conn_ab, conn_ba) = (((a as u64) << 32) | b as u64, ((b as u64) << 32) | a as u64);
     let ep_a = Rc::new(QpEndpoint {
         order: FifoGate::new(),
         rq: RefCell::new(VecDeque::new()),
         unmatched: RefCell::new(VecDeque::new()),
         cq_tx: cq_tx_a,
         placement: Notify::new(),
+        #[cfg(feature = "simcheck")]
+        delivery: RefCell::new(simcheck::iwarp::DeliveryOrderOracle::new(conn_ba)),
     });
     let ep_b = Rc::new(QpEndpoint {
         order: FifoGate::new(),
@@ -137,6 +150,8 @@ pub async fn connect(
         unmatched: RefCell::new(VecDeque::new()),
         cq_tx: cq_tx_b,
         placement: Notify::new(),
+        #[cfg(feature = "simcheck")]
+        delivery: RefCell::new(simcheck::iwarp::DeliveryOrderOracle::new(conn_ab)),
     });
     let qp_a = IwarpQp {
         sim: fab.sim().clone(),
@@ -149,6 +164,10 @@ pub async fn connect(
         remote: Rc::clone(&ep_b),
         cq_rx: RefCell::new(cq_rx_a),
         seg_overhead: ovh,
+        #[cfg(feature = "simcheck")]
+        rdmap_check: Rc::new(RefCell::new(simcheck::iwarp::RdmapStateOracle::new(
+            conn_ab,
+        ))),
     };
     let qp_b = IwarpQp {
         sim: fab.sim().clone(),
@@ -161,6 +180,10 @@ pub async fn connect(
         remote: ep_a,
         cq_rx: RefCell::new(cq_rx_b),
         seg_overhead: ovh,
+        #[cfg(feature = "simcheck")]
+        rdmap_check: Rc::new(RefCell::new(simcheck::iwarp::RdmapStateOracle::new(
+            conn_ba,
+        ))),
     };
     (qp_a, qp_b)
 }
@@ -187,9 +210,26 @@ impl IwarpQp {
     /// handed to the NIC; completion arrives on the CQ.
     pub async fn post_send_wr(&self, wr: WorkRequest) {
         self.charge_post().await;
+        // Conformance oracle: opcode legality against the stream state.
+        #[cfg(feature = "simcheck")]
+        {
+            let op = match &wr {
+                WorkRequest::RdmaWrite { .. } => simcheck::iwarp::opcode::WRITE,
+                WorkRequest::RdmaRead { .. } => simcheck::iwarp::opcode::READ_REQUEST,
+                WorkRequest::Send { .. } => simcheck::iwarp::opcode::SEND,
+            };
+            let _ = self
+                .rdmap_check
+                .borrow_mut()
+                .observe_post(op, Some(self.sim.now().as_nanos()));
+        }
         // Delivery at the peer follows post order (TCP stream semantics),
         // whatever the relative wire times of the messages.
         let ticket = self.remote.order.ticket();
+        #[cfg(feature = "simcheck")]
+        let check_sim = self.sim.clone();
+        #[cfg(feature = "simcheck")]
+        let rdmap_check = Rc::clone(&self.rdmap_check);
         let tx_path = self.tx_path.clone();
         let rx_path = self.rx_path.clone();
         let ovh = self.seg_overhead;
@@ -210,10 +250,19 @@ impl IwarpQp {
                 } => {
                     tx_path.transfer(len, ovh).await;
                     remote_ep.order.enter(ticket).await;
+                    #[cfg(feature = "simcheck")]
+                    let _ = remote_ep
+                        .delivery
+                        .borrow_mut()
+                        .observe_delivery(ticket, Some(check_sim.now().as_nanos()));
                     remote_ep.order.leave();
                     if !peer_registry.check(remote_stag, remote_addr, len) {
                         // Remote protection fault: Terminate flows back.
                         rx_path.transfer(46, ovh).await;
+                        #[cfg(feature = "simcheck")]
+                        let _ = rdmap_check
+                            .borrow_mut()
+                            .observe_terminate_received(Some(check_sim.now().as_nanos()));
                         let _ = local_ep.cq_tx.send(Cqe {
                             wr_id,
                             opcode: CqeOpcode::RdmaWrite,
@@ -243,9 +292,18 @@ impl IwarpQp {
                     // Request travels out (28-byte untagged ULPDU)...
                     tx_path.transfer(READ_REQUEST_LEN as u64, ovh).await;
                     remote_ep.order.enter(ticket).await;
+                    #[cfg(feature = "simcheck")]
+                    let _ = remote_ep
+                        .delivery
+                        .borrow_mut()
+                        .observe_delivery(ticket, Some(check_sim.now().as_nanos()));
                     remote_ep.order.leave();
                     if !peer_registry.check(remote_stag, remote_addr, len) {
                         rx_path.transfer(46, ovh).await;
+                        #[cfg(feature = "simcheck")]
+                        let _ = rdmap_check
+                            .borrow_mut()
+                            .observe_terminate_received(Some(check_sim.now().as_nanos()));
                         let _ = local_ep.cq_tx.send(Cqe {
                             wr_id,
                             opcode: CqeOpcode::RdmaRead,
@@ -258,6 +316,10 @@ impl IwarpQp {
                     // response flows back tagged to the sink.
                     let data = peer_mem.read(remote_addr, len);
                     rx_path.transfer(len, ovh).await;
+                    #[cfg(feature = "simcheck")]
+                    let _ = rdmap_check
+                        .borrow_mut()
+                        .observe_read_response(Some(check_sim.now().as_nanos()));
                     local_mem.write(local_addr, &data);
                     local_ep.placement.notify_one();
                     let _ = local_ep.cq_tx.send(Cqe {
@@ -275,6 +337,11 @@ impl IwarpQp {
                 } => {
                     tx_path.transfer(len, ovh).await;
                     remote_ep.order.enter(ticket).await;
+                    #[cfg(feature = "simcheck")]
+                    let _ = remote_ep
+                        .delivery
+                        .borrow_mut()
+                        .observe_delivery(ticket, Some(check_sim.now().as_nanos()));
                     remote_ep.order.leave();
                     deliver_send(&remote_ep, &peer_mem, len, payload);
                     let _ = local_ep.cq_tx.send(Cqe {

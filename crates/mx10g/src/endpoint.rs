@@ -133,6 +133,13 @@ pub struct MxAddr {
     pkt_overhead: u64,
     /// In-order matching per source endpoint (the MX guarantee).
     order: FifoGate,
+    /// Connection id for conformance reports: `(src_node << 32) | dst_node`.
+    #[cfg(feature = "simcheck")]
+    conn_id: u64,
+    /// Conformance oracle: messages from one source match in send order
+    /// (rule `mx.match-order`).
+    #[cfg(feature = "simcheck")]
+    match_check: Rc<RefCell<simcheck::mx::MatchOrderOracle>>,
 }
 
 /// A rank-indexed table of connected peer addresses (slot `i` holds the
@@ -173,6 +180,8 @@ impl MxEndpoint {
 
     /// Resolve a peer endpoint into a sendable address (`mx_connect`).
     pub fn connect(&self, fab: &MxFabric, peer: &MxEndpoint) -> MxAddr {
+        #[cfg(feature = "simcheck")]
+        let conn_id = ((self.nic.node as u64) << 32) | peer.nic.node as u64;
         MxAddr {
             peer_inner: Rc::clone(&peer.inner),
             peer_nic: Rc::clone(&peer.nic),
@@ -181,6 +190,10 @@ impl MxEndpoint {
             path_back: fab.data_path(peer.nic.node, self.nic.node),
             pkt_overhead: fab.per_packet_overhead(),
             order: FifoGate::new(),
+            #[cfg(feature = "simcheck")]
+            conn_id,
+            #[cfg(feature = "simcheck")]
+            match_check: Rc::new(RefCell::new(simcheck::mx::MatchOrderOracle::new(conn_id))),
         }
     }
 
@@ -243,6 +256,16 @@ impl MxEndpoint {
         payload: Option<Vec<u8>>,
         req: MxRequest,
     ) {
+        // Conformance oracle: this path is the eager side of the protocol
+        // switch (rule `mx.rndv-switch`).
+        #[cfg(feature = "simcheck")]
+        let _ = simcheck::mx::check_rndv_switch(
+            len,
+            self.nic.calib.rndv_threshold,
+            true,
+            dest.conn_id,
+            Some(self.sim.now().as_nanos()),
+        );
         let path = dest.path_out.clone();
         let ovh = dest.pkt_overhead;
         let peer_inner = Rc::clone(&dest.peer_inner);
@@ -250,11 +273,19 @@ impl MxEndpoint {
         let peer_mem = peer_nic.mem.clone();
         let gate = dest.order.clone();
         let ticket = gate.ticket();
+        #[cfg(feature = "simcheck")]
+        let match_check = Rc::clone(&dest.match_check);
+        #[cfg(feature = "simcheck")]
+        let check_sim = self.sim.clone();
         self.sim.spawn(async move {
             let mut payload = payload;
             path.transfer(len, ovh).await;
             // MX matches messages from one source in send order.
             gate.enter(ticket).await;
+            #[cfg(feature = "simcheck")]
+            let _ = match_check
+                .borrow_mut()
+                .observe_match(ticket, Some(check_sim.now().as_nanos()));
             // NIC-side matching at the receiver. List mutations happen
             // atomically with the scan — the walk time is charged after —
             // so a receive posted while the walk retires cannot lose the
@@ -300,6 +331,16 @@ impl MxEndpoint {
         payload: Option<Vec<u8>>,
         req: MxRequest,
     ) {
+        // Conformance oracle: this path is the rendezvous side of the
+        // protocol switch (rule `mx.rndv-switch`).
+        #[cfg(feature = "simcheck")]
+        let _ = simcheck::mx::check_rndv_switch(
+            len,
+            self.nic.calib.rndv_threshold,
+            false,
+            dest.conn_id,
+            Some(self.sim.now().as_nanos()),
+        );
         // MX pins the send buffer through its registration cache before
         // announcing the message (charged to the sending process).
         self.nic.registry.register_cached(&self.cpu, buf, len).await;
@@ -313,11 +354,17 @@ impl MxEndpoint {
         let sreq = req.clone();
         let gate = dest.order.clone();
         let ticket = gate.ticket();
+        #[cfg(feature = "simcheck")]
+        let match_check = Rc::clone(&dest.match_check);
         self.sim.spawn(async move {
             // RTS travels as a small control message.
             path_out.transfer(32, ovh).await;
             // The RTS envelope matches in send order, like any message.
             gate.enter(ticket).await;
+            #[cfg(feature = "simcheck")]
+            let _ = match_check
+                .borrow_mut()
+                .observe_match(ticket, Some(sim.now().as_nanos()));
             let _ = &path_back_unused;
             // Build the pull closure: runs when a matching receive exists.
             let peer_mem = peer_nic.mem.clone();

@@ -1,0 +1,322 @@
+//! Runtime protocol-conformance oracles for the fabric simulations.
+//!
+//! `simcheck` is the dynamic half of the workspace's correctness tooling:
+//! where `simlint` statically rejects *sources* of nondeterminism, the
+//! oracles in this crate verify at runtime that the simulated fabrics obey
+//! the protocol rules the paper's comparisons rest on — MPA framing and DDP
+//! MSN ordering for iWARP, QP state legality and completion ordering for
+//! InfiniBand, in-order tag matching for MX-10G, TCP sequence continuity for
+//! the Ethernet stack, and memory-registration bounds for the host model.
+//!
+//! # Design rules
+//!
+//! - **Feature-gated, zero-cost when off.** Fabric crates depend on simcheck
+//!   optionally behind their own `simcheck` cargo feature; every call site is
+//!   `#[cfg(feature = "simcheck")]` so the disabled build compiles the checks
+//!   out entirely. Figure digests must be byte-identical either way.
+//! - **Pure observers.** Oracles never advance simulated time, never await,
+//!   and never influence model state. On the uncontended fast path they do
+//!   bounded arithmetic plus one relaxed atomic increment; allocation is
+//!   permitted only on the violation path (building the report) and on
+//!   first-touch state insertion (steady state is allocation-free).
+//! - **Structured reports.** A violation carries the rule id, simulated time
+//!   (when the call site has a clock), fabric tag, and connection id. All
+//!   violations are counted per rule; the first [`MAX_LOGGED`] are retained
+//!   verbatim for the process-level [`summary`].
+//! - **Deliberately dependency-free** so the fabric crates can depend on it
+//!   without cycles. Simulated time crosses the boundary as plain
+//!   nanoseconds.
+//!
+//! Each oracle has a mutation-style unit test in its module: seed a deliberate
+//! corruption, assert the oracle fires. Those tests are tier-1 (they run
+//! without the feature — the oracle *code* is always compiled; only the
+//! *wiring* inside the fabric crates is gated).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub mod ether;
+pub mod host;
+pub mod ib;
+pub mod iwarp;
+pub mod mx;
+
+/// Conformance rules, one per oracle check. The string ids are stable and
+/// appear in reports, CI output, and DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// MPA markers every 512 stream bytes with correct back-pointers, and
+    /// framed FPDU length = 2 (len) + ULPDU + pad + 4 (CRC).
+    MpaFraming,
+    /// DDP untagged-queue MSN is strictly increasing per queue (at the codec
+    /// layer) and deliveries are consecutive per stream (at the verbs layer).
+    DdpMsn,
+    /// RDMAP opcode legality per stream state: no posts after Terminate, no
+    /// Read Response without an outstanding Read Request.
+    RdmapState,
+    /// IB QP state machine: RESET -> INIT -> RTR -> RTS transitions only;
+    /// sends require RTS.
+    IbQpState,
+    /// WQE -> CQE completion ordering per QP: completions are reported in
+    /// post order.
+    IbCqOrder,
+    /// Memory-registration bounds: every RDMA access validated against an
+    /// independently maintained shadow of the registry.
+    MrBounds,
+    /// MX-10G matching order: receives match in the order sends entered the
+    /// in-order delivery gate.
+    MxMatchOrder,
+    /// MX-10G eager/rendezvous switchover agrees with the calibrated
+    /// threshold.
+    MxRndvSwitch,
+    /// TCP sequence continuity: segmenter emits contiguous sequence numbers;
+    /// reassembler's expected-sequence advances exactly by delivered bytes.
+    TcpSeq,
+    /// Ethernet frame accounting covers header + FCS (CRC) + preamble + IFG
+    /// and the 64-byte minimum frame.
+    EthFrame,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 10] = [
+        Rule::MpaFraming,
+        Rule::DdpMsn,
+        Rule::RdmapState,
+        Rule::IbQpState,
+        Rule::IbCqOrder,
+        Rule::MrBounds,
+        Rule::MxMatchOrder,
+        Rule::MxRndvSwitch,
+        Rule::TcpSeq,
+        Rule::EthFrame,
+    ];
+
+    /// Stable string id, `<fabric>.<rule>`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::MpaFraming => "iwarp.mpa-framing",
+            Rule::DdpMsn => "iwarp.ddp-msn",
+            Rule::RdmapState => "iwarp.rdmap-state",
+            Rule::IbQpState => "ib.qp-state",
+            Rule::IbCqOrder => "ib.cq-order",
+            Rule::MrBounds => "host.mr-bounds",
+            Rule::MxMatchOrder => "mx.match-order",
+            Rule::MxRndvSwitch => "mx.rndv-switch",
+            Rule::TcpSeq => "ether.tcp-seq",
+            Rule::EthFrame => "ether.frame-accounting",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Rule::MpaFraming => 0,
+            Rule::DdpMsn => 1,
+            Rule::RdmapState => 2,
+            Rule::IbQpState => 3,
+            Rule::IbCqOrder => 4,
+            Rule::MrBounds => 5,
+            Rule::MxMatchOrder => 6,
+            Rule::MxRndvSwitch => 7,
+            Rule::TcpSeq => 8,
+            Rule::EthFrame => 9,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A single conformance violation, as reported by an oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Simulated time in nanoseconds, when the call site has a clock.
+    /// Codec-layer sites (byte-level framing checks) pass `None`.
+    pub sim_time_ns: Option<u64>,
+    /// Fabric tag (`"iwarp"`, `"ib"`, `"mx10g"`, `"ether"`, `"host"`).
+    pub fabric: &'static str,
+    /// Connection identifier (QPN, node pair, stream id — fabric-specific;
+    /// 0 when the check is not connection-scoped).
+    pub conn: u64,
+    /// Human-readable description of the observed inconsistency.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] fabric={} conn={}",
+            self.rule, self.fabric, self.conn
+        )?;
+        match self.sim_time_ns {
+            Some(t) => write!(f, " t={t}ns")?,
+            None => write!(f, " t=-")?,
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Violations beyond this many are counted but not retained verbatim.
+pub const MAX_LOGGED: usize = 64;
+
+const RULE_COUNT: usize = Rule::ALL.len();
+
+static CHECKS: [AtomicU64; RULE_COUNT] = [const { AtomicU64::new(0) }; RULE_COUNT];
+static VIOLATIONS: [AtomicU64; RULE_COUNT] = [const { AtomicU64::new(0) }; RULE_COUNT];
+static LOG: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+
+/// Count one oracle check against `rule`. Called on every observation —
+/// a single relaxed atomic increment, no allocation.
+#[inline]
+pub fn note_check(rule: Rule) {
+    CHECKS[rule.idx()].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a violation in the global registry (violation path only — this
+/// allocates). Returns the violation back so call sites and tests can
+/// inspect it.
+pub fn record(v: Violation) -> Violation {
+    VIOLATIONS[v.rule.idx()].fetch_add(1, Ordering::Relaxed);
+    let mut log = LOG.lock().expect("simcheck log poisoned");
+    if log.len() < MAX_LOGGED {
+        log.push(v.clone());
+    }
+    v
+}
+
+/// Per-rule counters for the process-level summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleStats {
+    pub rule: Rule,
+    pub checks: u64,
+    pub violations: u64,
+}
+
+/// Snapshot of the global registry.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    pub rules: Vec<RuleStats>,
+    /// The first [`MAX_LOGGED`] violations, verbatim.
+    pub logged: Vec<Violation>,
+}
+
+impl Summary {
+    pub fn total_checks(&self) -> u64 {
+        self.rules.iter().map(|r| r.checks).sum()
+    }
+
+    pub fn total_violations(&self) -> u64 {
+        self.rules.iter().map(|r| r.violations).sum()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simcheck: {} checks, {} violations",
+            self.total_checks(),
+            self.total_violations()
+        )?;
+        for r in &self.rules {
+            if r.checks != 0 || r.violations != 0 {
+                writeln!(
+                    f,
+                    "  {:<24} checks={:<10} violations={}",
+                    r.rule.id(),
+                    r.checks,
+                    r.violations
+                )?;
+            }
+        }
+        for v in &self.logged {
+            writeln!(f, "  {v}")?;
+        }
+        let dropped = self
+            .total_violations()
+            .saturating_sub(self.logged.len() as u64);
+        if dropped > 0 {
+            writeln!(f, "  ... {dropped} further violations not retained")?;
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot the global counters and retained violations.
+pub fn summary() -> Summary {
+    let rules = Rule::ALL
+        .iter()
+        .map(|&rule| RuleStats {
+            rule,
+            checks: CHECKS[rule.idx()].load(Ordering::Relaxed),
+            violations: VIOLATIONS[rule.idx()].load(Ordering::Relaxed),
+        })
+        .collect();
+    let logged = LOG.lock().expect("simcheck log poisoned").clone();
+    Summary { rules, logged }
+}
+
+/// Reset all counters and drop retained violations (test isolation).
+pub fn reset() {
+    for i in 0..RULE_COUNT {
+        CHECKS[i].store(0, Ordering::Relaxed);
+        VIOLATIONS[i].store(0, Ordering::Relaxed);
+    }
+    LOG.lock().expect("simcheck log poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let mut ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Rule::ALL.len(), "duplicate rule id");
+        for (i, r) in Rule::ALL.iter().enumerate() {
+            assert_eq!(r.idx(), i, "Rule::ALL order must match idx()");
+        }
+    }
+
+    #[test]
+    fn record_counts_and_caps_log() {
+        // The registry is process-global; scope this test to one rule and
+        // use relative deltas so it composes with the oracle module tests.
+        let before = summary();
+        let base = before
+            .rules
+            .iter()
+            .find(|r| r.rule == Rule::EthFrame)
+            .expect("rule present")
+            .violations;
+        let v = record(Violation {
+            rule: Rule::EthFrame,
+            sim_time_ns: Some(42),
+            fabric: "ether",
+            conn: 7,
+            detail: "seeded".to_owned(),
+        });
+        assert_eq!(v.conn, 7);
+        let after = summary();
+        let now = after
+            .rules
+            .iter()
+            .find(|r| r.rule == Rule::EthFrame)
+            .expect("rule present")
+            .violations;
+        assert_eq!(now, base + 1);
+        assert!(after.logged.len() <= MAX_LOGGED);
+        let line = format!("{v}");
+        assert!(line.contains("ether.frame-accounting"), "{line}");
+        assert!(line.contains("t=42ns"), "{line}");
+    }
+}

@@ -323,11 +323,26 @@ pub struct FileContext {
     pub flat: Vec<FlatTok>,
 }
 
+/// Outcome of linting one file: surviving diagnostics plus the findings an
+/// in-place `simlint: allow` annotation suppressed (kept so reports can
+/// tally per-rule allow counts — a suppression is policy, not silence).
+pub struct LintOutcome {
+    pub diags: Vec<Diagnostic>,
+    pub suppressed: Vec<Diagnostic>,
+}
+
 /// Lint one in-memory source file with the given rules. Returned
 /// diagnostics are sorted and deduplicated (one report per rule per line).
 pub fn lint_source(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> Vec<Diagnostic> {
+    lint_source_stats(path, src, rules).diags
+}
+
+/// Like [`lint_source`], but also reports which findings were suppressed by
+/// allow annotations.
+pub fn lint_source_stats(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> LintOutcome {
     let known: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
     let mut diags = Vec::new();
+    let mut suppressed = Vec::new();
     let mut allows = parse_allows(path, src, &known, &mut diags);
 
     let ast = match syn::parse_file(src) {
@@ -340,7 +355,7 @@ pub fn lint_source(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> Ve
                 rule: "parse-error",
                 message: err.to_string(),
             });
-            return diags;
+            return LintOutcome { diags, suppressed };
         }
     };
     // `all_tokens` includes inner attributes, so a `#![…]` naming a banned
@@ -362,14 +377,16 @@ pub fn lint_source(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> Ve
 
     // Apply suppressions.
     for d in found {
-        let suppressed = allows.iter_mut().any(|a| {
+        let hit = allows.iter_mut().any(|a| {
             let hit = a.target_line == d.line && a.rules.iter().any(|r| r == d.rule);
             if hit {
                 a.used = true;
             }
             hit
         });
-        if !suppressed {
+        if hit {
+            suppressed.push(d);
+        } else {
             diags.push(d);
         }
     }
@@ -389,7 +406,8 @@ pub fn lint_source(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> Ve
         }
     }
     diags.sort();
-    diags
+    suppressed.sort();
+    LintOutcome { diags, suppressed }
 }
 
 /// Directories (workspace-relative) holding simulation-scope code: the DES

@@ -4,7 +4,10 @@
 //! ```text
 //! cargo run -p simlint --                    # lint the workspace, warn only
 //! cargo run -p simlint -- --deny-all        # CI mode: nonzero exit on any finding
-//! cargo run -p simlint -- --json            # machine-readable, one JSON object per line
+//! cargo run -p simlint -- --json            # one aggregate JSON document:
+//!                                           #   files checked, per-rule
+//!                                           #   violation/allow counts, and
+//!                                           #   the diagnostics themselves
 //! cargo run -p simlint -- --list-rules      # rule registry with summaries
 //! cargo run -p simlint -- path/to/file.rs   # lint explicit files (fixtures, spot checks)
 //! cargo run -p simlint -- --dump file.rs    # debug: show the parsed item structure
@@ -14,7 +17,7 @@
 
 use quote::ToTokens;
 use simlint::rules::all_rules;
-use simlint::{find_workspace_root, lint_source, workspace_files, Diagnostic};
+use simlint::{find_workspace_root, lint_source_stats, workspace_files, Diagnostic};
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -116,6 +119,7 @@ fn main() -> ExitCode {
 
     let rules = all_rules();
     let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut suppressed: Vec<Diagnostic> = Vec::new();
     let mut checked = 0usize;
     for file in &files {
         let src = match std::fs::read_to_string(file) {
@@ -126,13 +130,13 @@ fn main() -> ExitCode {
             }
         };
         checked += 1;
-        diags.extend(lint_source(file, &src, &rules));
+        let outcome = lint_source_stats(file, &src, &rules);
+        diags.extend(outcome.diags);
+        suppressed.extend(outcome.suppressed);
     }
 
     if opts.json {
-        for d in &diags {
-            println!("{}", d.to_json());
-        }
+        println!("{}", aggregate_json(checked, &diags, &suppressed));
     } else {
         for d in &diags {
             println!("{d}");
@@ -156,6 +160,42 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Build the `--json` aggregate document: files checked, per-rule
+/// violation/allow tallies (every registered rule appears, plus any engine
+/// pseudo-rules that fired), and the surviving diagnostics verbatim.
+fn aggregate_json(checked: usize, diags: &[Diagnostic], suppressed: &[Diagnostic]) -> String {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for rule in all_rules() {
+        counts.insert(rule.name(), (0, 0));
+    }
+    for d in diags {
+        counts.entry(d.rule).or_insert((0, 0)).0 += 1;
+    }
+    for d in suppressed {
+        counts.entry(d.rule).or_insert((0, 0)).1 += 1;
+    }
+    let rules_json: Vec<String> = counts
+        .iter()
+        .map(|(rule, (violations, allows))| {
+            format!(r#"    "{rule}": {{"violations": {violations}, "allows": {allows}}}"#)
+        })
+        .collect();
+    let diags_json: Vec<String> = diags
+        .iter()
+        .map(|d| format!("    {}", d.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"files_checked\": {checked},\n  \"violations\": {},\n  \"allows\": {},\n  \"rules\": {{\n{}\n  }},\n  \"diagnostics\": [{}{}{}]\n}}",
+        diags.len(),
+        suppressed.len(),
+        rules_json.join(",\n"),
+        if diags_json.is_empty() { "" } else { "\n" },
+        diags_json.join(",\n"),
+        if diags_json.is_empty() { "" } else { "\n  " },
+    )
 }
 
 /// Debug aid: show how the vendored `syn` split a file into items, with a

@@ -169,6 +169,11 @@ enum TimerState {
 struct TimerEntry {
     at: SimTime,
     seq: u64,
+    /// Tie-break rank among equal deadlines. Equal to `seq` in normal runs;
+    /// under a schedule-perturbation salt (see [`crate::perturb`]) it is an
+    /// injective scramble of `seq`, permuting same-instant firing order
+    /// while leaving deadline order untouched.
+    ord: u64,
     key: TimerKey,
     /// Instant the timer was armed. Seqs are assigned in arm order, so at
     /// equal deadlines an earlier-armed timer always fires first; the
@@ -179,7 +184,7 @@ struct TimerEntry {
 
 impl PartialEq for TimerEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.ord == other.ord
     }
 }
 impl Eq for TimerEntry {}
@@ -190,9 +195,10 @@ impl PartialOrd for TimerEntry {
 }
 impl Ord for TimerEntry {
     /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
-    /// `(deadline, seq)` first.
+    /// `(deadline, ord)` first. `ord == seq` unless a perturbation salt is
+    /// active, so the default order is arm order.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.ord).cmp(&(self.at, self.ord))
     }
 }
 
@@ -219,6 +225,43 @@ struct Core {
     calendar_peak_len: u64,
     /// `(deadline, armed)` of the most recently fired timer.
     last_fired: Option<(SimTime, SimTime)>,
+    /// Schedule-perturbation salt captured from [`crate::perturb`] at
+    /// construction; 0 = arm-order tie-breaks (the production contract).
+    tie_salt: u64,
+    /// FNV-1a digest over `(deadline, seq)` of every fired timer, in firing
+    /// order — the executor's event-ordering trace. Two runs of the same
+    /// workload fire the same timer *set*; the digest differs iff the
+    /// *order* did (e.g. under a perturbation salt).
+    trace_digest: u64,
+    /// Fired timers whose deadline equalled the previously fired one's —
+    /// i.e. members of same-instant tie groups, the only events a
+    /// perturbation salt can reorder.
+    tie_fires: u64,
+}
+
+/// FNV-1a offset basis / prime (64-bit), shared with the figure digests in
+/// the integration tests.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_u64(mut digest: u64, value: u64) -> u64 {
+    for b in value.to_le_bytes() {
+        digest ^= u64::from(b);
+        digest = digest.wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// Injective tie-break scramble: XOR with the salt then multiply by an odd
+/// constant (a bijection on `u64`). With `salt == 0` the identity is
+/// deliberately preserved (`ord == seq`) so production runs keep the
+/// arm-order contract bit-for-bit.
+fn scramble_ord(seq: u64, salt: u64) -> u64 {
+    if salt == 0 {
+        seq
+    } else {
+        (seq ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
 }
 
 /// Handle to the simulation: clock, spawner and executor in one.
@@ -244,7 +287,14 @@ impl Default for Sim {
 
 impl Sim {
     /// Create a fresh simulation with the clock at [`SimTime::ZERO`].
+    ///
+    /// Captures the thread's schedule-perturbation salt (see
+    /// [`crate::perturb::with_tie_break_salt`]); a nonzero salt permutes
+    /// same-instant timer tie-breaks and disables the pipeline cut-through
+    /// fast path (which replays arm-order tie-breaks and so must not run
+    /// under a perturbed schedule).
     pub fn new() -> Self {
+        let tie_salt = crate::perturb::current_salt();
         Sim {
             core: Rc::new(RefCell::new(Core {
                 now: SimTime::ZERO,
@@ -260,12 +310,15 @@ impl Sim {
                 timer_events: 0,
                 timers_set: 0,
                 timers_cancelled: 0,
-                fast_path_enabled: true,
+                fast_path_enabled: tie_salt == 0,
                 fast_path_hits: 0,
                 slow_path_falls: 0,
                 events_coalesced: 0,
                 calendar_peak_len: 0,
                 last_fired: None,
+                tie_salt,
+                trace_digest: FNV_OFFSET,
+                tie_fires: 0,
             })),
             ready: Arc::new(ReadyQueue::default()),
         }
@@ -339,6 +392,28 @@ impl Sim {
     /// against sleeps it never actually armed.
     pub(crate) fn last_fired_timer(&self) -> Option<(SimTime, SimTime)> {
         self.core.borrow().last_fired
+    }
+
+    /// The schedule-perturbation salt this simulation was created under
+    /// (0 = unperturbed arm-order tie-breaks).
+    pub fn tie_break_salt(&self) -> u64 {
+        self.core.borrow().tie_salt
+    }
+
+    /// FNV-1a digest of the executor's event-ordering trace: every fired
+    /// timer's `(deadline, arm-sequence)` pair, in firing order. Identical
+    /// workloads produce identical digests; a perturbation salt that
+    /// actually reordered a same-instant tie group produces a different
+    /// one. See [`crate::perturb`].
+    pub fn order_trace_digest(&self) -> u64 {
+        self.core.borrow().trace_digest
+    }
+
+    /// How many fired timers shared their deadline with the previously
+    /// fired one — the size of the schedule-perturbation surface. 0 means
+    /// a salt cannot change anything.
+    pub fn tie_fires(&self) -> u64 {
+        self.core.borrow().tie_fires
     }
 
     /// Spawn a task. It will not run until the executor is driven by
@@ -496,6 +571,16 @@ impl Sim {
                 match std::mem::replace(&mut slot.state, TimerState::Fired) {
                     TimerState::Pending { waker } => {
                         core.timer_events += 1;
+                        // Event-ordering trace: digest `(deadline, seq)` in
+                        // firing order, and count same-instant tie members —
+                        // the only events a perturbation salt can reorder.
+                        if let Some((prev_at, _)) = core.last_fired {
+                            if prev_at == entry.at {
+                                core.tie_fires += 1;
+                            }
+                        }
+                        core.trace_digest =
+                            fnv1a_u64(fnv1a_u64(core.trace_digest, entry.at.as_nanos()), entry.seq);
                         core.last_fired = Some((entry.at, entry.armed));
                         waker
                     }
@@ -612,10 +697,12 @@ impl Sim {
         };
         let seq = core.next_timer_seq;
         core.next_timer_seq += 1;
+        let ord = scramble_ord(seq, core.tie_salt);
         let armed = core.now;
         core.timers.push(TimerEntry {
             at,
             seq,
+            ord,
             key,
             armed,
         });

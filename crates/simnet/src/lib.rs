@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod executor;
+pub mod perturb;
 pub mod pipe;
 pub mod stats;
 pub mod sync;
