@@ -60,6 +60,23 @@ echo "==> digest: fig1 output matches recorded seed digest"
 # must be regenerated alongside a deliberate model change.
 (cd results/ci && sha256sum -c ../fig1.sha256)
 
+echo "==> artifact: figures fig-loss --json results/ (degradation sweep)"
+# Archive the loss-recovery sweep next to the committed figure JSON. The
+# sweep is bit-deterministic (tests/determinism.rs double-runs it), so
+# any diff in the archived artifact is a deliberate model change.
+rm -f results/fig-loss-*.json
+./target/release/figures fig-loss --json results/ > /dev/null
+test -s results/fig-loss-latency.json -a -s results/fig-loss-bandwidth.json || {
+    ls results/ >&2
+    echo "fig-loss run produced no JSON" >&2
+    exit 1
+}
+
+echo "==> fault injection: recovery suite under --features simcheck"
+# The lossy integration tests with the exactly-once delivery and
+# retransmit-budget oracles compiled into every recovery engine.
+cargo test -q --features simcheck --test fault_injection
+
 echo "==> conformance: cargo test --features simcheck (oracles on)"
 # Re-run the workspace tests with the runtime conformance oracles compiled
 # in (DESIGN.md "Runtime conformance checking"). Covers the per-oracle

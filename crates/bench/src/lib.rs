@@ -86,6 +86,12 @@ pub fn catalog() -> Vec<(&'static str, Generator)> {
                 netbench::ablation::mx_matching_location(),
             ]
         }),
+        ("fig-loss", || {
+            vec![
+                netbench::loss::fig_loss_latency(),
+                netbench::loss::fig_loss_bandwidth(),
+            ]
+        }),
     ]
 }
 

@@ -18,6 +18,7 @@
 //! | (§6, omitted for space) | [`overlap::overlap_and_progress`] | overlap & independent progress |
 //! | (§7, speculation) | [`ablation`] | mechanism ablations |
 //! | (§6, omitted for space) | [`hotspot::hotspot_latency`] | hot-spot communication |
+//! | (beyond the paper) | [`loss::fig_loss_latency`] / [`loss::fig_loss_bandwidth`] | recovery under injected loss |
 //!
 //! Each generator builds a fresh deterministic simulation, runs the
 //! workload, and returns a [`report::Figure`] whose series carry the same
@@ -29,6 +30,7 @@ pub mod ablation;
 pub mod bandwidth;
 pub mod hotspot;
 pub mod logp;
+pub mod loss;
 pub mod mpi_latency;
 pub mod multiconn;
 pub mod overlap;

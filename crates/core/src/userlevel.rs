@@ -56,11 +56,23 @@ impl UserPair {
     /// Build a pair over `kind` (connection setup completes before return,
     /// so subsequent timing excludes it).
     pub async fn build(sim: &Sim, kind: FabricKind) -> UserPair {
+        Self::build_with_fault(sim, kind, simnet::FaultPlane::disabled()).await
+    }
+
+    /// Build a pair over `kind` with `plane` installed on the fabric before
+    /// the endpoints connect, so every data transfer is judged against it.
+    /// A disabled plane is bit-identical to [`UserPair::build`].
+    pub async fn build_with_fault(
+        sim: &Sim,
+        kind: FabricKind,
+        plane: simnet::FaultPlane,
+    ) -> UserPair {
         let cpu_a = Cpu::new(sim, CpuCosts::default());
         let cpu_b = Cpu::new(sim, CpuCosts::default());
         let inner = match kind {
             FabricKind::Iwarp => {
                 let fab = iwarp::IwarpFabric::new(sim, 2);
+                fab.set_fault_plane(plane);
                 let (qa, qb) = iwarp::verbs::connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
                 let buf_a = qa.device().mem.alloc_buffer(MAX_MSG);
                 let buf_b = qb.device().mem.alloc_buffer(MAX_MSG);
@@ -85,6 +97,7 @@ impl UserPair {
             }
             FabricKind::InfiniBand => {
                 let fab = infiniband::IbFabric::new(sim, 2);
+                fab.set_fault_plane(plane);
                 let (qa, qb) = infiniband::verbs::connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
                 let buf_a = qa.device().mem.alloc_buffer(MAX_MSG);
                 let buf_b = qb.device().mem.alloc_buffer(MAX_MSG);
@@ -114,6 +127,7 @@ impl UserPair {
                     mx10g::LinkMode::MxoM
                 };
                 let fab = mx10g::MxFabric::new(sim, 2, mode);
+                fab.set_fault_plane(plane);
                 let ea = Rc::new(mx10g::MxEndpoint::open(&fab, 0, &cpu_a));
                 let eb = Rc::new(mx10g::MxEndpoint::open(&fab, 1, &cpu_b));
                 let ab = ea.connect(&fab, &eb);

@@ -10,8 +10,9 @@
 
 use hostmodel::cpu::Cpu;
 use hostmodel::pcie::{PcieConfig, PciePort};
-use simnet::{Pipe, Pipeline, Sim, SimDuration, Stage};
+use simnet::{FaultPlane, Pipe, Pipeline, Sim, SimDuration, Stage};
 
+use crate::recovery::{transfer_with_recovery, TcpTuning};
 use crate::switch::{CutThroughSwitch, SwitchConfig};
 
 /// Host-stack TCP cost calibration (dual-Xeon 2.8 GHz era).
@@ -81,6 +82,9 @@ pub struct HostTcpFabric {
     /// so a socket stream's back-to-back sends keep the simnet cut-through
     /// fast path warm instead of rebuilding six stages per message.
     paths: std::cell::RefCell<std::collections::BTreeMap<(usize, usize), Pipeline>>,
+    /// Fault plane (disabled by default); when enabled, sends recover via
+    /// the host stack's TCP retransmission timers.
+    fault: std::cell::RefCell<FaultPlane>,
 }
 
 impl HostTcpFabric {
@@ -117,7 +121,14 @@ impl HostTcpFabric {
                 })
                 .collect(),
             paths: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+            fault: std::cell::RefCell::new(FaultPlane::disabled()),
         }
+    }
+
+    /// Install a fault plane (see [`simnet::fault`]). Sends judged by an
+    /// enabled plane pay TCP recovery costs for every injected loss.
+    pub fn set_fault_plane(&self, plane: FaultPlane) {
+        *self.fault.borrow_mut() = plane;
     }
 
     /// The full path `src → dst`: transmit stack, NIC DMA, wire, switch,
@@ -164,10 +175,24 @@ impl HostTcpFabric {
             .work(SimDuration::serialize(bytes, calib.copy_bytes_per_sec))
             .await;
         // Stack + wire + remote stack (the pipeline overlaps all phases at
-        // segment granularity, as real streaming does).
-        self.data_path(src, dst)
-            .transfer(bytes, calib.per_segment_overhead)
-            .await;
+        // segment granularity, as real streaming does). Under an enabled
+        // fault plane, injected losses engage the software stack's
+        // retransmission machinery; disabled, this is exactly
+        // `Pipeline::transfer`.
+        let plane = self.fault.borrow().clone();
+        let stream = ((src as u64) << 32) | dst as u64;
+        transfer_with_recovery(
+            &self.sim,
+            &plane,
+            &self.data_path(src, dst),
+            "ether",
+            stream,
+            bytes,
+            calib.mss,
+            calib.per_segment_overhead,
+            &TcpTuning::host_stack(),
+        )
+        .await;
         // The stack stages above consumed real CPU time on both hosts;
         // account it (the pipeline pipes are not `Cpu` objects).
         src_cpu.account_busy(calib.tx_per_segment * nsegs);

@@ -13,6 +13,9 @@
 //!   reassembler (the part of TCP that matters on a lossless fabric).
 //! * [`crc`] — CRC-32 (Ethernet FCS) and CRC-32C (iWARP MPA) from scratch.
 //! * [`switch`] — a cut-through Ethernet switch timing model.
+//! * [`recovery`] — TCP loss recovery (RTO + fast retransmit) over a
+//!   `simnet` pipeline, shared by the host-stack baseline and the iWARP
+//!   TOE under fault injection.
 //!
 //! Timing (who waits how long) is handled by `simnet` pipes in the NIC
 //! models; this crate's codecs are pure logic, which makes them directly
@@ -24,11 +27,13 @@ pub mod crc;
 pub mod frame;
 pub mod hostnic;
 pub mod ipv4;
+pub mod recovery;
 pub mod switch;
 pub mod tcp;
 
 pub use frame::{EthernetHeader, ETHERTYPE_IPV4, ETH_HEADER_LEN, ETH_MTU, ETH_WIRE_OVERHEAD};
 pub use hostnic::{HostTcpCalib, HostTcpFabric};
 pub use ipv4::Ipv4Header;
+pub use recovery::{transfer_with_recovery, RecoveryStats, TcpTuning};
 pub use switch::{CutThroughSwitch, SwitchConfig};
 pub use tcp::{TcpHeader, TcpReassembler, TcpSegmenter, TCP_MSS};

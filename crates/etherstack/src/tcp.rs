@@ -90,7 +90,7 @@ impl TcpSegmenter {
             next_seq: isn,
             mss,
             #[cfg(feature = "simcheck")]
-            check: simcheck::ether::TcpTxOracle::new(0),
+            check: simcheck::ether::TcpTxOracle::with_origin(u64::from(isn), isn),
         }
     }
 
@@ -138,14 +138,19 @@ impl TcpReassembler {
             pending: std::collections::BTreeMap::new(),
             assembled: Vec::new(),
             #[cfg(feature = "simcheck")]
-            check: simcheck::ether::TcpRxOracle::new(0),
+            check: simcheck::ether::TcpRxOracle::with_origin(u64::from(isn), isn),
         }
     }
 
     /// Offer a segment; in-order data (including data unlocked from the
     /// out-of-order store) is appended to the assembled stream. Segments
     /// entirely before the expected sequence number (duplicates) are
-    /// dropped; a segment overlapping the cut has its stale prefix trimmed.
+    /// dropped; a segment overlapping the cut has its stale prefix trimmed,
+    /// and a segment overlapping buffered out-of-order data is trimmed
+    /// against the neighbouring `pending` entries before insertion, so a
+    /// retransmission re-chunked at different boundaries can neither shrink
+    /// previously buffered data nor strand an entry the in-order drain will
+    /// never reach.
     pub fn offer(&mut self, seg: TcpSegment) {
         let mut seq = seg.seq;
         let mut payload = seg.payload;
@@ -157,7 +162,46 @@ impl TcpReassembler {
             payload.drain(..stale);
             seq = self.expected;
         }
-        self.pending.insert(seq, payload);
+        // Work in offsets relative to `expected` so overlap comparisons are
+        // wrap-safe: every live byte sits within 2^32 of the cursor, and the
+        // store never holds data behind it (the invariant this trim keeps).
+        let base = self.expected;
+        let mut start = u64::from(seq.wrapping_sub(base));
+        let mut end = start + payload.len() as u64;
+        let overlaps: Vec<(u64, u64, u32)> = self
+            .pending
+            .iter()
+            .map(|(&k, v)| {
+                let s = u64::from(k.wrapping_sub(base));
+                (s, s + v.len() as u64, k)
+            })
+            .filter(|&(s, e, _)| s < end && start < e)
+            .collect();
+        for (ps, pe, key) in overlaps {
+            if ps <= start && end <= pe {
+                // Entirely within buffered data: nothing new to keep. The
+                // buffered entry wins — it is at least as long.
+                payload.clear();
+                break;
+            } else if ps <= start {
+                // Buffered entry covers our head: drop the covered prefix.
+                payload.drain(..(pe - start) as usize);
+                start = pe;
+            } else if end <= pe {
+                // Buffered entry covers our tail: drop the covered suffix.
+                payload.truncate((ps - start) as usize);
+                end = ps;
+            } else {
+                // We strictly cover the buffered (shorter) entry: replace
+                // it, rather than letting an exact-key insert shadow it or
+                // a key mismatch orphan it behind the advancing cursor.
+                self.pending.remove(&key);
+            }
+        }
+        if !payload.is_empty() {
+            self.pending
+                .insert(base.wrapping_add(start as u32), payload);
+        }
         #[cfg(feature = "simcheck")]
         let before = self.expected;
         #[cfg(feature = "simcheck")]
@@ -265,5 +309,171 @@ mod tests {
         rea.offer(segs[0].clone()); // duplicate
         rea.offer(segs[1].clone());
         assert_eq!(rea.take_assembled(), b"abcd1234");
+    }
+
+    #[test]
+    fn wrap_lt_orders_across_the_seam() {
+        assert!(wrap_lt(u32::MAX, 0));
+        assert!(wrap_lt(u32::MAX - 10, u32::MAX));
+        assert!(wrap_lt(u32::MAX, 5));
+        assert!(!wrap_lt(0, u32::MAX));
+        assert!(!wrap_lt(5, u32::MAX));
+        assert!(!wrap_lt(7, 7));
+        // Half-window boundary: 2^31 apart is "greater", one less is "less".
+        assert!(wrap_lt(0, (1 << 31) - 1));
+        assert!(!wrap_lt(0, 1 << 31));
+    }
+
+    #[test]
+    fn shorter_retransmission_does_not_shrink_buffered_data() {
+        // Buffer the long out-of-order segment [4, 12), then replay a
+        // shorter one at the same key. The exact-key insert used to replace
+        // the 8-byte payload with the 3-byte one, losing [7, 12) forever.
+        let mut rea = TcpReassembler::new(0);
+        rea.offer(TcpSegment {
+            seq: 4,
+            payload: b"efghijkl".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: 4,
+            payload: b"efg".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: 0,
+            payload: b"abcd".to_vec(),
+        });
+        assert_eq!(rea.take_assembled(), b"abcdefghijkl");
+        assert_eq!(rea.expected(), 12);
+    }
+
+    #[test]
+    fn segment_inside_pending_range_is_not_orphaned() {
+        // A replay whose seq falls strictly inside a buffered range used to
+        // be inserted at its own key; once `expected` jumped past that key
+        // via the longer entry, the orphan sat in `pending` forever.
+        let mut rea = TcpReassembler::new(0);
+        rea.offer(TcpSegment {
+            seq: 10,
+            payload: b"klmnopqrst".to_vec(), // [10, 20)
+        });
+        rea.offer(TcpSegment {
+            seq: 12,
+            payload: b"mno".to_vec(), // strictly inside [10, 20)
+        });
+        rea.offer(TcpSegment {
+            seq: 0,
+            payload: b"abcdefghij".to_vec(),
+        });
+        assert_eq!(rea.take_assembled(), b"abcdefghijklmnopqrst");
+        assert_eq!(rea.expected(), 20);
+        assert!(rea.pending.is_empty(), "no orphaned entries may remain");
+    }
+
+    #[test]
+    fn partial_overlaps_are_trimmed_against_neighbours() {
+        // Stream "abcdefghij"; buffer [2,5) and [7,9), then offer [3,8),
+        // which overlaps both neighbours: head and tail must be trimmed so
+        // only [5,7) is newly inserted.
+        let mut rea = TcpReassembler::new(0);
+        rea.offer(TcpSegment {
+            seq: 2,
+            payload: b"cde".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: 7,
+            payload: b"hi".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: 3,
+            payload: b"defgh".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: 0,
+            payload: b"ab".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: 9,
+            payload: b"j".to_vec(),
+        });
+        assert_eq!(rea.take_assembled(), b"abcdefghij");
+        assert!(rea.pending.is_empty());
+    }
+
+    #[test]
+    fn superset_retransmission_replaces_covered_entries() {
+        // A wide replay that strictly covers two disjoint buffered shards
+        // replaces both (same stream bytes, one entry).
+        let mut rea = TcpReassembler::new(0);
+        rea.offer(TcpSegment {
+            seq: 3,
+            payload: b"de".to_vec(), // [3, 5)
+        });
+        rea.offer(TcpSegment {
+            seq: 7,
+            payload: b"h".to_vec(), // [7, 8)
+        });
+        rea.offer(TcpSegment {
+            seq: 2,
+            payload: b"cdefghi".to_vec(), // [2, 9) covers both
+        });
+        assert_eq!(rea.pending.len(), 1);
+        rea.offer(TcpSegment {
+            seq: 0,
+            payload: b"ab".to_vec(),
+        });
+        assert_eq!(rea.take_assembled(), b"abcdefghi");
+        assert!(rea.pending.is_empty());
+    }
+
+    #[test]
+    fn overlap_trim_is_wrap_safe_near_u32_max() {
+        // Same shapes as above, but the live window straddles the sequence
+        // seam: isn = MAX - 3, so buffered entries sit on both sides of 0.
+        let isn = u32::MAX - 3;
+        let mut rea = TcpReassembler::new(isn);
+        // Buffer [isn+2, isn+10) = "cdefghij" (crosses the seam).
+        rea.offer(TcpSegment {
+            seq: isn.wrapping_add(2),
+            payload: b"cdefghij".to_vec(),
+        });
+        // Shorter replay at the same key must not shrink it...
+        rea.offer(TcpSegment {
+            seq: isn.wrapping_add(2),
+            payload: b"cde".to_vec(),
+        });
+        // ...and an interior replay crossing the seam must not orphan.
+        rea.offer(TcpSegment {
+            seq: isn.wrapping_add(3),
+            payload: b"defg".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: isn,
+            payload: b"ab".to_vec(),
+        });
+        assert_eq!(rea.take_assembled(), b"abcdefghij");
+        assert_eq!(rea.expected(), isn.wrapping_add(10));
+        assert!(rea.pending.is_empty());
+    }
+
+    #[test]
+    fn stale_prefix_trim_is_wrap_safe() {
+        // expected sits just past the seam; a retransmission from before the
+        // seam overlapping the cut keeps only its fresh suffix.
+        let isn = u32::MAX - 1;
+        let mut seg = TcpSegmenter::new(isn, 4);
+        let segs = seg.push(b"wxyzabcd");
+        let mut rea = TcpReassembler::new(isn);
+        rea.offer(segs[0].clone()); // [MAX-1, 2): expected -> 2
+                                    // Replay of [MAX-1, 3): 4 stale bytes, 1 fresh ("a" at seq 2).
+        rea.offer(TcpSegment {
+            seq: isn,
+            payload: b"wxyza".to_vec(),
+        });
+        rea.offer(TcpSegment {
+            seq: 3,
+            payload: b"bcd".to_vec(),
+        });
+        assert_eq!(rea.take_assembled(), b"wxyzabcd");
+        assert_eq!(rea.expected(), isn.wrapping_add(8));
     }
 }

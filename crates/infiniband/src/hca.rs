@@ -19,7 +19,7 @@ use hostmodel::lru::LruCache;
 use hostmodel::mem::HostMem;
 use hostmodel::pcie::PciePort;
 use hostmodel::MemoryRegistry;
-use simnet::{Pipe, Pipeline, Sim, SimDuration, Stage};
+use simnet::{FaultPlane, Pipe, Pipeline, Sim, SimDuration, Stage};
 
 use crate::calib::MellanoxCalib;
 
@@ -114,6 +114,8 @@ pub struct IbFabric {
     /// (and calendars), so repeat transfers on an idle path keep hitting the
     /// simnet cut-through fast path instead of rebuilding six stages.
     paths: std::cell::RefCell<std::collections::BTreeMap<(usize, usize), Pipeline>>,
+    /// Fault plane QPs capture at connect time (disabled by default).
+    fault: RefCell<FaultPlane>,
 }
 
 impl IbFabric {
@@ -133,7 +135,20 @@ impl IbFabric {
                 .collect(),
             next_qpn: std::cell::Cell::new(1),
             paths: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+            fault: RefCell::new(FaultPlane::disabled()),
         }
+    }
+
+    /// Install a fault plane. QPs connected *after* this call judge every
+    /// data packet against it; with the plane disabled (the default) the
+    /// fabric is bit-identical to the fault-free build.
+    pub fn set_fault_plane(&self, plane: FaultPlane) {
+        *self.fault.borrow_mut() = plane;
+    }
+
+    /// The currently installed fault plane (cloned; clones share state).
+    pub fn fault_plane(&self) -> FaultPlane {
+        self.fault.borrow().clone()
     }
 
     /// The simulation handle.

@@ -22,8 +22,10 @@
 pub mod calib;
 pub mod hca;
 pub mod packets;
+pub mod recovery;
 pub mod verbs;
 
 pub use calib::MellanoxCalib;
 pub use hca::{HcaDevice, IbFabric};
+pub use recovery::{transfer_go_back_n, IbRecoveryStats, IbTuning};
 pub use verbs::{connect, IbQp, IbWorkRequest};

@@ -12,9 +12,10 @@ use hostmodel::cpu::Cpu;
 use hostmodel::mem::{MemKey, VirtAddr};
 use hostmodel::nic::{Cqe, CqeOpcode, CqeStatus};
 use simnet::sync::{mpsc, FifoGate, Notify, Receiver, Sender};
-use simnet::{Pipeline, Sim};
+use simnet::{FaultPlane, Pipeline, Sim};
 
 use crate::hca::{HcaDevice, IbFabric};
+use crate::recovery::{transfer_go_back_n, IbTuning};
 
 /// A work request accepted by [`IbQp::post_send_wr`].
 #[derive(Clone, Debug)]
@@ -78,6 +79,10 @@ pub struct IbQp {
     remote: Rc<QpEndpoint>,
     cq_rx: RefCell<Receiver<Cqe>>,
     pkt_overhead: u64,
+    /// Fault plane captured from the fabric at connect time.
+    fault: FaultPlane,
+    /// Fault-plane stream key for this QP's requester direction.
+    conn: u64,
     /// Conformance oracle: QP state-machine legality (rule `ib.qp-state`).
     #[cfg(feature = "simcheck")]
     state_check: RefCell<simcheck::ib::QpStateOracle>,
@@ -116,6 +121,7 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
     };
     let ep_a = mk_ep(cq_tx_a);
     let ep_b = mk_ep(cq_tx_b);
+    let fault = fab.fault_plane();
     // Conformance oracle: walk each QP through the canonical RC bring-up
     // (RESET → INIT → RTR → RTS) that the connect handshake models.
     #[cfg(feature = "simcheck")]
@@ -143,6 +149,8 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
         remote: Rc::clone(&ep_b),
         cq_rx: RefCell::new(cq_rx_a),
         pkt_overhead: ovh,
+        fault: fault.clone(),
+        conn: (u64::from(qpn_a) << 32) | u64::from(qpn_b),
         #[cfg(feature = "simcheck")]
         state_check: mk_state(qpn_a),
         #[cfg(feature = "simcheck")]
@@ -162,6 +170,8 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
         remote: ep_a,
         cq_rx: RefCell::new(cq_rx_b),
         pkt_overhead: ovh,
+        fault,
+        conn: (u64::from(qpn_b) << 32) | u64::from(qpn_a),
         #[cfg(feature = "simcheck")]
         state_check: mk_state(qpn_b),
         #[cfg(feature = "simcheck")]
@@ -205,10 +215,13 @@ impl IbQp {
         };
         #[cfg(feature = "simcheck")]
         let cq_check = Rc::clone(&self.cq_check);
-        #[cfg(feature = "simcheck")]
-        let check_sim = self.sim.clone();
         // RC QPs deliver in post order.
         let ticket = self.remote.order.ticket();
+        let sim = self.sim.clone();
+        let fault = self.fault.clone();
+        let conn = self.conn;
+        let mtu = self.dev.calib.mtu_payload;
+        let tuning = IbTuning::mellanox();
         let tx_path = self.tx_path.clone();
         let ovh = self.pkt_overhead;
         let dev = Rc::clone(&self.dev);
@@ -230,7 +243,7 @@ impl IbQp {
                     rkey,
                     remote_addr,
                 } => {
-                    tx_path.transfer(len, ovh).await;
+                    transfer_go_back_n(&sim, &fault, &tx_path, conn, len, mtu, ovh, &tuning).await;
                     // Receive-side processor work (context lookup again).
                     peer_dev
                         .engine_message(peer_qpn, peer_dev.calib.msg_cost_rx)
@@ -241,7 +254,7 @@ impl IbQp {
                         #[cfg(feature = "simcheck")]
                         let _ = cq_check
                             .borrow_mut()
-                            .observe_completion(cqe_seq, Some(check_sim.now().as_nanos()));
+                            .observe_completion(cqe_seq, Some(sim.now().as_nanos()));
                         let _ = local_ep.cq_tx.send(Cqe {
                             wr_id,
                             opcode: CqeOpcode::RdmaWrite,
@@ -257,7 +270,7 @@ impl IbQp {
                     #[cfg(feature = "simcheck")]
                     let _ = cq_check
                         .borrow_mut()
-                        .observe_completion(cqe_seq, Some(check_sim.now().as_nanos()));
+                        .observe_completion(cqe_seq, Some(sim.now().as_nanos()));
                     let _ = local_ep.cq_tx.send(Cqe {
                         wr_id,
                         opcode: CqeOpcode::RdmaWrite,
@@ -270,7 +283,7 @@ impl IbQp {
                     len,
                     payload,
                 } => {
-                    tx_path.transfer(len, ovh).await;
+                    transfer_go_back_n(&sim, &fault, &tx_path, conn, len, mtu, ovh, &tuning).await;
                     peer_dev
                         .engine_message(peer_qpn, peer_dev.calib.msg_cost_rx)
                         .await;
@@ -278,7 +291,7 @@ impl IbQp {
                     #[cfg(feature = "simcheck")]
                     let _ = cq_check
                         .borrow_mut()
-                        .observe_completion(cqe_seq, Some(check_sim.now().as_nanos()));
+                        .observe_completion(cqe_seq, Some(sim.now().as_nanos()));
                     let _ = local_ep.cq_tx.send(Cqe {
                         wr_id,
                         opcode: CqeOpcode::Send,

@@ -29,7 +29,7 @@ use hostmodel::cpu::CpuCosts;
 use hostmodel::mem::HostMem;
 use hostmodel::pcie::PciePort;
 use hostmodel::MemoryRegistry;
-use simnet::{Pipe, Pipeline, Sim, Stage};
+use simnet::{FaultPlane, Pipe, Pipeline, Sim, Stage};
 
 use crate::calib::NetEffectCalib;
 
@@ -116,6 +116,9 @@ pub struct IwarpFabric {
     /// back-to-back messages on an idle path repeatedly take the simnet
     /// cut-through fast path instead of rebuilding eight stages per call.
     paths: RefCell<BTreeMap<(usize, usize), Pipeline>>,
+    /// Fault plane (disabled by default); QPs capture a clone at connect
+    /// time and recover through the TOE's TCP retransmission machinery.
+    fault: RefCell<FaultPlane>,
 }
 
 impl IwarpFabric {
@@ -135,7 +138,20 @@ impl IwarpFabric {
                 .map(|n| Rc::new(RnicDevice::new(sim, n, calib)))
                 .collect(),
             paths: RefCell::new(BTreeMap::new()),
+            fault: RefCell::new(FaultPlane::disabled()),
         }
+    }
+
+    /// Install a fault plane (see [`simnet::fault`]). Affects QPs connected
+    /// *after* this call; the plane is captured at connect time.
+    pub fn set_fault_plane(&self, plane: FaultPlane) {
+        *self.fault.borrow_mut() = plane;
+    }
+
+    /// The currently installed fault plane (disabled unless
+    /// [`IwarpFabric::set_fault_plane`] was called).
+    pub fn fault_plane(&self) -> FaultPlane {
+        self.fault.borrow().clone()
     }
 
     /// The simulation handle.

@@ -14,10 +14,11 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use etherstack::recovery::{transfer_with_recovery, TcpTuning};
 use hostmodel::cpu::Cpu;
 use hostmodel::mem::{MemKey, VirtAddr};
 use simnet::sync::{mpsc, FifoGate, Notify, Receiver, Sender};
-use simnet::{Pipeline, Sim};
+use simnet::{FaultPlane, Pipeline, Sim};
 
 use crate::rdmap::READ_REQUEST_LEN;
 use crate::rnic::{IwarpFabric, RnicDevice};
@@ -103,6 +104,14 @@ pub struct IwarpQp {
     remote: Rc<QpEndpoint>,
     cq_rx: RefCell<Receiver<Cqe>>,
     seg_overhead: u64,
+    /// Fault plane captured from the fabric at connect time (disabled by
+    /// default): when enabled, the TOE recovers injected losses with TCP
+    /// retransmission (hardware-tight timers).
+    fault: FaultPlane,
+    /// Stream id of the local → peer TCP direction.
+    conn_tx: u64,
+    /// Stream id of the peer → local direction (RDMA Read responses).
+    conn_rx: u64,
     /// Conformance oracle: RDMAP opcode legality on this side's outgoing
     /// stream (rule `iwarp.rdmap-state`).
     #[cfg(feature = "simcheck")]
@@ -132,9 +141,10 @@ pub async fn connect(
 
     let (cq_tx_a, cq_rx_a) = mpsc();
     let (cq_tx_b, cq_rx_b) = mpsc();
-    // Connection ids for the oracle reports: one per stream direction.
-    #[cfg(feature = "simcheck")]
+    // Connection ids, one per stream direction: fault-plane streams and
+    // oracle reports share them.
     let (conn_ab, conn_ba) = (((a as u64) << 32) | b as u64, ((b as u64) << 32) | a as u64);
+    let fault = fab.fault_plane();
     let ep_a = Rc::new(QpEndpoint {
         order: FifoGate::new(),
         rq: RefCell::new(VecDeque::new()),
@@ -164,6 +174,9 @@ pub async fn connect(
         remote: Rc::clone(&ep_b),
         cq_rx: RefCell::new(cq_rx_a),
         seg_overhead: ovh,
+        fault: fault.clone(),
+        conn_tx: conn_ab,
+        conn_rx: conn_ba,
         #[cfg(feature = "simcheck")]
         rdmap_check: Rc::new(RefCell::new(simcheck::iwarp::RdmapStateOracle::new(
             conn_ab,
@@ -180,6 +193,9 @@ pub async fn connect(
         remote: ep_a,
         cq_rx: RefCell::new(cq_rx_b),
         seg_overhead: ovh,
+        fault,
+        conn_tx: conn_ba,
+        conn_rx: conn_ab,
         #[cfg(feature = "simcheck")]
         rdmap_check: Rc::new(RefCell::new(simcheck::iwarp::RdmapStateOracle::new(
             conn_ba,
@@ -233,6 +249,12 @@ impl IwarpQp {
         let tx_path = self.tx_path.clone();
         let rx_path = self.rx_path.clone();
         let ovh = self.seg_overhead;
+        let sim = self.sim.clone();
+        let fault = self.fault.clone();
+        let conn_tx = self.conn_tx;
+        let conn_rx = self.conn_rx;
+        let mss = self.dev.calib.segment_payload;
+        let tuning = TcpTuning::offload();
         let peer_registry = self.peer_dev.registry.clone();
         let peer_mem = self.peer_dev.mem.clone();
         let local_ep = Rc::clone(&self.local);
@@ -248,7 +270,10 @@ impl IwarpQp {
                     remote_stag,
                     remote_addr,
                 } => {
-                    tx_path.transfer(len, ovh).await;
+                    transfer_with_recovery(
+                        &sim, &fault, &tx_path, "iwarp", conn_tx, len, mss, ovh, &tuning,
+                    )
+                    .await;
                     remote_ep.order.enter(ticket).await;
                     #[cfg(feature = "simcheck")]
                     let _ = remote_ep
@@ -290,7 +315,18 @@ impl IwarpQp {
                     remote_addr,
                 } => {
                     // Request travels out (28-byte untagged ULPDU)...
-                    tx_path.transfer(READ_REQUEST_LEN as u64, ovh).await;
+                    transfer_with_recovery(
+                        &sim,
+                        &fault,
+                        &tx_path,
+                        "iwarp",
+                        conn_tx,
+                        READ_REQUEST_LEN as u64,
+                        mss,
+                        ovh,
+                        &tuning,
+                    )
+                    .await;
                     remote_ep.order.enter(ticket).await;
                     #[cfg(feature = "simcheck")]
                     let _ = remote_ep
@@ -315,7 +351,10 @@ impl IwarpQp {
                     // ...the peer RNIC turns it around in hardware and the
                     // response flows back tagged to the sink.
                     let data = peer_mem.read(remote_addr, len);
-                    rx_path.transfer(len, ovh).await;
+                    transfer_with_recovery(
+                        &sim, &fault, &rx_path, "iwarp", conn_rx, len, mss, ovh, &tuning,
+                    )
+                    .await;
                     #[cfg(feature = "simcheck")]
                     let _ = rdmap_check
                         .borrow_mut()
@@ -335,7 +374,10 @@ impl IwarpQp {
                     len,
                     payload,
                 } => {
-                    tx_path.transfer(len, ovh).await;
+                    transfer_with_recovery(
+                        &sim, &fault, &tx_path, "iwarp", conn_tx, len, mss, ovh, &tuning,
+                    )
+                    .await;
                     remote_ep.order.enter(ticket).await;
                     #[cfg(feature = "simcheck")]
                     let _ = remote_ep

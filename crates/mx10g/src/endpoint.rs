@@ -12,10 +12,11 @@ use std::rc::Rc;
 use hostmodel::cpu::Cpu;
 use hostmodel::mem::VirtAddr;
 use simnet::sync::{FifoGate, Notify};
-use simnet::{Pipeline, Sim};
+use simnet::{FaultPlane, Pipeline, Sim};
 
-use crate::matching::{matches, MatchInfo};
+use crate::matching::{matches, MatchInfo, ReplayFilter};
 use crate::nic::{MxFabric, MxNic};
+use crate::recovery::{transfer_with_resend, MxTuning};
 
 /// Completion status of a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,15 +132,30 @@ pub struct MxAddr {
     /// peer → local (rendezvous pulls).
     path_back: Pipeline,
     pkt_overhead: u64,
+    /// Packet payload of the active link mode (resend granularity).
+    pkt: u64,
     /// In-order matching per source endpoint (the MX guarantee).
     order: FifoGate,
-    /// Connection id for conformance reports: `(src_node << 32) | dst_node`.
-    #[cfg(feature = "simcheck")]
+    /// Connection id: `(src_node << 32) | dst_node`. Keys the fault plane's
+    /// per-connection decision counter and tags conformance reports.
     conn_id: u64,
+    /// Fault plane captured from the fabric at connect time.
+    fault: FaultPlane,
+    /// Receiver-side replay filter: drops messages the sender replayed
+    /// after an ACK loss.
+    replay: Rc<RefCell<ReplayFilter>>,
     /// Conformance oracle: messages from one source match in send order
     /// (rule `mx.match-order`).
     #[cfg(feature = "simcheck")]
     match_check: Rc<RefCell<simcheck::mx::MatchOrderOracle>>,
+}
+
+impl MxAddr {
+    /// Replayed messages the receiving NIC's matching layer has dropped on
+    /// this connection.
+    pub fn replay_drops(&self) -> u64 {
+        self.replay.borrow().drops()
+    }
 }
 
 /// A rank-indexed table of connected peer addresses (slot `i` holds the
@@ -180,7 +196,6 @@ impl MxEndpoint {
 
     /// Resolve a peer endpoint into a sendable address (`mx_connect`).
     pub fn connect(&self, fab: &MxFabric, peer: &MxEndpoint) -> MxAddr {
-        #[cfg(feature = "simcheck")]
         let conn_id = ((self.nic.node as u64) << 32) | peer.nic.node as u64;
         MxAddr {
             peer_inner: Rc::clone(&peer.inner),
@@ -189,9 +204,11 @@ impl MxEndpoint {
             path_out: fab.data_path(self.nic.node, peer.nic.node),
             path_back: fab.data_path(peer.nic.node, self.nic.node),
             pkt_overhead: fab.per_packet_overhead(),
+            pkt: fab.packet_payload(),
             order: FifoGate::new(),
-            #[cfg(feature = "simcheck")]
             conn_id,
+            fault: fab.fault_plane(),
+            replay: Rc::new(RefCell::new(ReplayFilter::new())),
             #[cfg(feature = "simcheck")]
             match_check: Rc::new(RefCell::new(simcheck::mx::MatchOrderOracle::new(conn_id))),
         }
@@ -268,6 +285,10 @@ impl MxEndpoint {
         );
         let path = dest.path_out.clone();
         let ovh = dest.pkt_overhead;
+        let pkt = dest.pkt;
+        let conn = dest.conn_id;
+        let fault = dest.fault.clone();
+        let replay = Rc::clone(&dest.replay);
         let peer_inner = Rc::clone(&dest.peer_inner);
         let peer_nic = Rc::clone(&dest.peer_nic);
         let peer_mem = peer_nic.mem.clone();
@@ -275,49 +296,59 @@ impl MxEndpoint {
         let ticket = gate.ticket();
         #[cfg(feature = "simcheck")]
         let match_check = Rc::clone(&dest.match_check);
-        #[cfg(feature = "simcheck")]
-        let check_sim = self.sim.clone();
+        let sim = self.sim.clone();
         self.sim.spawn(async move {
             let mut payload = payload;
-            path.transfer(len, ovh).await;
+            let rs =
+                transfer_with_resend(&sim, &fault, &path, conn, len, pkt, ovh, &MxTuning::myri())
+                    .await;
             // MX matches messages from one source in send order.
             gate.enter(ticket).await;
             #[cfg(feature = "simcheck")]
             let _ = match_check
                 .borrow_mut()
-                .observe_match(ticket, Some(check_sim.now().as_nanos()));
-            // NIC-side matching at the receiver. List mutations happen
-            // atomically with the scan — the walk time is charged after —
-            // so a receive posted while the walk retires cannot lose the
-            // match.
-            let (walked, matched) = {
-                let mut posted = peer_inner.posted.borrow_mut();
-                let pos = posted.iter().position(|p| matches(bits, p.bits, p.mask));
-                match pos {
-                    Some(i) => (i + 1, Some(posted.remove(i).unwrap())),
-                    None => {
-                        let walked = posted.len();
-                        peer_inner.unexpected.borrow_mut().push_back(Unexpected {
-                            bits,
-                            len,
-                            kind: UnexpectedKind::Eager {
-                                payload: payload.take(),
-                            },
-                        });
-                        (walked, None)
-                    }
-                }
-            };
-            peer_nic
-                .match_walk(walked, peer_nic.calib.nic_match_posted_per_entry)
-                .await;
-            if let Some(p) = matched {
-                if let Some(data) = payload {
-                    peer_mem.write(p.addr, &data[..(p.len.min(len)) as usize]);
-                }
-                p.req.complete(len.min(p.len), bits);
+                .observe_match(ticket, Some(sim.now().as_nanos()));
+            // The first arrival claims this sequence number; ACK-loss
+            // replays (already charged wire time by the resend engine)
+            // arrive behind it and the matching layer drops them.
+            let fresh = !fault.enabled() || replay.borrow_mut().accept(ticket);
+            for _ in 0..rs.duplicates {
+                let _ = replay.borrow_mut().accept(ticket);
             }
-            req.complete(len, bits);
+            if fresh {
+                // NIC-side matching at the receiver. List mutations happen
+                // atomically with the scan — the walk time is charged after —
+                // so a receive posted while the walk retires cannot lose the
+                // match.
+                let (walked, matched) = {
+                    let mut posted = peer_inner.posted.borrow_mut();
+                    let pos = posted.iter().position(|p| matches(bits, p.bits, p.mask));
+                    match pos {
+                        Some(i) => (i + 1, Some(posted.remove(i).unwrap())),
+                        None => {
+                            let walked = posted.len();
+                            peer_inner.unexpected.borrow_mut().push_back(Unexpected {
+                                bits,
+                                len,
+                                kind: UnexpectedKind::Eager {
+                                    payload: payload.take(),
+                                },
+                            });
+                            (walked, None)
+                        }
+                    }
+                };
+                peer_nic
+                    .match_walk(walked, peer_nic.calib.nic_match_posted_per_entry)
+                    .await;
+                if let Some(p) = matched {
+                    if let Some(data) = payload {
+                        peer_mem.write(p.addr, &data[..(p.len.min(len)) as usize]);
+                    }
+                    p.req.complete(len.min(p.len), bits);
+                }
+                req.complete(len, bits);
+            }
             gate.leave();
         });
     }
@@ -347,6 +378,10 @@ impl MxEndpoint {
         let path_out = dest.path_out.clone();
         let path_back_unused = dest.path_back.clone();
         let ovh = dest.pkt_overhead;
+        let pkt = dest.pkt;
+        let conn = dest.conn_id;
+        let fault = dest.fault.clone();
+        let replay = Rc::clone(&dest.replay);
         let peer_inner = Rc::clone(&dest.peer_inner);
         let peer_nic = Rc::clone(&dest.peer_nic);
         let peer_progression = dest.peer_progression.clone();
@@ -358,24 +393,46 @@ impl MxEndpoint {
         let match_check = Rc::clone(&dest.match_check);
         self.sim.spawn(async move {
             // RTS travels as a small control message.
-            path_out.transfer(32, ovh).await;
+            let rs = transfer_with_resend(
+                &sim,
+                &fault,
+                &path_out,
+                conn,
+                32,
+                pkt,
+                ovh,
+                &MxTuning::myri(),
+            )
+            .await;
             // The RTS envelope matches in send order, like any message.
             gate.enter(ticket).await;
             #[cfg(feature = "simcheck")]
             let _ = match_check
                 .borrow_mut()
                 .observe_match(ticket, Some(sim.now().as_nanos()));
+            // A replayed RTS (its ACK was lost) must not announce the
+            // message twice: the matching layer drops it by sequence.
+            let fresh = !fault.enabled() || replay.borrow_mut().accept(ticket);
+            for _ in 0..rs.duplicates {
+                let _ = replay.borrow_mut().accept(ticket);
+            }
+            if !fresh {
+                gate.leave();
+                return;
+            }
             let _ = &path_back_unused;
             // Build the pull closure: runs when a matching receive exists.
             let peer_mem = peer_nic.mem.clone();
             let peer_nic2 = Rc::clone(&peer_nic);
             let path_data = path_out.clone();
             let sim2 = sim.clone();
+            let fault2 = fault.clone();
             let pull: Box<dyn FnOnce(VirtAddr, u64, MxRequest)> =
                 Box::new(move |raddr, rlen, rreq| {
                     let n = len.min(rlen);
                     let bits = bits;
-                    sim2.clone().spawn(async move {
+                    let sim3 = sim2.clone();
+                    sim2.spawn(async move {
                         // Progression thread wakes, pins the receive buffer
                         // through the cache, sends CTS (reverse small
                         // message folded into its wakeup cost), and the
@@ -387,7 +444,20 @@ impl MxEndpoint {
                             .registry
                             .register_cached(&peer_progression, raddr, n)
                             .await;
-                        path_data.transfer(n, ovh).await;
+                        // The pull data resends like any MX traffic; a
+                        // duplicate here rewrites the same bytes, so no
+                        // dedup is needed beyond the engine's accounting.
+                        transfer_with_resend(
+                            &sim3,
+                            &fault2,
+                            &path_data,
+                            conn,
+                            n,
+                            pkt,
+                            ovh,
+                            &MxTuning::myri(),
+                        )
+                        .await;
                         if let Some(data) = payload {
                             peer_mem.write(raddr, &data[..n as usize]);
                         }
@@ -659,6 +729,94 @@ mod tests {
                 "{mode:?} half-RTT {t:.2} µs, paper says {want}"
             );
         }
+    }
+
+    #[test]
+    fn eager_sends_complete_exactly_once_under_loss() {
+        // 2% loss: every message still arrives exactly once; ACK-loss
+        // replays are dropped by the matching layer's replay filter.
+        let run_once = || {
+            let sim = Sim::new();
+            let fab = MxFabric::new(&sim, 2, LinkMode::MxoM);
+            fab.set_fault_plane(simnet::FaultPlane::new(simnet::FaultConfig::loss(
+                20_000, 77,
+            )));
+            let cpu_a = Cpu::new(&sim, CpuCosts::default());
+            let cpu_b = Cpu::new(&sim, CpuCosts::default());
+            let ea = MxEndpoint::open(&fab, 0, &cpu_a);
+            let eb = MxEndpoint::open(&fab, 1, &cpu_b);
+            let (elapsed, drops, stats) = sim.block_on({
+                let sim2 = sim.clone();
+                async move {
+                    let addr_b = Rc::new(ea.connect(&fab, &eb));
+                    let rbuf = eb.nic().mem.alloc_buffer(256);
+                    for i in 0..60u32 {
+                        let tag = MatchInfo::mpi(0, 0, i);
+                        let r = eb.irecv(tag, MatchInfo::EXACT, rbuf, 256).await;
+                        let s = ea
+                            .isend(
+                                &addr_b,
+                                tag,
+                                ea.nic().mem.alloc_buffer(64),
+                                5,
+                                Some(b"lanai".to_vec()),
+                            )
+                            .await;
+                        let st = r.wait().await;
+                        assert_eq!(st.len, 5, "message {i} truncated");
+                        s.wait().await;
+                        assert_eq!(eb.nic().mem.read(rbuf, 5), b"lanai");
+                    }
+                    assert_eq!(eb.unexpected_depth(), 0);
+                    assert_eq!(eb.posted_depth(), 0);
+                    (sim2.now().as_nanos(), addr_b.replay_drops(), sim2.stats())
+                }
+            });
+            assert!(stats.faults_injected > 0, "2% over 120 judges hit none");
+            (elapsed, drops, stats.faults_injected, stats.retransmits)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "lossy MX run must be deterministic");
+    }
+
+    #[test]
+    fn ack_loss_replays_are_filtered_by_the_matching_layer() {
+        // 20% loss makes ACK drops near-certain over 20 messages; each one
+        // replays a message the receiver already matched, and the replay
+        // filter must drop it (the exactly-once checks above would fail or
+        // the posted queue would underflow otherwise).
+        let sim = Sim::new();
+        let fab = MxFabric::new(&sim, 2, LinkMode::MxoM);
+        fab.set_fault_plane(simnet::FaultPlane::new(simnet::FaultConfig::loss(
+            200_000, 9,
+        )));
+        let cpu_a = Cpu::new(&sim, CpuCosts::default());
+        let cpu_b = Cpu::new(&sim, CpuCosts::default());
+        let ea = MxEndpoint::open(&fab, 0, &cpu_a);
+        let eb = MxEndpoint::open(&fab, 1, &cpu_b);
+        let drops = sim.block_on(async move {
+            let addr_b = Rc::new(ea.connect(&fab, &eb));
+            let rbuf = eb.nic().mem.alloc_buffer(64);
+            for i in 0..20u32 {
+                let tag = MatchInfo::mpi(0, 0, i);
+                let r = eb.irecv(tag, MatchInfo::EXACT, rbuf, 64).await;
+                let s = ea
+                    .isend(
+                        &addr_b,
+                        tag,
+                        ea.nic().mem.alloc_buffer(16),
+                        4,
+                        Some(b"once".to_vec()),
+                    )
+                    .await;
+                assert_eq!(r.wait().await.len, 4);
+                s.wait().await;
+            }
+            assert_eq!(eb.unexpected_depth(), 0);
+            addr_b.replay_drops()
+        });
+        assert!(drops > 0, "no ACK loss replay reached the filter");
     }
 
     #[test]

@@ -23,8 +23,10 @@ pub mod calib;
 pub mod endpoint;
 pub mod matching;
 pub mod nic;
+pub mod recovery;
 
 pub use calib::MyriCalib;
 pub use endpoint::{MxAddr, MxAddrTable, MxEndpoint, MxRequest, MxStatus};
-pub use matching::{matches, MatchInfo};
+pub use matching::{matches, MatchInfo, ReplayFilter};
 pub use nic::{LinkMode, MxFabric, MxNic};
+pub use recovery::{transfer_with_resend, MxResendStats, MxTuning};

@@ -29,6 +29,38 @@ pub fn matches(send_bits: MatchInfo, recv_bits: MatchInfo, mask: u64) -> bool {
     (send_bits.0 & mask) == (recv_bits.0 & mask)
 }
 
+/// Per-connection replay filter: the receiving NIC accepts each message
+/// sequence number once and drops duplicates created by sender-side
+/// resends (a lost ACK makes the sender replay a message the receiver
+/// already matched — see [`crate::recovery`]).
+#[derive(Debug, Default)]
+pub struct ReplayFilter {
+    seen: std::collections::BTreeSet<u64>,
+    drops: u64,
+}
+
+impl ReplayFilter {
+    /// An empty filter.
+    pub fn new() -> Self {
+        ReplayFilter::default()
+    }
+
+    /// Accept `seq` if unseen; replays are counted and rejected.
+    pub fn accept(&mut self, seq: u64) -> bool {
+        if self.seen.insert(seq) {
+            true
+        } else {
+            self.drops += 1;
+            false
+        }
+    }
+
+    /// Replays dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +98,17 @@ mod tests {
             MatchInfo::mpi(1, 3, 0),
             MatchInfo::ANY_TAG_MASK
         ));
+    }
+
+    #[test]
+    fn replay_filter_accepts_once_and_counts_drops() {
+        let mut f = ReplayFilter::new();
+        assert!(f.accept(7));
+        assert!(f.accept(8));
+        assert!(!f.accept(7));
+        assert!(!f.accept(7));
+        assert!(f.accept(9));
+        assert_eq!(f.drops(), 2);
     }
 
     #[test]

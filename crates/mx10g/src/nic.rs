@@ -6,7 +6,7 @@ use etherstack::switch::{CutThroughSwitch, SwitchConfig};
 use hostmodel::mem::HostMem;
 use hostmodel::pcie::PciePort;
 use hostmodel::MemoryRegistry;
-use simnet::{Pipe, Pipeline, Sim, SimDuration, Stage};
+use simnet::{FaultPlane, Pipe, Pipeline, Sim, SimDuration, Stage};
 
 use crate::calib::MyriCalib;
 
@@ -83,6 +83,8 @@ pub struct MxFabric {
     /// so repeat transfers stay eligible for the simnet cut-through fast
     /// path without rebuilding the six stages per call.
     paths: std::cell::RefCell<std::collections::BTreeMap<(usize, usize), Pipeline>>,
+    /// Fault plane addresses capture at connect time (disabled by default).
+    fault: std::cell::RefCell<FaultPlane>,
 }
 
 impl MxFabric {
@@ -106,7 +108,20 @@ impl MxFabric {
                 .map(|n| Rc::new(MxNic::new(sim, n, calib)))
                 .collect(),
             paths: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+            fault: std::cell::RefCell::new(FaultPlane::disabled()),
         }
+    }
+
+    /// Install a fault plane. Addresses resolved *after* this call judge
+    /// every packet against it; with the plane disabled (the default) the
+    /// fabric is bit-identical to the fault-free build.
+    pub fn set_fault_plane(&self, plane: FaultPlane) {
+        *self.fault.borrow_mut() = plane;
+    }
+
+    /// The currently installed fault plane (cloned; clones share state).
+    pub fn fault_plane(&self) -> FaultPlane {
+        self.fault.borrow().clone()
     }
 
     /// The simulation handle.

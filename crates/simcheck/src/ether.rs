@@ -27,6 +27,16 @@ impl TcpTxOracle {
         TcpTxOracle { next: None, conn }
     }
 
+    /// Like [`TcpTxOracle::new`], but with the cursor pre-seeded at the
+    /// stream's initial sequence number: the very first emitted segment is
+    /// checked against the true origin instead of being accepted blindly.
+    pub fn with_origin(conn: u64, isn: u32) -> Self {
+        TcpTxOracle {
+            next: Some(isn),
+            conn,
+        }
+    }
+
     /// Observe one emitted segment `(seq, len)`.
     pub fn observe_segment(
         &mut self,
@@ -63,6 +73,16 @@ impl TcpRxOracle {
     pub fn new(conn: u64) -> Self {
         TcpRxOracle {
             expected: None,
+            conn,
+        }
+    }
+
+    /// Like [`TcpRxOracle::new`], but with the cursor pre-seeded at the
+    /// stream's initial sequence number: the first `observe_advance` is
+    /// checked against the true origin instead of being accepted blindly.
+    pub fn with_origin(conn: u64, isn: u32) -> Self {
+        TcpRxOracle {
+            expected: Some(isn),
             conn,
         }
     }
@@ -161,6 +181,26 @@ mod tests {
         let v = o.observe_segment(1560, 1460, Some(4)).expect("must fire");
         assert_eq!(v.rule, Rule::TcpSeq);
         assert!(v.detail.contains("continues at 1460"), "{}", v.detail);
+    }
+
+    #[test]
+    fn tx_oracle_with_origin_fires_when_first_segment_misses_isn() {
+        // Seeded corruption: stream claims ISN 5000 but first segment
+        // starts at 0 — the blind `new` constructor would accept this.
+        let mut o = TcpTxOracle::with_origin(1, 5000);
+        let v = o.observe_segment(0, 100, None).expect("must fire");
+        assert!(v.detail.contains("continues at 5000"), "{}", v.detail);
+        let mut ok = TcpTxOracle::with_origin(1, 5000);
+        assert_eq!(ok.observe_segment(5000, 100, None), None);
+    }
+
+    #[test]
+    fn rx_oracle_with_origin_fires_when_first_advance_misses_isn() {
+        let mut o = TcpRxOracle::with_origin(2, 5000);
+        let v = o.observe_advance(0, 100, 100, None).expect("must fire");
+        assert!(v.detail.contains("jumped"), "{}", v.detail);
+        let mut ok = TcpRxOracle::with_origin(2, 5000);
+        assert_eq!(ok.observe_advance(5000, 5100, 100, None), None);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Loss-recovery conformance oracles, shared by every fabric's recovery
+//! engine: exactly-once delivery under fault injection (`fault.delivery`)
+//! and bounded retransmission effort (`fault.retx-bound`).
+//!
+//! A [`DeliveryOracle`] is scoped to **one message transfer**: the recovery
+//! engine creates it with the unit count (TCP segments, IB packets, MX
+//! messages), reports each final delivery, and calls [`finish`] when the
+//! transfer completes. Anything delivered twice, out of range, or missing at
+//! the end fires. [`check_retransmit_bound`] is stateless: at transfer end
+//! the engine reports how many faults it absorbed and how many units it
+//! retransmitted, against the per-fault budget its scheme implies (1 for
+//! selective repeat, the message's unit count for go-back-N).
+//!
+//! [`finish`]: DeliveryOracle::finish
+
+use crate::{note_check, record, Rule, Violation};
+
+/// Exactly-once delivery oracle for one recovering transfer.
+#[derive(Debug)]
+pub struct DeliveryOracle {
+    fabric: &'static str,
+    conn: u64,
+    delivered: Vec<bool>,
+}
+
+impl DeliveryOracle {
+    /// Track a transfer of `units` recovery units on `conn`.
+    pub fn new(fabric: &'static str, conn: u64, units: u64) -> Self {
+        DeliveryOracle {
+            fabric,
+            conn,
+            delivered: vec![false; units as usize],
+        }
+    }
+
+    /// Record the final (post-recovery, post-dedup) delivery of unit `idx`.
+    /// Fires on a unit outside the transfer or a unit delivered twice.
+    pub fn on_deliver(&mut self, idx: u64, now_ns: Option<u64>) -> Option<Violation> {
+        note_check(Rule::FaultDelivery);
+        let n = self.delivered.len() as u64;
+        if idx >= n {
+            return Some(record(Violation {
+                rule: Rule::FaultDelivery,
+                sim_time_ns: now_ns,
+                fabric: self.fabric,
+                conn: self.conn,
+                detail: format!("delivered unit {idx} outside transfer of {n} units"),
+            }));
+        }
+        if self.delivered[idx as usize] {
+            return Some(record(Violation {
+                rule: Rule::FaultDelivery,
+                sim_time_ns: now_ns,
+                fabric: self.fabric,
+                conn: self.conn,
+                detail: format!("unit {idx} delivered twice"),
+            }));
+        }
+        self.delivered[idx as usize] = true;
+        None
+    }
+
+    /// Close out the transfer: every unit must have been delivered.
+    pub fn finish(&self, now_ns: Option<u64>) -> Option<Violation> {
+        note_check(Rule::FaultDelivery);
+        let missing = self.delivered.iter().filter(|&&d| !d).count();
+        if missing > 0 {
+            let first = self.delivered.iter().position(|&d| !d).unwrap_or(0);
+            return Some(record(Violation {
+                rule: Rule::FaultDelivery,
+                sim_time_ns: now_ns,
+                fabric: self.fabric,
+                conn: self.conn,
+                detail: format!(
+                    "transfer finished with {missing} of {} units undelivered (first: {first})",
+                    self.delivered.len()
+                ),
+            }));
+        }
+        None
+    }
+}
+
+/// Bounded-effort oracle: a transfer that absorbed `faults` faults may
+/// retransmit at most `faults * budget_per_fault` units (selective-repeat
+/// schemes pass budget 1 plus their retry ceiling; go-back-N passes the
+/// transfer's unit count, since one tail fault legitimately resends the
+/// window). Zero faults must mean zero retransmits.
+pub fn check_retransmit_bound(
+    fabric: &'static str,
+    conn: u64,
+    faults: u64,
+    retransmits: u64,
+    budget_per_fault: u64,
+    now_ns: Option<u64>,
+) -> Option<Violation> {
+    note_check(Rule::FaultRetxBound);
+    let budget = faults.saturating_mul(budget_per_fault);
+    if retransmits > budget {
+        return Some(record(Violation {
+            rule: Rule::FaultRetxBound,
+            sim_time_ns: now_ns,
+            fabric,
+            conn,
+            detail: format!(
+                "{retransmits} units retransmitted for {faults} faults \
+                 (budget {budget_per_fault}/fault = {budget})"
+            ),
+        }));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_recovery_passes() {
+        let mut o = DeliveryOracle::new("ether", 1, 4);
+        for i in 0..4 {
+            assert_eq!(o.on_deliver(i, None), None);
+        }
+        assert_eq!(o.finish(None), None);
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_fine() {
+        let mut o = DeliveryOracle::new("ether", 1, 3);
+        assert_eq!(o.on_deliver(2, None), None);
+        assert_eq!(o.on_deliver(0, None), None);
+        assert_eq!(o.on_deliver(1, None), None);
+        assert_eq!(o.finish(None), None);
+    }
+
+    #[test]
+    fn double_delivery_fires() {
+        // Seeded corruption: a replay slips past deduplication.
+        let mut o = DeliveryOracle::new("mx10g", 7, 2);
+        assert_eq!(o.on_deliver(0, None), None);
+        let v = o.on_deliver(0, Some(9)).expect("must fire");
+        assert_eq!(v.rule, Rule::FaultDelivery);
+        assert!(v.detail.contains("delivered twice"), "{}", v.detail);
+    }
+
+    #[test]
+    fn lost_unit_fires_at_finish() {
+        // Seeded corruption: a dropped unit is never retransmitted.
+        let mut o = DeliveryOracle::new("ib", 3, 3);
+        assert_eq!(o.on_deliver(0, None), None);
+        assert_eq!(o.on_deliver(2, None), None);
+        let v = o.finish(Some(11)).expect("must fire");
+        assert!(
+            v.detail.contains("1 of 3 units undelivered"),
+            "{}",
+            v.detail
+        );
+        assert!(v.detail.contains("first: 1"), "{}", v.detail);
+    }
+
+    #[test]
+    fn out_of_range_unit_fires() {
+        let mut o = DeliveryOracle::new("ether", 1, 2);
+        let v = o.on_deliver(5, None).expect("must fire");
+        assert!(v.detail.contains("outside transfer"), "{}", v.detail);
+    }
+
+    #[test]
+    fn retransmit_bound_accepts_within_budget() {
+        assert_eq!(check_retransmit_bound("ether", 1, 0, 0, 4, None), None);
+        assert_eq!(check_retransmit_bound("ether", 1, 3, 12, 4, None), None);
+        // Go-back-N: one fault may resend the whole window.
+        assert_eq!(check_retransmit_bound("ib", 2, 1, 100, 100, None), None);
+    }
+
+    #[test]
+    fn retransmit_bound_fires_on_storm_or_phantom_resend() {
+        // Seeded corruption: retransmits with zero faults.
+        let v = check_retransmit_bound("ether", 1, 0, 1, 4, Some(3)).expect("must fire");
+        assert_eq!(v.rule, Rule::FaultRetxBound);
+        // Seeded corruption: effort beyond the per-fault budget.
+        let v = check_retransmit_bound("mx10g", 1, 2, 9, 4, None).expect("must fire");
+        assert!(v.detail.contains("budget 4/fault = 8"), "{}", v.detail);
+    }
+}

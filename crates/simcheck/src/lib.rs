@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 pub mod ether;
+pub mod fault;
 pub mod host;
 pub mod ib;
 pub mod iwarp;
@@ -76,11 +77,17 @@ pub enum Rule {
     /// Ethernet frame accounting covers header + FCS (CRC) + preamble + IFG
     /// and the 64-byte minimum frame.
     EthFrame,
+    /// Loss-recovery delivery: under fault injection every transfer unit is
+    /// delivered exactly once — no unit twice, none lost.
+    FaultDelivery,
+    /// Loss-recovery effort: retransmissions stay within the per-fault
+    /// budget the recovery scheme implies (no retransmit storms).
+    FaultRetxBound,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 12] = [
         Rule::MpaFraming,
         Rule::DdpMsn,
         Rule::RdmapState,
@@ -91,6 +98,8 @@ impl Rule {
         Rule::MxRndvSwitch,
         Rule::TcpSeq,
         Rule::EthFrame,
+        Rule::FaultDelivery,
+        Rule::FaultRetxBound,
     ];
 
     /// Stable string id, `<fabric>.<rule>`.
@@ -106,6 +115,8 @@ impl Rule {
             Rule::MxRndvSwitch => "mx.rndv-switch",
             Rule::TcpSeq => "ether.tcp-seq",
             Rule::EthFrame => "ether.frame-accounting",
+            Rule::FaultDelivery => "fault.delivery",
+            Rule::FaultRetxBound => "fault.retx-bound",
         }
     }
 
@@ -121,6 +132,8 @@ impl Rule {
             Rule::MxRndvSwitch => 7,
             Rule::TcpSeq => 8,
             Rule::EthFrame => 9,
+            Rule::FaultDelivery => 10,
+            Rule::FaultRetxBound => 11,
         }
     }
 }

@@ -223,6 +223,11 @@ struct Core {
     slow_path_falls: u64,
     events_coalesced: u64,
     calendar_peak_len: u64,
+    // Fault-plane accounting (updated by `fault` and the fabric recovery
+    // engines).
+    faults_injected: u64,
+    retransmits: u64,
+    rto_fires: u64,
     /// `(deadline, armed)` of the most recently fired timer.
     last_fired: Option<(SimTime, SimTime)>,
     /// Schedule-perturbation salt captured from [`crate::perturb`] at
@@ -315,6 +320,9 @@ impl Sim {
                 slow_path_falls: 0,
                 events_coalesced: 0,
                 calendar_peak_len: 0,
+                faults_injected: 0,
+                retransmits: 0,
+                rto_fires: 0,
                 last_fired: None,
                 tie_salt,
                 trace_digest: FNV_OFFSET,
@@ -348,6 +356,9 @@ impl Sim {
             slow_path_falls: core.slow_path_falls,
             events_coalesced: core.events_coalesced,
             calendar_peak_len: core.calendar_peak_len,
+            faults_injected: core.faults_injected,
+            retransmits: core.retransmits,
+            rto_fires: core.rto_fires,
         }
     }
 
@@ -383,6 +394,25 @@ impl Sim {
         if len > core.calendar_peak_len {
             core.calendar_peak_len = len;
         }
+    }
+
+    /// Record a fault injected by a [`crate::fault::FaultPlane`] (a drop,
+    /// corruption or delay decision). Public because the fabric crates own
+    /// their recovery engines and judge transfers from outside `simnet`.
+    pub fn note_fault_injected(&self) {
+        self.core.borrow_mut().faults_injected += 1;
+    }
+
+    /// Record `n` retransmitted units (segments, packets or messages,
+    /// whatever granularity the fabric's recovery engine works in).
+    pub fn note_retransmits(&self, n: u64) {
+        self.core.borrow_mut().retransmits += n;
+    }
+
+    /// Record one retransmission-timeout expiry (as opposed to a fast
+    /// retransmit triggered by feedback such as dup-ACKs or NAKs).
+    pub fn note_rto_fire(&self) {
+        self.core.borrow_mut().rto_fires += 1;
     }
 
     /// `(deadline, armed)` of the most recently fired timer. At equal

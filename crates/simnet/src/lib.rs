@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod executor;
+pub mod fault;
 pub mod perturb;
 pub mod pipe;
 pub mod stats;
@@ -46,6 +47,7 @@ pub mod sync;
 pub mod time;
 
 pub use executor::{JoinHandle, Sim};
+pub use fault::{FaultConfig, FaultDecision, FaultPlane};
 pub use pipe::{Link, Pipe, Pipeline, Stage};
 pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};

@@ -42,6 +42,15 @@ pub struct SimStats {
     /// High-water mark of any pipe calendar's interval count; guards
     /// against unbounded calendar growth under multi-connection load.
     pub calendar_peak_len: u64,
+    /// Faults injected by a [`crate::fault::FaultPlane`]: every drop,
+    /// corrupt or delay decision (delivered transfers are not counted).
+    pub faults_injected: u64,
+    /// Units retransmitted by the fabric recovery engines (TCP segments,
+    /// IB packets, MX messages — whatever the fabric's resend granularity).
+    pub retransmits: u64,
+    /// Retransmission-timeout expiries (timer-driven recovery, as opposed
+    /// to feedback-driven fast retransmit).
+    pub rto_fires: u64,
 }
 
 impl SimStats {

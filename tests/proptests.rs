@@ -57,6 +57,39 @@ proptest! {
         prop_assert_eq!(rx.take_assembled(), data);
     }
 
+    /// TCP reassembly under loss, reordering *and* duplication: the stream
+    /// is segmented twice with different MSS values (a retransmitting
+    /// sender re-frames, so replayed segments overlap the originals at
+    /// arbitrary offsets), extra duplicate copies are injected, and the
+    /// whole pile is delivered in a shuffled order. Losing a segment and
+    /// later retransmitting it is the same offer sequence as reordering,
+    /// so eventual delivery of both framings covers drop/retransmit too.
+    #[test]
+    fn tcp_reassembly_survives_loss_reorder_and_duplication(
+        data in proptest::collection::vec(any::<u8>(), 1..4000),
+        mss_a in 1usize..700,
+        mss_b in 1usize..700,
+        dups in proptest::collection::vec(0usize..1024, 0..12),
+        swaps in proptest::collection::vec((0usize..1024, 0usize..1024), 0..64),
+    ) {
+        let mut segs = etherstack::tcp::TcpSegmenter::new(77, mss_a).push(&data);
+        // The "retransmission" framing of the same byte stream.
+        segs.extend(etherstack::tcp::TcpSegmenter::new(77, mss_b).push(&data));
+        let n = segs.len();
+        for &d in &dups {
+            segs.push(segs[d % n].clone());
+        }
+        let n = segs.len();
+        for (a, b) in swaps {
+            segs.swap(a % n, b % n);
+        }
+        let mut rx = etherstack::tcp::TcpReassembler::new(77);
+        for s in segs {
+            rx.offer(s);
+        }
+        prop_assert_eq!(rx.take_assembled(), data);
+    }
+
     /// DDP segmentation covers the payload exactly once with correct
     /// offsets and exactly one Last segment; reassembly inverts it under
     /// permutation.

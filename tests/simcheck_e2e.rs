@@ -48,12 +48,35 @@ fn run_codec_workload() {
     );
 }
 
+/// Drive every fabric's loss-recovery engine once at 1% injected loss.
+/// fig1 runs fault-free, so the `fault.delivery` and `fault.retx-bound`
+/// oracles only see traffic here.
+fn run_fault_workload() {
+    use mpisim::FabricKind;
+    for (ki, kind) in FabricKind::ALL.into_iter().enumerate() {
+        let sim = simnet::Sim::new();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let pair = netbench::userlevel::UserPair::build_with_fault(
+                    &sim,
+                    kind,
+                    netbench::loss::plane_for(ki, 10_000),
+                )
+                .await;
+                pair.half_rtt_us(64 << 10, 4).await
+            }
+        });
+    }
+}
+
 #[test]
 fn fig1_runs_clean_under_conformance_oracles() {
     simcheck::reset();
     let figs = bench::generate("fig1");
     assert!(!figs.is_empty(), "fig1 must produce figures");
     run_codec_workload();
+    run_fault_workload();
 
     let summary = simcheck::summary();
     assert!(
@@ -71,7 +94,7 @@ fn fig1_runs_clean_under_conformance_oracles() {
     for stats in &summary.rules {
         assert!(
             stats.checks > 0,
-            "rule {} was never checked (fig1 + codec workload)",
+            "rule {} was never checked (fig1 + codec + fault workloads)",
             stats.rule
         );
     }
