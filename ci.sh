@@ -38,6 +38,11 @@ cargo run -q -p simlint -- --deny-all --json > results/ci/simlint.json
 echo "==> differential sweep: fast path vs per-segment walk (100k cases)"
 FASTPATH_DIFF_CASES=100000 cargo test -q --release --test fastpath_diff
 
+echo "==> determinism suite in release (full --threads {1,2,4,8} digest matrix)"
+# The fig2/fig-loss thread-sweep digests are ignored in debug builds for
+# wall-clock; release runs the whole matrix in seconds.
+cargo test -q --release --test determinism -- --include-ignored
+
 echo "==> smoke: cargo bench -p bench --bench pipeline_throughput"
 # Keeps the bench compiling and its uncontended/contended split honest;
 # the recorded baseline lives in results/pipeline_throughput.json.
@@ -59,6 +64,43 @@ echo "==> digest: fig1 output matches recorded seed digest"
 # committed digest means simulation output changed and results/fig1.sha256
 # must be regenerated alongside a deliberate model change.
 (cd results/ci && sha256sum -c ../fig1.sha256)
+
+echo "==> determinism: --threads 1 vs --threads 4 output is byte-identical"
+# The worker-pool cap (figure groups AND the sharded engine's worker
+# count) may change wall-clock time only. Compare the full table output
+# of the cheapest paper figure and of the sharded cluster figure across
+# thread counts; any byte of drift is a synchronization bug, not noise.
+for sel in fig1 shard; do
+    t1=$(./target/release/figures "$sel" --threads 1 | sha256sum | cut -d' ' -f1)
+    t4=$(./target/release/figures "$sel" --threads 4 | sha256sum | cut -d' ' -f1)
+    if [ "$t1" != "$t4" ]; then
+        echo "figures $sel output differs between --threads 1 ($t1) and --threads 4 ($t4)" >&2
+        exit 1
+    fi
+done
+
+echo "==> smoke: cargo bench -p bench --bench shard_scaling"
+# Wall-clock scaling of the sharded engine at 1/2/4 workers; the
+# committed single-core baseline lives in results/shard_scaling.json.
+BENCH_JSON=results/ci/shard_scaling.json \
+    cargo bench -p bench --bench shard_scaling > /dev/null
+if [ "$(nproc)" -ge 4 ]; then
+    # Only meaningful with real cores: assert the 4-worker run is at
+    # least 2x faster than the 1-worker run on the scaling scenario.
+    # Single-core hosts (like the seed container) skip — there the three
+    # thread counts are equal modulo barrier overhead by construction.
+    python3 - <<'EOF'
+import json
+rows = {r["id"]: r["median_ns"] for r in json.load(open("results/ci/shard_scaling.json"))}
+t1 = rows["shard_scaling/cluster_8_hosts_t1"]
+t4 = rows["shard_scaling/cluster_8_hosts_t4"]
+speedup = t1 / t4
+print(f"shard_scaling: t1={t1}ns t4={t4}ns speedup={speedup:.2f}x")
+assert speedup >= 2.0, f"expected >=2x speedup at 4 workers, got {speedup:.2f}x"
+EOF
+else
+    echo "    (single-core host: speedup assertion skipped, nproc=$(nproc))"
+fi
 
 echo "==> artifact: figures fig-loss --json results/ (degradation sweep)"
 # Archive the loss-recovery sweep next to the committed figure JSON. The

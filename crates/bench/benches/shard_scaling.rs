@@ -1,0 +1,44 @@
+//! Wall-clock scaling of the sharded simulation engine.
+//!
+//! Runs the same 8-host cluster exchange (`netbench::cluster`) at worker
+//! counts 1, 2 and 4 — identical simulated output (the determinism tests
+//! lock that in), different wall time. On a multi-core host the 4-thread
+//! run should approach a 4x speedup over the 1-thread run; on a single
+//! core the three are equal modulo barrier overhead, which this bench then
+//! quantifies. Run with
+//!
+//! ```text
+//! cargo bench -p bench --bench shard_scaling
+//! BENCH_JSON=results/shard_scaling.json cargo bench -p bench --bench shard_scaling
+//! ```
+//!
+//! The committed baseline in `results/shard_scaling.json` was recorded on
+//! a single-core container: all three thread counts within noise of each
+//! other is the *expected* single-core shape. CI compares 1-vs-4-thread
+//! figure output for byte identity unconditionally and asserts speedup
+//! only on hosts with 4+ cores (see `ci.sh`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpisim::FabricKind;
+use netbench::cluster::{cluster_exchange, ClusterSpec};
+
+fn exchange(threads: usize) -> u64 {
+    let mut spec = ClusterSpec::scaling(8);
+    spec.threads = Some(threads);
+    let out = cluster_exchange(FabricKind::MxoM, spec);
+    out.trace_digest
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("cluster_8_hosts_t{threads}"), |b| {
+            b.iter(|| black_box(exchange(threads)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, shard_scaling);
+criterion_main!(benches);

@@ -183,6 +183,26 @@ fn run_selftest() {
     println!("  timers_set        {}", st.timers_set);
     println!("  timer_events      {}", st.timer_events);
     println!("  timers_cancelled  {}", st.timers_cancelled);
+
+    // Phase 4: the sharded engine — a 4-host cluster exchange through the
+    // conservative-lookahead barrier loop, reporting its shard counters.
+    let t1 = std::time::Instant::now();
+    let out = netbench::cluster::cluster_exchange(
+        mpisim::FabricKind::MxoM,
+        netbench::cluster::ClusterSpec::small(4),
+    );
+    let shard_wall = t1.elapsed();
+    println!(
+        "sharded selftest: {} events in {:.3}s wall ({} B moved, digest {:016x})",
+        out.stats.events(),
+        shard_wall.as_secs_f64(),
+        out.bytes_moved,
+        out.trace_digest,
+    );
+    println!("  shards            {}", out.stats.shards);
+    println!("  cross_shard_events {}", out.stats.cross_shard_events);
+    println!("  lookahead_rounds  {}", out.stats.lookahead_rounds);
+    println!("  merge_queue_peak  {}", out.stats.merge_queue_peak);
     if let Ok(path) = std::env::var("BENCH_JSON") {
         let out = format!(
             "[\n  {{\"id\": \"figures/selftest\", \"events\": {events}, \"wall_ns\": {}, \"events_per_sec\": {eps:.0}}}\n]\n",

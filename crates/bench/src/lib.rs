@@ -92,6 +92,7 @@ pub fn catalog() -> Vec<(&'static str, Generator)> {
                 netbench::loss::fig_loss_bandwidth(),
             ]
         }),
+        ("shard", || vec![netbench::cluster::fig_cluster_bandwidth()]),
     ]
 }
 
@@ -111,7 +112,14 @@ pub fn generate_parallel(which: &str) -> Vec<Figure> {
 /// [`generate_parallel`] with an explicit worker-thread cap. Groups are
 /// claimed from a shared counter, so long groups don't serialize behind a
 /// static partition; results are reassembled in catalog order.
+///
+/// The cap also becomes the process default for the sharded engine
+/// (`simnet::shard::set_default_threads`), so `--threads N` shards *within*
+/// a figure as well as across groups. Each group's wall-clock time and the
+/// thread cap are appended to `results/figures.log` (best-effort — skipped
+/// when no `results/` directory is reachable).
 pub fn generate_parallel_with(which: &str, threads: usize) -> Vec<Figure> {
+    simnet::shard::set_default_threads(threads.max(1));
     let which = resolve_alias(which);
     let selected: Vec<(&'static str, Generator)> = catalog()
         .into_iter()
@@ -119,7 +127,7 @@ pub fn generate_parallel_with(which: &str, threads: usize) -> Vec<Figure> {
         .collect();
     let workers = threads.max(1).min(selected.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Figure>)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Figure>, std::time::Duration)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -130,16 +138,68 @@ pub fn generate_parallel_with(which: &str, threads: usize) -> Vec<Figure> {
                 let Some((_, gen)) = selected.get(i) else {
                     break;
                 };
-                tx.send((i, gen())).expect("collector alive");
+                let t0 = std::time::Instant::now();
+                let figs = gen();
+                tx.send((i, figs, t0.elapsed())).expect("collector alive");
             });
         }
     });
     drop(tx);
     let mut slots: Vec<Option<Vec<Figure>>> = selected.iter().map(|_| None).collect();
-    for (i, figs) in rx {
+    let mut walls: Vec<std::time::Duration> = vec![std::time::Duration::ZERO; selected.len()];
+    for (i, figs, wall) in rx {
         slots[i] = Some(figs);
+        walls[i] = wall;
     }
+    log_group_timings(&selected, &walls, threads.max(1));
     slots.into_iter().flatten().flatten().collect()
+}
+
+/// Append per-group wall-clock timings to `results/figures.log`, one line
+/// per group: `group=<id> figures=<n> threads=<n> wall_ms=<ms>`. Best
+/// effort: resolved against the workspace first, then the current
+/// directory; silently skipped when neither has a `results/` directory.
+fn log_group_timings(
+    selected: &[(&'static str, Generator)],
+    walls: &[std::time::Duration],
+    threads: usize,
+) {
+    let Some(path) = figures_log_path() else {
+        return;
+    };
+    let mut lines = String::new();
+    for ((id, _), wall) in selected.iter().zip(walls) {
+        lines.push_str(&format!(
+            "group={id} threads={threads} wall_ms={}\n",
+            wall.as_millis()
+        ));
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        use std::io::Write;
+        let _ = f.write_all(lines.as_bytes());
+    }
+}
+
+/// Locate `results/figures.log`: the workspace `results/` dir (relative to
+/// this crate's manifest) wins; a `results/` dir under the current working
+/// directory is the fallback.
+fn figures_log_path() -> Option<std::path::PathBuf> {
+    let ws = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    if ws.is_dir() {
+        return Some(ws.join("figures.log"));
+    }
+    let local = std::path::Path::new("results");
+    if local.is_dir() {
+        return Some(local.join("figures.log"));
+    }
+    None
 }
 
 /// Whether `which` selects at least one catalog entry — lets callers
@@ -160,8 +220,11 @@ fn resolve_alias(which: &str) -> &str {
 }
 
 /// Generate the figures selected by `which` ("all", a figure id prefix,
-/// or the aliases "overlap"/"hotspot"/"registration"), sequentially.
+/// or the aliases "overlap"/"hotspot"/"registration"), sequentially —
+/// including any sharded runs inside the figures (the sharded engine's
+/// default thread count is pinned to 1 for the duration).
 pub fn generate(which: &str) -> Vec<Figure> {
+    simnet::shard::set_default_threads(1);
     let which = resolve_alias(which);
     catalog()
         .into_iter()

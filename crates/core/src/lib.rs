@@ -19,6 +19,7 @@
 //! | (§7, speculation) | [`ablation`] | mechanism ablations |
 //! | (§6, omitted for space) | [`hotspot::hotspot_latency`] | hot-spot communication |
 //! | (beyond the paper) | [`loss::fig_loss_latency`] / [`loss::fig_loss_bandwidth`] | recovery under injected loss |
+//! | (beyond the paper) | [`cluster::fig_cluster_bandwidth`] | sharded multi-host exchange |
 //!
 //! Each generator builds a fresh deterministic simulation, runs the
 //! workload, and returns a [`report::Figure`] whose series carry the same
@@ -28,6 +29,7 @@
 
 pub mod ablation;
 pub mod bandwidth;
+pub mod cluster;
 pub mod hotspot;
 pub mod logp;
 pub mod loss;

@@ -207,6 +207,61 @@ impl HostTcpFabric {
     }
 }
 
+/// Host-local halves of the host-TCP data path, for endpoint-to-shard
+/// placement in sharded cluster runs ([`simnet::shard`]). Split from
+/// [`HostTcpFabric::data_path`] at the switch hop: software TX stack, DMA
+/// and wire serialization as `egress`; this host's switch egress port, DMA
+/// and interrupt-driven RX stack as `ingress`; the XG700's cut-through
+/// forwarding delay as the cross-shard `wire_latency`.
+pub fn shard_host_path(sim: &Sim, calib: HostTcpCalib) -> simnet::shard::HostPath {
+    // A stack that takes `per_seg` per MSS-sized segment is a "bandwidth"
+    // resource of mss/per_seg bytes per second (same formula as
+    // `HostTcpFabric::with_calib`).
+    let stack_pipe = |per_seg: SimDuration| {
+        let bps = (calib.mss as u128 * 1_000_000_000 / per_seg.as_nanos().max(1) as u128) as u64;
+        Pipe::new(sim, bps.max(1), SimDuration::ZERO)
+    };
+    let pcie = PciePort::new(sim, calib.pcie);
+    let cfg = SwitchConfig::xg700();
+    let egress = Pipeline::new(
+        sim,
+        vec![
+            Stage::new(
+                stack_pipe(calib.tx_per_segment),
+                SimDuration::from_nanos(300),
+            ),
+            Stage::new(pcie.to_device_pipe().clone(), calib.pcie.dma_latency),
+            Stage::new(
+                Pipe::new(sim, cfg.port_bytes_per_sec, SimDuration::ZERO),
+                SimDuration::from_nanos(100),
+            ),
+        ],
+        calib.mss,
+    );
+    let ingress = Pipeline::new(
+        sim,
+        vec![
+            Stage::new(
+                Pipe::new(sim, cfg.port_bytes_per_sec, SimDuration::ZERO),
+                SimDuration::ZERO,
+            ),
+            Stage::new(
+                pcie.to_host_pipe().clone(),
+                SimDuration::from_nanos(calib.pcie.dma_latency.as_nanos() / 2),
+            ),
+            // Interrupt dispatch latency, then per-segment receive work.
+            Stage::new(stack_pipe(calib.rx_per_segment), calib.interrupt_latency),
+        ],
+        calib.mss,
+    );
+    simnet::shard::HostPath {
+        egress,
+        ingress,
+        wire_latency: cfg.forwarding_latency,
+        overhead_bytes: calib.per_segment_overhead,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -214,6 +214,53 @@ impl IbFabric {
     }
 }
 
+/// Host-local halves of the InfiniBand data path, for endpoint-to-shard
+/// placement in sharded cluster runs ([`simnet::shard`]). Split from the
+/// monolithic path at the switch hop: `egress` carries the TX stages up to
+/// the wire, `ingress` carries this host's switch egress port plus the RX
+/// stages, and the Mellanox switch's forwarding delay becomes the
+/// cross-shard `wire_latency`. The shared serial protocol processor stays
+/// shared: both halves stage through the *same* `engine` pipe, so a host's
+/// send and receive directions contend within its shard exactly as in
+/// [`IbFabric::data_path`].
+pub fn shard_host_path(sim: &Sim, calib: MellanoxCalib) -> simnet::shard::HostPath {
+    let dev = HcaDevice::new(sim, 0, calib);
+    let c = dev.calib;
+    let egress = Pipeline::with_chunk(
+        sim,
+        vec![
+            Stage::new(dev.pcie.to_device_pipe().clone(), c.pcie.dma_latency),
+            Stage::new(dev.engine.clone(), c.engine_latency),
+            Stage::new(dev.link_tx.clone(), c.link_latency),
+        ],
+        c.mtu_payload,
+        4,
+    );
+    let cfg = SwitchConfig::mellanox_ib();
+    let ingress = Pipeline::with_chunk(
+        sim,
+        vec![
+            Stage::new(
+                Pipe::new(sim, cfg.port_bytes_per_sec, SimDuration::ZERO),
+                SimDuration::ZERO,
+            ),
+            Stage::new(dev.engine.clone(), c.engine_latency),
+            Stage::new(
+                dev.pcie.to_host_pipe().clone(),
+                SimDuration::from_nanos(c.pcie.dma_latency.as_nanos() / 2),
+            ),
+        ],
+        c.mtu_payload,
+        4,
+    );
+    simnet::shard::HostPath {
+        egress,
+        ingress,
+        wire_latency: cfg.forwarding_latency,
+        overhead_bytes: c.per_packet_overhead_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -231,6 +231,69 @@ impl IwarpFabric {
     }
 }
 
+/// Host-local halves of the iWARP data path, for endpoint-to-shard
+/// placement in sharded cluster runs ([`simnet::shard`]): one RNIC's TX
+/// stages up to the wire as `egress`, its switch egress port plus RX
+/// stages as `ingress`, and the XG700's cut-through forwarding delay as
+/// the cross-shard `wire_latency`. Mirrors [`IwarpFabric::data_path`]
+/// stage for stage, split at the switch hop; like the fabric's cached
+/// handles, the returned pipelines share their stage calendars across
+/// clones, so every endpoint on the shard contends on the same pipes.
+pub fn shard_host_path(sim: &Sim, calib: NetEffectCalib) -> simnet::shard::HostPath {
+    let dev = RnicDevice::new(sim, 0, calib);
+    let c = dev.calib;
+    let egress = Pipeline::new(
+        sim,
+        vec![
+            Stage::new(dev.pcie.to_device_pipe().clone(), c.pcie.dma_latency),
+            Stage::new(dev.internal_bus.clone(), c.internal_bus_latency),
+            Stage::new(
+                dev.engine_tx.clone(),
+                if c.pipelined_engine {
+                    c.engine_tx_latency
+                } else {
+                    simnet::SimDuration::ZERO
+                },
+            ),
+            Stage::new(dev.link_tx.clone(), c.link_latency),
+        ],
+        c.segment_payload,
+    );
+    let cfg = SwitchConfig::xg700();
+    let ingress = Pipeline::new(
+        sim,
+        vec![
+            // This host's switch egress port: flows converging on this
+            // destination serialize here, exactly as in the monolithic
+            // path (the forwarding latency itself rides on the wire).
+            Stage::new(
+                Pipe::new(sim, cfg.port_bytes_per_sec, simnet::SimDuration::ZERO),
+                simnet::SimDuration::ZERO,
+            ),
+            Stage::new(
+                dev.engine_rx.clone(),
+                if c.pipelined_engine {
+                    c.engine_rx_latency
+                } else {
+                    simnet::SimDuration::ZERO
+                },
+            ),
+            Stage::new(dev.internal_bus.clone(), c.internal_bus_latency),
+            Stage::new(
+                dev.pcie.to_host_pipe().clone(),
+                simnet::SimDuration::from_nanos(c.pcie.dma_latency.as_nanos() / 2),
+            ),
+        ],
+        c.segment_payload,
+    );
+    simnet::shard::HostPath {
+        egress,
+        ingress,
+        wire_latency: cfg.forwarding_latency,
+        overhead_bytes: c.per_segment_overhead_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -188,6 +188,60 @@ impl MxFabric {
     }
 }
 
+/// Host-local halves of the Myri-10G data path for the given link mode,
+/// for endpoint-to-shard placement in sharded cluster runs
+/// ([`simnet::shard`]). Split from [`MxFabric::data_path`] at the switch
+/// hop: TX Lanai and wire serialization as `egress`, this host's switch
+/// egress port plus the RX Lanai and DMA as `ingress`, with the mode's
+/// switch (Myricom crossbar for MXoM, XG700 for MXoE) contributing its
+/// forwarding delay as the cross-shard `wire_latency`.
+pub fn shard_host_path(sim: &Sim, mode: LinkMode, calib: MyriCalib) -> simnet::shard::HostPath {
+    let dev = MxNic::new(sim, 0, calib);
+    let c = dev.calib;
+    let (cfg, payload, overhead) = match mode {
+        LinkMode::MxoM => (
+            SwitchConfig::myri_10g(),
+            c.mxom_packet_payload,
+            c.mxom_packet_overhead,
+        ),
+        LinkMode::MxoE => (
+            SwitchConfig::xg700(),
+            c.mxoe_packet_payload,
+            c.mxoe_packet_overhead,
+        ),
+    };
+    let egress = Pipeline::new(
+        sim,
+        vec![
+            Stage::new(dev.pcie.to_device_pipe().clone(), c.pcie.dma_latency),
+            Stage::new(dev.lanai_tx.clone(), c.lanai_tx_latency),
+            Stage::new(dev.link_tx.clone(), c.link_latency),
+        ],
+        payload,
+    );
+    let ingress = Pipeline::new(
+        sim,
+        vec![
+            Stage::new(
+                Pipe::new(sim, cfg.port_bytes_per_sec, SimDuration::ZERO),
+                SimDuration::ZERO,
+            ),
+            Stage::new(dev.lanai_rx.clone(), c.lanai_rx_latency),
+            Stage::new(
+                dev.pcie.to_host_pipe().clone(),
+                SimDuration::from_nanos(c.pcie.dma_latency.as_nanos() / 2),
+            ),
+        ],
+        payload,
+    );
+    simnet::shard::HostPath {
+        egress,
+        ingress,
+        wire_latency: cfg.forwarding_latency,
+        overhead_bytes: overhead,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

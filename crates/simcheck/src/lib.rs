@@ -42,6 +42,7 @@ pub mod host;
 pub mod ib;
 pub mod iwarp;
 pub mod mx;
+pub mod shard;
 
 /// Conformance rules, one per oracle check. The string ids are stable and
 /// appear in reports, CI output, and DESIGN.md.
@@ -83,11 +84,19 @@ pub enum Rule {
     /// Loss-recovery effort: retransmissions stay within the per-fault
     /// budget the recovery scheme implies (no retransmit storms).
     FaultRetxBound,
+    /// Cross-shard merge channels: per (src, dst) channel the sequence
+    /// numbers are contiguous from 0 and delivery timestamps never run
+    /// backwards, and the merged trace itself is nondecreasing in time.
+    ShardMergeOrder,
+    /// Conservative lookahead: every cross-shard delivery lands at least
+    /// one lookahead window after its send time — the invariant that makes
+    /// barrier-synchronous sharded execution safe.
+    ShardLookahead,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 14] = [
         Rule::MpaFraming,
         Rule::DdpMsn,
         Rule::RdmapState,
@@ -100,6 +109,8 @@ impl Rule {
         Rule::EthFrame,
         Rule::FaultDelivery,
         Rule::FaultRetxBound,
+        Rule::ShardMergeOrder,
+        Rule::ShardLookahead,
     ];
 
     /// Stable string id, `<fabric>.<rule>`.
@@ -117,6 +128,8 @@ impl Rule {
             Rule::EthFrame => "ether.frame-accounting",
             Rule::FaultDelivery => "fault.delivery",
             Rule::FaultRetxBound => "fault.retx-bound",
+            Rule::ShardMergeOrder => "shard.merge-order",
+            Rule::ShardLookahead => "shard.lookahead",
         }
     }
 
@@ -134,6 +147,8 @@ impl Rule {
             Rule::EthFrame => 9,
             Rule::FaultDelivery => 10,
             Rule::FaultRetxBound => 11,
+            Rule::ShardMergeOrder => 12,
+            Rule::ShardLookahead => 13,
         }
     }
 }

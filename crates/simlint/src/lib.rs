@@ -210,6 +210,8 @@ pub struct Allow {
     /// Line whose diagnostics it suppresses.
     pub target_line: usize,
     pub rules: Vec<String>,
+    /// The mandatory `-- reason` justification text, verbatim.
+    pub reason: String,
     pub used: bool,
 }
 
@@ -306,6 +308,7 @@ pub fn parse_allows(
             decl_line: lineno,
             target_line,
             rules: rule_names,
+            reason: after[2..].trim().to_owned(),
             used: false,
         });
     }
@@ -329,6 +332,9 @@ pub struct FileContext {
 pub struct LintOutcome {
     pub diags: Vec<Diagnostic>,
     pub suppressed: Vec<Diagnostic>,
+    /// Every well-formed allow annotation in the file, with its `used`
+    /// flag resolved — the raw material for `simlint --audit-allows`.
+    pub allows: Vec<Allow>,
 }
 
 /// Lint one in-memory source file with the given rules. Returned
@@ -355,7 +361,11 @@ pub fn lint_source_stats(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>])
                 rule: "parse-error",
                 message: err.to_string(),
             });
-            return LintOutcome { diags, suppressed };
+            return LintOutcome {
+                diags,
+                suppressed,
+                allows,
+            };
         }
     };
     // `all_tokens` includes inner attributes, so a `#![…]` naming a banned
@@ -407,7 +417,11 @@ pub fn lint_source_stats(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>])
     }
     diags.sort();
     suppressed.sort();
-    LintOutcome { diags, suppressed }
+    LintOutcome {
+        diags,
+        suppressed,
+        allows,
+    }
 }
 
 /// Directories (workspace-relative) holding simulation-scope code: the DES
@@ -502,8 +516,10 @@ let y = 2;
         );
         assert_eq!(allows.len(), 2);
         assert_eq!(allows[0].target_line, 1, "trailing covers its own line");
+        assert_eq!(allows[0].reason, "trailing");
         assert_eq!(allows[1].target_line, 3, "whole-line covers the next line");
         assert_eq!(allows[1].rules.len(), 2);
+        assert_eq!(allows[1].reason, "whole line");
         let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
         assert_eq!(
             rules,

@@ -9,6 +9,11 @@
 //!                                           #   violation/allow counts, and
 //!                                           #   the diagnostics themselves
 //! cargo run -p simlint -- --list-rules      # rule registry with summaries
+//! cargo run -p simlint -- --audit-allows    # every inline allow: location,
+//!                                           #   rules, justification, and
+//!                                           #   whether it still suppresses
+//!                                           #   anything (stale allows fail
+//!                                           #   under --deny-all)
 //! cargo run -p simlint -- path/to/file.rs   # lint explicit files (fixtures, spot checks)
 //! cargo run -p simlint -- --dump file.rs    # debug: show the parsed item structure
 //! ```
@@ -17,7 +22,7 @@
 
 use quote::ToTokens;
 use simlint::rules::all_rules;
-use simlint::{find_workspace_root, lint_source_stats, workspace_files, Diagnostic};
+use simlint::{find_workspace_root, lint_source_stats, workspace_files, Allow, Diagnostic};
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -26,13 +31,14 @@ struct Options {
     deny_all: bool,
     json: bool,
     list_rules: bool,
+    audit_allows: bool,
     dump: Option<PathBuf>,
     root: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: simlint [--deny-all] [--json] [--list-rules] [--dump FILE] [--root DIR] [FILES...]"
+    "usage: simlint [--deny-all] [--json] [--list-rules] [--audit-allows] [--dump FILE] [--root DIR] [FILES...]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
         deny_all: false,
         json: false,
         list_rules: false,
+        audit_allows: false,
         dump: None,
         root: None,
         files: Vec::new(),
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
             "--deny-all" => opts.deny_all = true,
             "--json" => opts.json = true,
             "--list-rules" => opts.list_rules = true,
+            "--audit-allows" => opts.audit_allows = true,
             "--dump" => {
                 let path = args
                     .next()
@@ -120,6 +128,7 @@ fn main() -> ExitCode {
     let rules = all_rules();
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut suppressed: Vec<Diagnostic> = Vec::new();
+    let mut allows: Vec<(PathBuf, Allow)> = Vec::new();
     let mut checked = 0usize;
     for file in &files {
         let src = match std::fs::read_to_string(file) {
@@ -133,6 +142,11 @@ fn main() -> ExitCode {
         let outcome = lint_source_stats(file, &src, &rules);
         diags.extend(outcome.diags);
         suppressed.extend(outcome.suppressed);
+        allows.extend(outcome.allows.into_iter().map(|a| (file.clone(), a)));
+    }
+
+    if opts.audit_allows {
+        return audit_allows(checked, &allows, opts.deny_all);
     }
 
     if opts.json {
@@ -156,6 +170,36 @@ fn main() -> ExitCode {
     }
 
     if opts.deny_all && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--audit-allows`: print every inline allow annotation in scope — where
+/// it is, which rules it waives, the mandatory justification, and whether
+/// it still suppresses anything. The audit is how reviewers keep the waiver
+/// set honest: every entry is a standing exception to a determinism rule,
+/// so each one must still earn its reason. Stale (unused) allows fail the
+/// run under `--deny-all`, same as the `unused-allow` diagnostic would.
+fn audit_allows(checked: usize, allows: &[(PathBuf, Allow)], deny_all: bool) -> ExitCode {
+    let stale = allows.iter().filter(|(_, a)| !a.used).count();
+    println!(
+        "simlint allow audit: {} annotation{} across {checked} files, {stale} stale",
+        allows.len(),
+        if allows.len() == 1 { "" } else { "s" },
+    );
+    for (file, a) in allows {
+        println!(
+            "  {}:{} {} allow({}) -- {}",
+            file.display(),
+            a.decl_line,
+            if a.used { "used " } else { "STALE" },
+            a.rules.join(", "),
+            a.reason,
+        );
+    }
+    if deny_all && stale > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -27,6 +27,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnseededRng),
         Box::new(FloatHashAccum),
         Box::new(RelaxedAtomics),
+        Box::new(CrossShardState),
     ]
 }
 
@@ -178,8 +179,15 @@ impl Rule for ThreadSpawn {
             // Matched as paths, not bare idents: `simnet` exports its own
             // (simulated-task) `spawn` and `JoinHandle`, which are the
             // *correct* spellings — only the `std::thread` forms are banned.
-            let hit = name == "thread"
-                && (path_at(toks, i, &["std", "thread"]) || path_at(toks, i, &["thread", "spawn"]));
+            // `std::thread` is matched from its second segment (`thread`
+            // preceded by `std ::`) so that *every* member — `spawn`,
+            // `scope`, `Builder`, `available_parallelism` — is caught, not
+            // just the spellings that happen to start a two-segment path.
+            let after_std = i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("std");
+            let hit = name == "thread" && (after_std || path_at(toks, i, &["thread", "spawn"]));
             if hit {
                 report(
                     ctx,
@@ -385,6 +393,120 @@ impl Rule for RelaxedAtomics {
                     );
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cross-shard-state
+// ---------------------------------------------------------------------------
+
+/// The sharded engine's only sanctioned cross-shard data path is the
+/// deterministic merge channel (`ShardCtx::send` → per-`(src, dst, seq)`
+/// ordered delivery): every event that crosses a shard boundary is
+/// timestamped, sequence-numbered and merged in one fixed order. Shared
+/// mutable state reachable from more than one shard — a lock type, or
+/// interior mutability laundered through `Arc` — bypasses that merge
+/// entirely, so mutation order depends on which worker thread gets there
+/// first, which no digest can replay. (`Rc`/`RefCell` *within* one shard
+/// are fine and idiomatic; shard roots must be `Send`, so the compiler
+/// already keeps those from crossing. This rule guards the gap the type
+/// system cannot see: `Send`-but-shared types.)
+struct CrossShardState;
+
+/// Lock types imply cross-thread mutation wherever they appear; the sim is
+/// single-threaded per shard, so a lock in sim scope is either dead weight
+/// or a merge bypass.
+const LOCK_IDENTS: &[&str] = &["Mutex", "RwLock"];
+
+/// Interior-mutability cells are only a hazard once something `Send`s them
+/// across shards — which syntactically means an `Arc<…>` wrapper.
+const CELL_IDENTS: &[&str] = &["Cell", "RefCell", "UnsafeCell"];
+
+impl Rule for CrossShardState {
+    fn name(&self) -> &'static str {
+        "cross-shard-state"
+    }
+
+    fn summary(&self) -> &'static str {
+        "locks and Arc-wrapped cells bypass the sharded engine's deterministic merge channels; cross-shard data rides ShardCtx::send"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.flat;
+        for (i, tok) in toks.iter().enumerate() {
+            let FlatTok::Ident(name, span) = tok else {
+                continue;
+            };
+            if LOCK_IDENTS.contains(&name.as_str()) {
+                report(
+                    ctx,
+                    *span,
+                    self.name(),
+                    format!(
+                        "`{name}` in simulation-scope code: cross-shard mutation must flow through \
+                         the deterministic merge channels (`ShardCtx::send`), not shared locks"
+                    ),
+                    out,
+                );
+            } else if name == "Arc" && toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+                self.scan_arc_args(ctx, toks, i + 1, out);
+            }
+        }
+    }
+}
+
+impl CrossShardState {
+    /// Walk the angle-bracketed argument list starting at `open` (the `<`
+    /// after `Arc`) looking for laundered interior mutability:
+    /// `Arc<RefCell<_>>`, `Arc<Vec<Cell<_>>>`, …. Nested `()`/`[]`/`{}`
+    /// groups are skipped whole (closure-trait arguments aren't shard
+    /// state), and a `>` that is really the tail of a `->` arrow does not
+    /// close the list.
+    fn scan_arc_args(
+        &self,
+        ctx: &FileContext,
+        toks: &[FlatTok],
+        open: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < toks.len() {
+            match &toks[j] {
+                FlatTok::Punct('<', _) => depth += 1,
+                FlatTok::Punct('>', _) => {
+                    let arrow = j > 0 && toks[j - 1].is_punct('-');
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                }
+                // A statement boundary means this `<` was a comparison
+                // after all, not a generic-argument list.
+                FlatTok::Punct(';', _) => return,
+                FlatTok::Open(..) => {
+                    j = skip_group(toks, j);
+                    continue;
+                }
+                FlatTok::Ident(inner, inner_span) if CELL_IDENTS.contains(&inner.as_str()) => {
+                    report(
+                        ctx,
+                        *inner_span,
+                        self.name(),
+                        format!(
+                            "`Arc<{inner}<_>>`-shaped state in simulation-scope code smuggles interior \
+                             mutability across the `Send` boundary between shards; shard-crossing data \
+                             must ride the deterministic merge channels (`ShardCtx::send`)"
+                        ),
+                        out,
+                    );
+                }
+                _ => {}
+            }
+            j += 1;
         }
     }
 }

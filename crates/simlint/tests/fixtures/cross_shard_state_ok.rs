@@ -1,0 +1,23 @@
+// Fixture: must NOT trigger `cross-shard-state` — per-shard interior
+// mutability (Rc<RefCell<_>> inside one single-threaded executor) and Arc
+// around immutable topology are both idiomatic; only `Send`-shaped shared
+// *mutable* state is a merge bypass.
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+struct LinkTable;
+
+struct Shard {
+    // Shard-local state: cannot cross the boundary (shard roots are Send,
+    // Rc is not), so the cells are safe.
+    local: Rc<RefCell<Vec<u64>>>,
+    cursor: Cell<usize>,
+    // Immutable shared topology: read-only after construction.
+    links: Arc<LinkTable>,
+}
+
+fn route(shard: &Shard) -> usize {
+    shard.cursor.set(shard.cursor.get() + 1);
+    shard.local.borrow().len()
+}

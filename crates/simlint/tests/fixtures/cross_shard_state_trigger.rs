@@ -1,0 +1,17 @@
+// Fixture: must trigger `cross-shard-state` — shared mutable state that is
+// `Send` (locks, Arc-wrapped cells) can leak across shard boundaries and
+// bypass the deterministic merge channels.
+use std::sync::{Arc, Mutex, RwLock};
+
+struct SharedLedger {
+    // A lock in sim scope is a merge bypass: whichever worker thread wins
+    // the lock mutates first, and no digest can replay that order.
+    totals: Arc<Mutex<Vec<u64>>>,
+    calibration: RwLock<f64>,
+}
+
+// Interior mutability laundered through Arc — syntactically `Send`-shaped
+// even when the compiler would ultimately reject it.
+fn laundered() -> Arc<std::cell::RefCell<u64>> {
+    unreachable!("type-level fixture only; never compiled")
+}

@@ -57,6 +57,11 @@ const CASES: &[(&str, &str, &str)] = &[
         "relaxed_atomics_trigger.rs",
         "relaxed_atomics_ok.rs",
     ),
+    (
+        "cross-shard-state",
+        "cross_shard_state_trigger.rs",
+        "cross_shard_state_ok.rs",
+    ),
 ];
 
 #[test]

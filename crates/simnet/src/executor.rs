@@ -37,6 +37,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as MemOrder};
+// simlint: allow(cross-shard-state) -- ReadyQueue's mutex; see its doc comment
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -68,6 +69,7 @@ struct TimerKey {
 /// single-threaded.
 #[derive(Default)]
 struct ReadyQueue {
+    // simlint: allow(cross-shard-state) -- std::task requires Send+Sync wakers; never contended, never crosses shards
     queue: Mutex<VecDeque<TaskId>>,
     /// Total `Waker::wake` calls observed.
     wakes: AtomicU64,
@@ -202,6 +204,17 @@ impl Ord for TimerEntry {
     }
 }
 
+/// Outcome of one bounded timer-heap pop (see `Sim::pop_due_timer`).
+enum TimerPop {
+    /// Heap empty: no pending timers at all.
+    Quiescent,
+    /// Earliest heap entry is at or past the bound; nothing was popped.
+    /// Carries that entry's deadline — the shard's next-event report.
+    AtHorizon(SimTime),
+    /// One entry was consumed (fired, or a cancelled slot reclaimed).
+    Fired(Option<Waker>),
+}
+
 struct Core {
     now: SimTime,
     timers: BinaryHeap<TimerEntry>,
@@ -228,6 +241,9 @@ struct Core {
     faults_injected: u64,
     retransmits: u64,
     rto_fires: u64,
+    /// Cross-shard events delivered *into* this simulation by the sharded
+    /// engine's merge channels (see [`crate::shard`]).
+    cross_shard_events: u64,
     /// `(deadline, armed)` of the most recently fired timer.
     last_fired: Option<(SimTime, SimTime)>,
     /// Schedule-perturbation salt captured from [`crate::perturb`] at
@@ -245,11 +261,11 @@ struct Core {
 }
 
 /// FNV-1a offset basis / prime (64-bit), shared with the figure digests in
-/// the integration tests.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// the integration tests and the cross-shard merge trace.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a_u64(mut digest: u64, value: u64) -> u64 {
+pub(crate) fn fnv1a_u64(mut digest: u64, value: u64) -> u64 {
     for b in value.to_le_bytes() {
         digest ^= u64::from(b);
         digest = digest.wrapping_mul(FNV_PRIME);
@@ -323,6 +339,7 @@ impl Sim {
                 faults_injected: 0,
                 retransmits: 0,
                 rto_fires: 0,
+                cross_shard_events: 0,
                 last_fired: None,
                 tie_salt,
                 trace_digest: FNV_OFFSET,
@@ -359,6 +376,13 @@ impl Sim {
             faults_injected: core.faults_injected,
             retransmits: core.retransmits,
             rto_fires: core.rto_fires,
+            // Shard-level counters: `cross_shard_events` counts deliveries
+            // *into* this shard; the other three describe the sharded run
+            // as a whole and are filled in by `shard::ShardOutcome::stats`.
+            cross_shard_events: core.cross_shard_events,
+            shards: 0,
+            lookahead_rounds: 0,
+            merge_queue_peak: 0,
         }
     }
 
@@ -413,6 +437,12 @@ impl Sim {
     /// retransmit triggered by feedback such as dup-ACKs or NAKs).
     pub fn note_rto_fire(&self) {
         self.core.borrow_mut().rto_fires += 1;
+    }
+
+    /// Record one cross-shard event delivered into this simulation through
+    /// the sharded engine's merge channels (see [`crate::shard`]).
+    pub(crate) fn note_cross_shard_event(&self) {
+        self.core.borrow_mut().cross_shard_events += 1;
     }
 
     /// `(deadline, armed)` of the most recently fired timer. At equal
@@ -567,6 +597,38 @@ impl Sim {
         self.now()
     }
 
+    /// Drive the simulation up to (but excluding) virtual time `bound`:
+    /// drain the ready queue, then fire timers strictly below `bound`,
+    /// exactly as [`Sim::run_until_quiescent`] would have fired them.
+    ///
+    /// Returns the deadline of the earliest still-pending heap entry
+    /// (`>= bound`), or `None` if the shard is quiescent. The returned
+    /// deadline may belong to a lazily-cancelled sleep — that is
+    /// deliberate: a serial run advances the clock through cancelled
+    /// entries too, so reporting them keeps the sharded round schedule a
+    /// pure function of simulation state, independent of thread count.
+    ///
+    /// This is the per-round workhorse of [`crate::shard`]'s conservative
+    /// lookahead loop: events below the bound cannot be affected by
+    /// cross-shard traffic that has not arrived yet, so each shard may
+    /// process them without synchronization.
+    pub fn run_until_horizon(&self, bound: SimTime) -> Option<SimTime> {
+        loop {
+            while let Some(id) = self.ready.pop() {
+                self.poll_task(id);
+            }
+            match self.pop_due_timer(Some(bound)) {
+                TimerPop::Quiescent => return None,
+                TimerPop::AtHorizon(at) => return Some(at),
+                TimerPop::Fired(waker) => {
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
+                }
+            }
+        }
+    }
+
     /// Core event loop. `done` is checked after each batch of polls; when it
     /// returns true the loop exits early.
     fn drive(&self, mut done: impl FnMut(&Sim) -> bool) {
@@ -579,60 +641,74 @@ impl Sim {
             if done(self) {
                 return;
             }
-            // Advance virtual time to the next timer. Exactly one heap entry
-            // is consumed per drain so that, when several timers share an
-            // instant, each sleeper's continuation runs to exhaustion before
-            // the next timer fires — the `(time, seq)` interleaving every
-            // model above us was validated against.
-            let fired = {
-                let mut core = self.core.borrow_mut();
-                let Some(entry) = core.timers.pop() else {
-                    return; // quiescent
-                };
-                debug_assert!(entry.at >= core.now, "timer heap went backwards");
-                core.now = core.now.max(entry.at);
-                let idx = entry.key.index as usize;
-                if core.timer_slots[idx].gen != entry.key.gen {
-                    debug_assert!(false, "timer heap entry outlived its slot");
-                    continue;
-                }
-                let free = core.timer_free;
-                let slot = &mut core.timer_slots[idx];
-                match std::mem::replace(&mut slot.state, TimerState::Fired) {
-                    TimerState::Pending { waker } => {
-                        core.timer_events += 1;
-                        // Event-ordering trace: digest `(deadline, seq)` in
-                        // firing order, and count same-instant tie members —
-                        // the only events a perturbation salt can reorder.
-                        if let Some((prev_at, _)) = core.last_fired {
-                            if prev_at == entry.at {
-                                core.tie_fires += 1;
-                            }
-                        }
-                        core.trace_digest =
-                            fnv1a_u64(fnv1a_u64(core.trace_digest, entry.at.as_nanos()), entry.seq);
-                        core.last_fired = Some((entry.at, entry.armed));
-                        waker
-                    }
-                    TimerState::Cancelled => {
-                        // Lazy cancellation: reclaim the slot now that its
-                        // heap entry is gone. Time still advanced to
-                        // `entry.at` above, exactly as the seed executor did
-                        // for orphaned timers.
-                        slot.gen = slot.gen.wrapping_add(1);
-                        slot.state = TimerState::Vacant { next_free: free };
-                        core.timer_free = Some(entry.key.index);
-                        None
-                    }
-                    other => {
-                        slot.state = other;
-                        debug_assert!(false, "popped timer neither pending nor cancelled");
-                        None
+            match self.pop_due_timer(None) {
+                TimerPop::Quiescent => return,
+                TimerPop::AtHorizon(_) => unreachable!("unbounded pop hit a horizon"),
+                TimerPop::Fired(waker) => {
+                    if let Some(w) = waker {
+                        w.wake();
                     }
                 }
-            };
-            if let Some(w) = fired {
-                w.wake();
+            }
+        }
+    }
+
+    /// Advance virtual time to the next timer and fire it. Exactly one heap
+    /// entry is consumed per call so that, when several timers share an
+    /// instant, each sleeper's continuation runs to exhaustion before the
+    /// next timer fires — the `(time, seq)` interleaving every model above
+    /// us was validated against. With `bound` set, entries at or past the
+    /// bound are left in place and reported instead of fired.
+    fn pop_due_timer(&self, bound: Option<SimTime>) -> TimerPop {
+        let mut core = self.core.borrow_mut();
+        let Some(&head) = core.timers.peek() else {
+            return TimerPop::Quiescent;
+        };
+        if let Some(b) = bound {
+            if head.at >= b {
+                return TimerPop::AtHorizon(head.at);
+            }
+        }
+        let entry = core.timers.pop().expect("peeked timer vanished");
+        debug_assert!(entry.at >= core.now, "timer heap went backwards");
+        core.now = core.now.max(entry.at);
+        let idx = entry.key.index as usize;
+        if core.timer_slots[idx].gen != entry.key.gen {
+            debug_assert!(false, "timer heap entry outlived its slot");
+            return TimerPop::Fired(None);
+        }
+        let free = core.timer_free;
+        let slot = &mut core.timer_slots[idx];
+        match std::mem::replace(&mut slot.state, TimerState::Fired) {
+            TimerState::Pending { waker } => {
+                core.timer_events += 1;
+                // Event-ordering trace: digest `(deadline, seq)` in
+                // firing order, and count same-instant tie members —
+                // the only events a perturbation salt can reorder.
+                if let Some((prev_at, _)) = core.last_fired {
+                    if prev_at == entry.at {
+                        core.tie_fires += 1;
+                    }
+                }
+                core.trace_digest =
+                    fnv1a_u64(fnv1a_u64(core.trace_digest, entry.at.as_nanos()), entry.seq);
+                core.last_fired = Some((entry.at, entry.armed));
+                TimerPop::Fired(waker)
+            }
+            TimerState::Cancelled => {
+                // Lazy cancellation: reclaim the slot now that its
+                // heap entry is gone. Time still advanced to
+                // `entry.at` above, exactly as the seed executor did
+                // for orphaned timers.
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.state = TimerState::Vacant { next_free: free };
+                core.timer_free = Some(entry.key.index);
+                TimerPop::Fired(None)
+            }
+            other => {
+                slot.state = other;
+                debug_assert!(false, "popped timer neither pending nor cancelled");
+                TimerPop::Fired(None)
             }
         }
     }

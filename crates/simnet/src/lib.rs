@@ -42,6 +42,7 @@ pub mod executor;
 pub mod fault;
 pub mod perturb;
 pub mod pipe;
+pub mod shard;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -49,5 +50,6 @@ pub mod time;
 pub use executor::{JoinHandle, Sim};
 pub use fault::{FaultConfig, FaultDecision, FaultPlane};
 pub use pipe::{Link, Pipe, Pipeline, Stage};
+pub use shard::{CrossReceiver, CrossRecord, ShardCtx, ShardId, ShardOutcome, ShardedSim};
 pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};

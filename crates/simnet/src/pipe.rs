@@ -472,6 +472,19 @@ impl Pipeline {
         &self.stages
     }
 
+    /// Sum of the per-stage forwarding latencies: a strict lower bound on
+    /// the end-to-end delivery time of any byte through this pipeline
+    /// (serialization only adds to it). This is the quantity the sharded
+    /// engine uses as its conservative-lookahead window when a pipeline
+    /// spans two shards — no cross-shard event can arrive sooner than the
+    /// wire's propagation floor, so each shard may safely advance that far
+    /// past the global minimum next-event time (see [`crate::shard`]).
+    pub fn floor_latency(&self) -> SimDuration {
+        self.stages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.latency)
+    }
+
     /// Compute and reserve the passage of a `bytes`-long message (plus
     /// `per_segment_overhead_bytes` of headers on every segment) through all
     /// stages, starting now. Returns the completion time at the pipeline

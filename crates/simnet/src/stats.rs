@@ -51,6 +51,20 @@ pub struct SimStats {
     /// Retransmission-timeout expiries (timer-driven recovery, as opposed
     /// to feedback-driven fast retransmit).
     pub rto_fires: u64,
+    /// Cross-shard events delivered into this simulation through the
+    /// sharded engine's merge channels ([`crate::shard`]). 0 for a plain
+    /// single-calendar `Sim`.
+    pub cross_shard_events: u64,
+    /// Shards the run was partitioned into. 0 for a plain `Sim`; set by
+    /// the sharded engine when aggregating per-shard snapshots.
+    pub shards: u64,
+    /// Conservative-lookahead barrier rounds the sharded run took to
+    /// drain every calendar. 0 for a plain `Sim`.
+    pub lookahead_rounds: u64,
+    /// High-water mark of cross-shard events buffered at any one barrier
+    /// (the merge queue): bounds the memory the exchange can pin and, like
+    /// `calendar_peak_len`, guards against unbounded growth.
+    pub merge_queue_peak: u64,
 }
 
 impl SimStats {
@@ -58,6 +72,34 @@ impl SimStats {
     /// This is the numerator of the events/second throughput figure.
     pub fn events(&self) -> u64 {
         self.polls + self.timer_events
+    }
+
+    /// Fold another snapshot into this one: counters add, high-water marks
+    /// take the max. Used by the sharded engine to aggregate per-shard
+    /// executor snapshots into one run-level view (which then overrides
+    /// `shards`, `lookahead_rounds` and `merge_queue_peak` with
+    /// coordinator-level values).
+    pub fn absorb(&mut self, other: &SimStats) {
+        self.spawns += other.spawns;
+        self.polls += other.polls;
+        self.wakes += other.wakes;
+        self.redundant_wakes += other.redundant_wakes;
+        self.timer_events += other.timer_events;
+        self.timers_set += other.timers_set;
+        self.timers_cancelled += other.timers_cancelled;
+        self.tasks_live += other.tasks_live;
+        self.timers_pending += other.timers_pending;
+        self.fast_path_hits += other.fast_path_hits;
+        self.slow_path_falls += other.slow_path_falls;
+        self.events_coalesced += other.events_coalesced;
+        self.calendar_peak_len = self.calendar_peak_len.max(other.calendar_peak_len);
+        self.faults_injected += other.faults_injected;
+        self.retransmits += other.retransmits;
+        self.rto_fires += other.rto_fires;
+        self.cross_shard_events += other.cross_shard_events;
+        self.shards += other.shards;
+        self.lookahead_rounds = self.lookahead_rounds.max(other.lookahead_rounds);
+        self.merge_queue_peak = self.merge_queue_peak.max(other.merge_queue_peak);
     }
 }
 

@@ -78,6 +78,60 @@ fn fig_loss_digest_is_stable_across_double_runs() {
     );
 }
 
+/// The `--threads` knob (worker pool for figure groups *and* the sharded
+/// engine's worker count, via `simnet::shard::set_default_threads`) may
+/// change wall-clock time only. Every figure digest must be byte-identical
+/// to the serial run at every thread count — this is the test the sharded
+/// engine's conservative-lookahead synchronization answers to.
+#[test]
+fn fig1_digest_is_thread_count_invariant() {
+    let serial = figure_digest(&bench::generate("fig1"));
+    for threads in [1usize, 2, 4, 8] {
+        let par = figure_digest(&bench::generate_parallel_with("fig1", threads));
+        assert_eq!(
+            serial, par,
+            "fig1 output diverged from serial at {threads} threads"
+        );
+    }
+}
+
+/// Same sweep over the heavier selectors. Ignored in debug builds purely
+/// for wall-clock (five full fig2 + fig-loss generations take minutes
+/// unoptimized); `ci.sh` runs the determinism suite in release with
+/// `--include-ignored`, so the full matrix is still gated every CI run.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug builds; ci.sh runs this in release via --include-ignored"
+)]
+fn fig2_and_fig_loss_digests_are_thread_count_invariant() {
+    for sel in ["fig2", "fig-loss"] {
+        let serial = figure_digest(&bench::generate(sel));
+        for threads in [1usize, 2, 4, 8] {
+            let par = figure_digest(&bench::generate_parallel_with(sel, threads));
+            assert_eq!(
+                serial, par,
+                "{sel} output diverged from serial at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Same gate for the figure that actually exercises the sharded engine:
+/// the cluster-exchange figure's digest must not depend on how many OS
+/// workers the shards are spread across.
+#[test]
+fn shard_figure_digest_is_thread_count_invariant() {
+    let serial = figure_digest(&bench::generate("shard"));
+    for threads in [2usize, 4, 8] {
+        let par = figure_digest(&bench::generate_parallel_with("shard", threads));
+        assert_eq!(
+            serial, par,
+            "sharded figure output diverged from serial at {threads} threads"
+        );
+    }
+}
+
 /// Schedule-perturbation replay: scrambling the executor's tie-break rank
 /// among simultaneously-ready timers (via [`simnet::perturb`]) permutes the
 /// internal pop order of same-deadline events but must NOT change any

@@ -302,3 +302,42 @@ proptest! {
         prop_assert!(ok, "{kind:?}: messages overtook each other");
     }
 }
+
+proptest! {
+    // Each case runs two full cluster exchanges; a small case count keeps
+    // the debug-build suite fast while still sweeping shapes and fabrics.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Differential test for the sharded engine: threading is a pure
+    /// optimization, so for ANY cluster shape the multi-worker run must be
+    /// byte-identical to the one-worker (serial) run — event-order digest,
+    /// simulated end time and payload accounting all match. A divergence
+    /// here means the conservative-lookahead bounds or the merge order
+    /// leaked a worker-scheduling dependency into the simulation.
+    #[test]
+    fn sharded_cluster_matches_serial_for_random_shapes(
+        hosts in 2usize..=8,
+        endpoints in 1usize..=3,
+        messages in 1u64..=4,
+        kib in 1u64..=64,
+        propagation_ns in 0u64..=30_000,
+        fabric in 0usize..4,
+        threads in 2usize..=8,
+    ) {
+        let kind = mpisim::FabricKind::ALL[fabric];
+        let spec = |threads| netbench::cluster::ClusterSpec {
+            hosts,
+            endpoints,
+            messages,
+            message_bytes: kib << 10,
+            threads: Some(threads),
+            propagation: simnet::SimDuration::from_nanos(propagation_ns),
+        };
+        let serial = netbench::cluster::cluster_exchange(kind, spec(1));
+        let sharded = netbench::cluster::cluster_exchange(kind, spec(threads));
+        prop_assert_eq!(serial.trace_digest, sharded.trace_digest);
+        prop_assert_eq!(serial.end_ns, sharded.end_ns);
+        prop_assert_eq!(serial.bytes_moved, sharded.bytes_moved);
+        prop_assert_eq!(sharded.bytes_moved, spec(1).total_bytes());
+    }
+}

@@ -1,6 +1,7 @@
 //! End-to-end conformance run: generate a real figure with the `simcheck`
-//! oracles compiled in, run the wire codecs once, and assert that (a) every
-//! oracle actually observed traffic and (b) no invariant fired.
+//! oracles compiled in, run the wire codecs, the loss-recovery engines, and
+//! a sharded cluster exchange once, and assert that (a) every oracle
+//! actually observed traffic and (b) no invariant fired.
 //!
 //! Compiled only under `--features simcheck`; the unchecked build has
 //! nothing to assert (the oracles do not exist).
@@ -70,6 +71,19 @@ fn run_fault_workload() {
     }
 }
 
+/// Drive the sharded cluster exchange once. The 2-node figure runs are
+/// single-`Sim` and never cross a shard boundary, so the `shard.*` merge
+/// and lookahead oracles only see traffic here (`cluster_exchange` feeds
+/// its merged cross-shard trace through `simcheck::shard::check_trace`).
+fn run_shard_workload() {
+    use mpisim::FabricKind;
+    let out = netbench::cluster::cluster_exchange(
+        FabricKind::Iwarp,
+        netbench::cluster::ClusterSpec::small(4),
+    );
+    assert!(out.cross_events > 0, "ring exchange must cross shards");
+}
+
 #[test]
 fn fig1_runs_clean_under_conformance_oracles() {
     simcheck::reset();
@@ -77,6 +91,7 @@ fn fig1_runs_clean_under_conformance_oracles() {
     assert!(!figs.is_empty(), "fig1 must produce figures");
     run_codec_workload();
     run_fault_workload();
+    run_shard_workload();
 
     let summary = simcheck::summary();
     assert!(
@@ -94,7 +109,7 @@ fn fig1_runs_clean_under_conformance_oracles() {
     for stats in &summary.rules {
         assert!(
             stats.checks > 0,
-            "rule {} was never checked (fig1 + codec + fault workloads)",
+            "rule {} was never checked (fig1 + codec + fault + shard workloads)",
             stats.rule
         );
     }
