@@ -38,6 +38,12 @@ cargo run -q -p simlint -- --deny-all --json > results/ci/simlint.json
 echo "==> differential sweep: fast path vs per-segment walk (100k cases)"
 FASTPATH_DIFF_CASES=100000 cargo test -q --release --test fastpath_diff
 
+echo "==> differential sweep: transfer memo vs unmemoized replay (100k cases)"
+# Same harness shape for the whole-transfer memo: every scenario (bursts,
+# demotions, observers, fault-judged sends) must be observationally
+# identical with the fingerprint-keyed cache enabled and force-disabled.
+MEMO_DIFF_CASES=100000 cargo test -q --release --test memo_diff
+
 echo "==> determinism suite in release (full --threads {1,2,4,8} digest matrix)"
 # The fig2/fig-loss thread-sweep digests are ignored in debug builds for
 # wall-clock; release runs the whole matrix in seconds.
@@ -47,6 +53,24 @@ echo "==> smoke: cargo bench -p bench --bench pipeline_throughput"
 # Keeps the bench compiling and its uncontended/contended split honest;
 # the recorded baseline lives in results/pipeline_throughput.json.
 cargo bench -p bench --bench pipeline_throughput > /dev/null
+
+echo "==> smoke: cargo bench -p bench --bench transfer_memo"
+# Memo hit vs cold miss vs pre-memo per-segment walk on one steady-state
+# burst shape; the committed baseline lives in results/transfer_memo.json.
+# (Absolute path: cargo bench runs with the package dir as its CWD.)
+BENCH_JSON="$PWD/results/ci/transfer_memo.json" \
+    cargo bench -p bench --bench transfer_memo > /dev/null
+
+echo "==> selftest: engine events/sec + memo hit-rate artifact"
+# The steady-state phase of --selftest replays one transfer shape 2000
+# times, so the whole-transfer memo must be carrying it: memo_hits == 0
+# here means the cache is disconnected from the data path.
+BENCH_JSON=results/ci/selftest.json ./target/release/figures --selftest
+python3 - <<'EOF'
+import json
+row = json.load(open("results/ci/selftest.json"))[0]
+assert row["memo_hits"] > 0, f"selftest ran with zero memo hits: {row}"
+EOF
 
 echo "==> smoke: figures fig1 --json results/ci/"
 # Drop stale figure JSON first so a generator that silently stops writing
@@ -65,6 +89,26 @@ echo "==> digest: fig1 output matches recorded seed digest"
 # must be regenerated alongside a deliberate model change.
 (cd results/ci && sha256sum -c ../fig1.sha256)
 
+echo "==> smoke + digest: fig4 (the transfer memo's hottest consumer)"
+# fig4's windowed bandwidth sweeps replay one message shape thousands of
+# times, so nearly every transfer comes out of the whole-transfer memo —
+# its digest gate is the one that would catch a cache replaying a wrong
+# outcome.
+rm -f results/ci/fig4-*.json
+./target/release/figures fig4 --json results/ci/ > /dev/null
+(cd results/ci && sha256sum -c ../fig4.sha256)
+
+echo "==> determinism: --no-memo output is byte-identical (fig1 + fig4)"
+# The whole-transfer memo is an optimization, never a semantic switch:
+# force-disabling the cache may change wall-clock time only. Any byte of
+# drift means a cached outcome diverged from the walk it claims to replay.
+memo_on=$(./target/release/figures fig1 fig4 | sha256sum | cut -d' ' -f1)
+memo_off=$(./target/release/figures fig1 fig4 --no-memo | sha256sum | cut -d' ' -f1)
+if [ "$memo_on" != "$memo_off" ]; then
+    echo "figures fig1 fig4 output differs between memo-on ($memo_on) and --no-memo ($memo_off)" >&2
+    exit 1
+fi
+
 echo "==> determinism: --threads 1 vs --threads 4 output is byte-identical"
 # The worker-pool cap (figure groups AND the sharded engine's worker
 # count) may change wall-clock time only. Compare the full table output
@@ -82,7 +126,7 @@ done
 echo "==> smoke: cargo bench -p bench --bench shard_scaling"
 # Wall-clock scaling of the sharded engine at 1/2/4 workers; the
 # committed single-core baseline lives in results/shard_scaling.json.
-BENCH_JSON=results/ci/shard_scaling.json \
+BENCH_JSON="$PWD/results/ci/shard_scaling.json" \
     cargo bench -p bench --bench shard_scaling > /dev/null
 if [ "$(nproc)" -ge 4 ]; then
     # Only meaningful with real cores: assert the 4-worker run is at
@@ -135,5 +179,74 @@ mkdir -p results/ci-simcheck
 rm -f results/ci-simcheck/fig1-*.json
 ./target/release/figures fig1 --json results/ci-simcheck/ > /dev/null
 (cd results/ci-simcheck && sha256sum -c ../fig1.sha256)
+
+echo "==> perf trajectory: results/bench_summary.json (figures all, memo on vs off)"
+# Times the full figure suite with the transfer memo enabled and
+# force-disabled, asserts the two outputs are byte-identical, and folds
+# the per-figure wall clocks (from results/figures.log), the selftest
+# throughput/memo counters, and the transfer_memo bench medians into one
+# machine-readable summary so the perf trajectory is tracked across PRs.
+python3 - <<'EOF'
+import json
+import subprocess
+
+LOG = "results/figures.log"
+
+
+def run_once(extra):
+    try:
+        before = sum(1 for _ in open(LOG))
+    except FileNotFoundError:
+        before = 0
+    out = subprocess.run(
+        ["./target/release/figures", "all", *extra],
+        check=True, capture_output=True,
+    ).stdout
+    groups = {}
+    for line in list(open(LOG))[before:]:
+        kv = dict(f.split("=", 1) for f in line.split())
+        groups[kv["group"]] = int(kv["wall_ms"])
+    return out, groups
+
+
+def run_all(extra):
+    # Per-figure minimum over two runs: whole-process wall on a shared CI
+    # host is mostly page-cache and scheduler noise, but per-group floors
+    # are stable run to run.
+    (out, a), (_, b) = run_once(extra), run_once(extra)
+    return out, {k: min(a[k], b[k]) for k in a}
+
+memo_out, on = run_all([])
+off_out, off = run_all(["--no-memo"])
+assert memo_out == off_out, "figures all output drifted between memo on and --no-memo"
+
+selftest = json.load(open("results/ci/selftest.json"))[0]
+bench = {r["id"]: r["median_ns"] for r in json.load(open("results/ci/transfer_memo.json"))}
+
+sum_on, sum_off = sum(on.values()), sum(off.values())
+summary = {
+    "figures_all": {
+        "wall_ms_memo_on": sum_on,
+        "wall_ms_memo_off": sum_off,
+        "speedup": round(sum_off / sum_on, 3),
+        "byte_identical": True,
+    },
+    "per_figure_wall_ms": {
+        k: {"memo_on": on[k], "memo_off": off[k]} for k in on
+    },
+    "selftest": {
+        "events_per_sec": selftest["events_per_sec"],
+        "memo_hits": selftest["memo_hits"],
+        "memo_misses": selftest["memo_misses"],
+        "memo_evictions": selftest["memo_evictions"],
+        "memo_hit_rate": selftest["memo_hit_rate"],
+    },
+    "transfer_memo_median_ns": bench,
+}
+with open("results/bench_summary.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(json.dumps(summary, indent=2))
+EOF
 
 echo "CI OK"

@@ -1,0 +1,81 @@
+//! Microbenchmarks for the whole-transfer memo (`simnet::memo`).
+//!
+//! Times a steady-state burst of identical multi-chunk messages over an
+//! uncontended 3-stage pipeline under three regimes:
+//!
+//! * `memo_hit`    — cache enabled: one miss computes the closed-form
+//!   plan, every following transfer replays the cached outcome in
+//!   O(stages).
+//! * `memo_miss`   — cache disabled: every transfer recomputes the
+//!   closed-form plan (the pre-memo fast path).
+//! * `walk`        — fast path disabled entirely: every transfer runs the
+//!   per-segment walk (the pre-cut-through baseline).
+//!
+//! `hit vs miss` is the memo's figure of merit; `miss vs walk` keeps the
+//! fast path's own win visible next to it. Run:
+//!
+//! ```text
+//! cargo bench -p bench --bench transfer_memo
+//! BENCH_JSON=$PWD/results/transfer_memo.json \
+//!     cargo bench -p bench --bench transfer_memo   # from repo root
+//! ```
+//!
+//! The recorded baseline lives in `results/transfer_memo.json`; `ci.sh`
+//! smoke-runs this bench to keep it compiling and honest.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simnet::pipe::{Pipe, Pipeline, Stage};
+use simnet::{Sim, SimDuration};
+
+/// Ethernet-ish MSS so the burst messages span many pacing chunks.
+const SEGMENT: u64 = 1460;
+
+/// 96 kB ≈ 66 segments ≈ 9 pacing chunks per message.
+const BYTES: u64 = 96 << 10;
+
+/// Messages per burst: the steady-state window the figures replay.
+const REPS: u32 = 256;
+
+/// The NIC models' typical depth with staggered rates and overheads.
+fn pipeline(sim: &Sim) -> Pipeline {
+    let stages = (0..3usize)
+        .map(|i| {
+            let rate = 1_050_000_003 + 100_000_007 * ((i as u64 + 2) % 3);
+            let pipe = Pipe::new(sim, rate, SimDuration::from_nanos(25 + 7 * i as u64));
+            Stage::new(pipe, SimDuration::from_nanos(300 + 90 * i as u64))
+        })
+        .collect();
+    Pipeline::new(sim, stages, SEGMENT)
+}
+
+/// One steady-state burst; returns final sim time as the black-box value.
+fn run_burst(memo: bool, fast_path: bool) -> u64 {
+    let sim = Sim::new();
+    sim.set_fast_path(fast_path);
+    sim.set_transfer_memo(memo);
+    let pl = pipeline(&sim);
+    sim.block_on(async move {
+        for _ in 0..REPS {
+            pl.transfer(BYTES, 54).await;
+        }
+    });
+    sim.now().as_nanos()
+}
+
+fn bench_transfer_memo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfer_memo");
+    g.sample_size(20);
+    g.bench_function("memo_hit_3stage_96k_x256", |b| {
+        b.iter(|| black_box(run_burst(true, true)));
+    });
+    g.bench_function("memo_miss_3stage_96k_x256", |b| {
+        b.iter(|| black_box(run_burst(false, true)));
+    });
+    g.bench_function("walk_3stage_96k_x256", |b| {
+        b.iter(|| black_box(run_burst(false, false)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transfer_memo);
+criterion_main!(benches);

@@ -21,6 +21,9 @@
 //! * `--selftest`    — run a fixed executor micro-workload and report
 //!   simulation throughput (events/second plus the `simnet::SimStats`
 //!   counters) instead of generating figures.
+//! * `--no-memo`     — force-disable the whole-transfer memo
+//!   (`simnet::memo`) in every simulation this process creates. Output
+//!   must be byte-identical to a memoized run; ci.sh diffs the two.
 
 #![forbid(unsafe_code)]
 
@@ -43,6 +46,10 @@ fn main() {
             // Accepted for compatibility: parallel is the default now.
             "--parallel" => serial = false,
             "--selftest" => selftest = true,
+            // The memo is an optimization, never a semantic switch: forcing
+            // it off must reproduce the exact bytes (the ci.sh identity
+            // gate runs figures both ways and compares sha256).
+            "--no-memo" => simnet::memo::set_default_enabled(false),
             "--threads" => {
                 let n = it
                     .next()
@@ -167,10 +174,35 @@ fn run_selftest() {
         simnet::sync::join_all(handles).await;
     });
 
+    // Phase 3b: steady-state pipeline replay — the same multi-chunk
+    // message shape over an uncontended 3-stage pipeline, the exact
+    // pattern the whole-transfer memo (`simnet::memo`) accelerates. One
+    // miss computes the plan; every following transfer replays it.
+    let stages: Vec<simnet::Stage> = (0..3)
+        .map(|_| {
+            simnet::Stage::new(
+                simnet::Pipe::new(&sim, 1_250_000_000, SimDuration::from_nanos(40)),
+                SimDuration::from_nanos(500),
+            )
+        })
+        .collect();
+    let pl = simnet::Pipeline::new(&sim, stages, 1_500);
+    sim.block_on(async move {
+        for _ in 0..2_000u32 {
+            pl.transfer(96_000, 58).await;
+        }
+    });
+
     let wall = t0.elapsed();
     let st = sim.stats();
     let events = st.events();
     let eps = events as f64 / wall.as_secs_f64();
+    let memo_lookups = st.memo_hits + st.memo_misses;
+    let memo_hit_rate = if memo_lookups > 0 {
+        st.memo_hits as f64 / memo_lookups as f64
+    } else {
+        0.0
+    };
     println!(
         "simnet selftest: {events} events in {:.3}s wall",
         wall.as_secs_f64()
@@ -183,6 +215,11 @@ fn run_selftest() {
     println!("  timers_set        {}", st.timers_set);
     println!("  timer_events      {}", st.timer_events);
     println!("  timers_cancelled  {}", st.timers_cancelled);
+    println!("  fast_path_hits    {}", st.fast_path_hits);
+    println!("  memo_hits         {}", st.memo_hits);
+    println!("  memo_misses       {}", st.memo_misses);
+    println!("  memo_evictions    {}", st.memo_evictions);
+    println!("  memo_hit_rate     {memo_hit_rate:.3}");
 
     // Phase 4: the sharded engine — a 4-host cluster exchange through the
     // conservative-lookahead barrier loop, reporting its shard counters.
@@ -205,8 +242,11 @@ fn run_selftest() {
     println!("  merge_queue_peak  {}", out.stats.merge_queue_peak);
     if let Ok(path) = std::env::var("BENCH_JSON") {
         let out = format!(
-            "[\n  {{\"id\": \"figures/selftest\", \"events\": {events}, \"wall_ns\": {}, \"events_per_sec\": {eps:.0}}}\n]\n",
+            "[\n  {{\"id\": \"figures/selftest\", \"events\": {events}, \"wall_ns\": {}, \"events_per_sec\": {eps:.0}, \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evictions\": {}, \"memo_hit_rate\": {memo_hit_rate:.3}}}\n]\n",
             wall.as_nanos(),
+            st.memo_hits,
+            st.memo_misses,
+            st.memo_evictions,
         );
         if let Some(dir) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(dir);

@@ -128,6 +128,9 @@ impl HostTcpFabric {
     /// Install a fault plane (see [`simnet::fault`]). Sends judged by an
     /// enabled plane pay TCP recovery costs for every injected loss.
     pub fn set_fault_plane(&self, plane: FaultPlane) {
+        // Key the transfer memo on the plane's configuration: outcomes
+        // cached fault-free never replay under faults (see `simnet::memo`).
+        self.sim.set_fault_fingerprint(plane.fingerprint());
         *self.fault.borrow_mut() = plane;
     }
 

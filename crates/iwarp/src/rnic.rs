@@ -145,6 +145,10 @@ impl IwarpFabric {
     /// Install a fault plane (see [`simnet::fault`]). Affects QPs connected
     /// *after* this call; the plane is captured at connect time.
     pub fn set_fault_plane(&self, plane: FaultPlane) {
+        // Fold the plane's configuration into the transfer-memo fingerprint
+        // so outcomes cached fault-free are never replayed under faults
+        // (and vice versa) — see `simnet::memo`.
+        self.sim.set_fault_fingerprint(plane.fingerprint());
         *self.fault.borrow_mut() = plane;
     }
 

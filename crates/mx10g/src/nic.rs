@@ -116,6 +116,9 @@ impl MxFabric {
     /// every packet against it; with the plane disabled (the default) the
     /// fabric is bit-identical to the fault-free build.
     pub fn set_fault_plane(&self, plane: FaultPlane) {
+        // Key the transfer memo on the plane's configuration: outcomes
+        // cached fault-free never replay under faults (see `simnet::memo`).
+        self.sim.set_fault_fingerprint(plane.fingerprint());
         *self.fault.borrow_mut() = plane;
     }
 

@@ -28,6 +28,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(FloatHashAccum),
         Box::new(RelaxedAtomics),
         Box::new(CrossShardState),
+        Box::new(MemoKeyFields),
     ]
 }
 
@@ -451,6 +452,94 @@ impl Rule for CrossShardState {
                 );
             } else if name == "Arc" && toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
                 self.scan_arc_args(ctx, toks, i + 1, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// memo-key
+// ---------------------------------------------------------------------------
+
+/// The transfer-memo key (`simnet::memo::MemoKey`) must capture every
+/// input that can change a cached traversal's outcome. Two of them are
+/// easy to drop silently in a refactor because nothing type-checks their
+/// presence: the schedule-perturbation salt (a perturbed run resolves
+/// same-instant tie-breaks differently, so a plan cached under one salt
+/// is not valid evidence under another) and the fault-plane fingerprint
+/// (an outcome cached fault-free must never replay under injected
+/// faults, nor vice versa). Any `struct MemoKey` definition in
+/// simulation scope must therefore declare both fields.
+struct MemoKeyFields;
+
+const MEMO_KEY_FIELDS: &[&str] = &["tie_salt", "fault_fp"];
+
+impl Rule for MemoKeyFields {
+    fn name(&self) -> &'static str {
+        "memo-key"
+    }
+
+    fn summary(&self) -> &'static str {
+        "a MemoKey struct must key the perturbation salt (tie_salt) and fault-plane state (fault_fp), or cached outcomes replay under the wrong regime"
+    }
+
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.flat;
+        for (i, tok) in toks.iter().enumerate() {
+            let FlatTok::Ident(name, span) = tok else {
+                continue;
+            };
+            if name != "MemoKey" || i == 0 || !toks[i - 1].is_ident("struct") {
+                continue;
+            }
+            // Find the field block: the next brace group before any `;`.
+            // A unit or tuple `MemoKey` cannot name its fields at all, so
+            // it is missing both.
+            let mut j = i + 1;
+            let mut body = None;
+            while j < toks.len() {
+                match &toks[j] {
+                    FlatTok::Open(Delimiter::Brace, _) => {
+                        body = Some(j);
+                        break;
+                    }
+                    FlatTok::Punct(';', _) => break,
+                    FlatTok::Open(..) => {
+                        j = skip_group(toks, j);
+                        continue;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let missing: Vec<&str> = match body {
+                Some(open) => {
+                    let end = skip_group(toks, open);
+                    MEMO_KEY_FIELDS
+                        .iter()
+                        .copied()
+                        .filter(|f| !toks[open..end].iter().any(|t| t.is_ident(f)))
+                        .collect()
+                }
+                None => MEMO_KEY_FIELDS.to_vec(),
+            };
+            if !missing.is_empty() {
+                let fields = missing
+                    .iter()
+                    .map(|f| format!("`{f}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                report(
+                    ctx,
+                    *span,
+                    self.name(),
+                    format!(
+                        "`struct MemoKey` does not key {fields}; a memo entry keyed without the \
+                         perturbation salt and fault-plane fingerprint replays cached outcomes \
+                         under the wrong simulation regime"
+                    ),
+                    out,
+                );
             }
         }
     }

@@ -1,0 +1,17 @@
+// Fixture: must NOT trigger `memo-key` — the key carries both the
+// perturbation salt and the fault-plane fingerprint, and unrelated structs
+// (even cache-shaped ones) are none of this rule's business.
+pub struct MemoKey {
+    pub bytes: u64,
+    pub overhead: u64,
+    pub tie_salt: u64,
+    pub fault_fp: u64,
+}
+
+pub struct OtherCacheKey {
+    pub bytes: u64,
+}
+
+pub fn lookup(_key: &MemoKey, _other: &OtherCacheKey) -> Option<u64> {
+    None
+}

@@ -1,0 +1,11 @@
+// Fixture: must trigger `memo-key` — this MemoKey forgets the fault-plane
+// fingerprint, so an outcome cached fault-free would replay under faults.
+pub struct MemoKey {
+    pub bytes: u64,
+    pub overhead: u64,
+    pub tie_salt: u64,
+}
+
+pub fn lookup(_key: &MemoKey) -> Option<u64> {
+    None
+}

@@ -62,6 +62,7 @@ const CASES: &[(&str, &str, &str)] = &[
         "cross_shard_state_trigger.rs",
         "cross_shard_state_ok.rs",
     ),
+    ("memo-key", "memo_key_trigger.rs", "memo_key_ok.rs"),
 ];
 
 #[test]

@@ -236,6 +236,14 @@ struct Core {
     slow_path_falls: u64,
     events_coalesced: u64,
     calendar_peak_len: u64,
+    // Whole-transfer memoization (see `crate::memo` and `pipe`).
+    transfer_memo_enabled: bool,
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_evictions: u64,
+    /// Fingerprint of the active fault plane (0 = disabled); folded into
+    /// transfer memo keys so entries never replay across fault regimes.
+    fault_fp: u64,
     // Fault-plane accounting (updated by `fault` and the fabric recovery
     // engines).
     faults_injected: u64,
@@ -336,6 +344,11 @@ impl Sim {
                 slow_path_falls: 0,
                 events_coalesced: 0,
                 calendar_peak_len: 0,
+                transfer_memo_enabled: crate::memo::default_enabled(),
+                memo_hits: 0,
+                memo_misses: 0,
+                memo_evictions: 0,
+                fault_fp: 0,
                 faults_injected: 0,
                 retransmits: 0,
                 rto_fires: 0,
@@ -373,6 +386,9 @@ impl Sim {
             slow_path_falls: core.slow_path_falls,
             events_coalesced: core.events_coalesced,
             calendar_peak_len: core.calendar_peak_len,
+            memo_hits: core.memo_hits,
+            memo_misses: core.memo_misses,
+            memo_evictions: core.memo_evictions,
             faults_injected: core.faults_injected,
             retransmits: core.retransmits,
             rto_fires: core.rto_fires,
@@ -410,6 +426,54 @@ impl Sim {
     /// Record a transfer that took (or was demoted to) the per-segment walk.
     pub(crate) fn note_slow_path_fall(&self) {
         self.core.borrow_mut().slow_path_falls += 1;
+    }
+
+    /// Enable or disable the whole-transfer memo cache (see
+    /// [`crate::memo`]). On by default unless the process default was
+    /// turned off ([`crate::memo::set_default_enabled`]); captured at
+    /// [`Sim::new`]. Disabling forces every fast-path transfer to
+    /// recompute its closed-form plan — output is byte-identical either
+    /// way, which the `--no-memo` CI gates and `tests/memo_diff.rs`
+    /// assert.
+    pub fn set_transfer_memo(&self, enabled: bool) {
+        self.core.borrow_mut().transfer_memo_enabled = enabled;
+    }
+
+    /// Whether the whole-transfer memo cache is enabled.
+    pub fn transfer_memo_enabled(&self) -> bool {
+        self.core.borrow().transfer_memo_enabled
+    }
+
+    /// Record a transfer replayed from the memo cache (including cached
+    /// "plan refused" outcomes that skip straight to the walk).
+    pub(crate) fn note_memo_hit(&self) {
+        self.core.borrow_mut().memo_hits += 1;
+    }
+
+    /// Record a memo-eligible transfer whose fingerprint was not cached.
+    pub(crate) fn note_memo_miss(&self) {
+        self.core.borrow_mut().memo_misses += 1;
+    }
+
+    /// Record a memo entry evicted — either by a mid-window demotion of a
+    /// replayed transfer or by the capacity cap.
+    pub(crate) fn note_memo_eviction(&self) {
+        self.core.borrow_mut().memo_evictions += 1;
+    }
+
+    /// Install the fingerprint of the active fault plane
+    /// ([`crate::FaultPlane::fingerprint`]). Folded into every transfer
+    /// memo key so entries cached under one fault regime are never
+    /// replayed under another. Public because the fabric crates own their
+    /// planes and install them from outside `simnet`.
+    pub fn set_fault_fingerprint(&self, fp: u64) {
+        self.core.borrow_mut().fault_fp = fp;
+    }
+
+    /// The currently installed fault-plane fingerprint (0 = no active
+    /// plane).
+    pub fn fault_fingerprint(&self) -> u64 {
+        self.core.borrow().fault_fp
     }
 
     /// Track the high-water mark of a pipe calendar's interval count.

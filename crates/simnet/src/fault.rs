@@ -159,6 +159,30 @@ impl FaultPlane {
         self.inner.is_some()
     }
 
+    /// A stable fingerprint of this plane's configuration: 0 when
+    /// disabled, a nonzero SplitMix64 mix of (seed, rates, delay) when
+    /// enabled. Installed on the simulation by each fabric's
+    /// `set_fault_plane` ([`Sim::set_fault_fingerprint`]) and folded into
+    /// every transfer memo key ([`crate::memo::MemoKey`]), so outcomes
+    /// cached under one fault regime can never replay under another.
+    ///
+    /// [`Sim::set_fault_fingerprint`]: crate::Sim::set_fault_fingerprint
+    pub fn fingerprint(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(s) => {
+                let c = s.borrow().config;
+                let mut h = splitmix64(c.seed ^ 0x5EED_FA07);
+                h = splitmix64(h ^ u64::from(c.drop_ppm));
+                h = splitmix64(h ^ u64::from(c.corrupt_ppm));
+                h = splitmix64(h ^ u64::from(c.delay_ppm));
+                h = splitmix64(h ^ c.delay.as_nanos());
+                // An enabled plane must never collide with "disabled".
+                h | 1
+            }
+        }
+    }
+
     /// The configured extra latency for [`FaultDecision::Delay`] outcomes
     /// ([`SimDuration::ZERO`] on a disabled plane).
     pub fn delay(&self) -> SimDuration {

@@ -40,6 +40,7 @@
 
 pub mod executor;
 pub mod fault;
+pub mod memo;
 pub mod perturb;
 pub mod pipe;
 pub mod shard;
@@ -49,6 +50,7 @@ pub mod time;
 
 pub use executor::{JoinHandle, Sim};
 pub use fault::{FaultConfig, FaultDecision, FaultPlane};
+pub use memo::MemoKey;
 pub use pipe::{Link, Pipe, Pipeline, Stage};
 pub use shard::{CrossReceiver, CrossRecord, ShardCtx, ShardId, ShardOutcome, ShardedSim};
 pub use stats::SimStats;

@@ -1,0 +1,134 @@
+//! Whole-transfer memoization: fingerprint-keyed replay of steady-state
+//! pipeline traversals.
+//!
+//! The paper's figures are dominated by *repeated identical transfers*: a
+//! bandwidth sweep pushes the same (src, dst, size) message thousands of
+//! times through a pipeline that is idle between repetitions. In a
+//! deterministic DES, a transfer whose full input state is identical must
+//! produce an identical (duration, stats-delta, trace-digest-delta)
+//! outcome — so the cut-through fast path computes the closed-form plan
+//! **once** per fingerprint and replays the cached outcome on every
+//! subsequent hit.
+//!
+//! ## The state fingerprint
+//!
+//! A cache entry is only valid when the *entire* input state of the
+//! transfer matches. The fingerprint has two halves:
+//!
+//! * **Cache identity.** Each [`Pipeline`] owns its cache, shared by
+//!   clones of that pipeline but by nothing else. The fabric crates hand
+//!   out cached per-(src, dst) path handles (and per-shard host paths), so
+//!   fabric, endpoints, protocol mode, stage geometry and shard id are all
+//!   encoded by *which* cache is consulted — two paths can never observe
+//!   each other's entries.
+//! * **[`MemoKey`].** Within one cache, entries are keyed by the byte
+//!   count, the per-segment header overhead, the simulation's tie-break
+//!   perturbation salt ([`Sim::tie_break_salt`]) and the active fault
+//!   plane's fingerprint ([`FaultPlane::fingerprint`]). The salt and fault
+//!   fields are defensive: a nonzero salt already disables the fast path
+//!   entirely, and fault judgement happens outside [`Pipeline::transfer`],
+//!   but keying on them means no future change can silently replay an
+//!   entry across a schedule-perturbation or fault-regime boundary. The
+//!   `simlint` `memo-key` rule asserts these fields stay in the key.
+//!
+//! The *calendar occupancy class* is not a key field because only one
+//! class is cacheable at all: the fast path (and therefore the memo) only
+//! engages when every stage calendar is entirely in the past — the idle
+//! steady state. Any occupancy makes the transfer take the regular
+//! fast/slow path, and any contention arriving mid-window demotes the
+//! replay and **evicts** the entry (see `Speculation::demote` in
+//! [`crate::pipe`]).
+//!
+//! ## Why replay is exact
+//!
+//! The closed-form plan is a pure function of (stage geometry, chunk
+//! partition) *relative to the entry instant*: every operation in it is a
+//! max/add over offsets from `now`, and the single saturating subtraction
+//! (the cut-through `floor`) can only clamp when the true value is
+//! negative — in which case the following `max` discards it either way.
+//! So a plan computed at base `t0` is the plan at base `t1` shifted by
+//! `t1 - t0`, and caching (completion − base, per-stage totals) replays
+//! bit-identically at any later hit. `tests/memo_diff.rs` proves this over
+//! a 100k-case differential sweep.
+//!
+//! [`Pipeline`]: crate::Pipeline
+//! [`Pipeline::transfer`]: crate::Pipeline::transfer
+//! [`Sim::tie_break_salt`]: crate::Sim::tie_break_salt
+//! [`FaultPlane::fingerprint`]: crate::FaultPlane::fingerprint
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Fingerprint of one memoizable transfer within a pipeline's cache.
+///
+/// The cache instance itself already pins fabric, src/dst path, protocol
+/// mode, stage geometry and shard (see the module docs); the key pins the
+/// per-call inputs. `tie_salt` and `fault_fp` must remain key fields — the
+/// `simlint` `memo-key` rule fails the build if either is removed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct MemoKey {
+    /// Message payload length in bytes.
+    pub bytes: u64,
+    /// Per-segment header overhead in bytes.
+    pub overhead: u64,
+    /// The simulation's schedule-perturbation salt
+    /// ([`crate::Sim::tie_break_salt`]); 0 in production runs.
+    pub tie_salt: u64,
+    /// Fingerprint of the active fault plane
+    /// ([`crate::FaultPlane::fingerprint`]); 0 when faults are disabled.
+    pub fault_fp: u64,
+}
+
+/// Maximum entries per pipeline cache. Steady-state workloads use a
+/// handful of distinct message sizes per path; the cap only matters for
+/// adversarial size sweeps, where oldest-key eviction (counted in
+/// `SimStats::memo_evictions`) keeps memory bounded.
+pub const MEMO_CAPACITY: usize = 128;
+
+/// Process-wide default for whether new [`Sim`]s enable the transfer
+/// memo. `true` unless [`set_default_enabled`] turned it off (e.g. the
+/// `figures --no-memo` byte-identity gate).
+///
+/// [`Sim`]: crate::Sim
+static DEFAULT_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide default captured by [`Sim::new`]. Safe to flip
+/// between runs precisely because memoization never affects simulation
+/// output — only wall-clock time ([`crate::Sim::set_transfer_memo`]
+/// overrides per simulation).
+///
+/// [`Sim::new`]: crate::Sim::new
+pub fn set_default_enabled(enabled: bool) {
+    DEFAULT_ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// The process-wide default transfer-memo setting.
+pub fn default_enabled() -> bool {
+    DEFAULT_ENABLED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_orders_and_compares_by_value() {
+        let a = MemoKey {
+            bytes: 1,
+            overhead: 2,
+            tie_salt: 0,
+            fault_fp: 0,
+        };
+        let b = MemoKey { bytes: 2, ..a };
+        assert!(a < b);
+        assert_eq!(a, a);
+    }
+
+    #[test]
+    fn default_enabled_round_trips() {
+        assert!(default_enabled());
+        set_default_enabled(false);
+        assert!(!default_enabled());
+        set_default_enabled(true);
+        assert!(default_enabled());
+    }
+}

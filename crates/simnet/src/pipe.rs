@@ -20,6 +20,7 @@ use std::rc::{Rc, Weak};
 use std::task::{Context, Poll, Waker};
 
 use crate::executor::Sim;
+use crate::memo::{MemoKey, MEMO_CAPACITY};
 use crate::time::{SimDuration, SimTime};
 
 #[derive(Debug)]
@@ -349,6 +350,70 @@ pub struct Pipeline {
     segment: u64,
     chunk: u64,
     sim: Sim,
+    /// Whole-transfer memo cache (see [`crate::memo`]): fingerprint →
+    /// cached closed-form plan outcome. Shared by clones of this pipeline
+    /// — which is exactly the fabric crates' cached per-(src, dst) data
+    /// path handles — and by nothing else, so path identity (fabric,
+    /// endpoints, geometry, shard) is encoded by cache identity.
+    memo: MemoCache,
+}
+
+type MemoCache = Rc<RefCell<BTreeMap<MemoKey, MemoEntry>>>;
+
+/// One cached whole-transfer outcome.
+#[derive(Clone, Debug)]
+enum MemoEntry {
+    /// The closed-form plan succeeded; replay it by offset from the entry
+    /// instant.
+    Plan(Rc<PlanSummary>),
+    /// The closed-form replay refused this geometry (wall-monotonicity):
+    /// skip straight to the per-segment walk without recomputing — the
+    /// refusal is a pure function of the partition, so it is as cacheable
+    /// as a success.
+    Refused(Rc<[ChunkMeta]>),
+}
+
+/// The translation-invariant digest of a computed plan: everything a
+/// replay needs, stored as offsets from the plan's base instant. The full
+/// per-(chunk, stage) op vector is deliberately *not* kept — a hit only
+/// needs it if the window is observed or demoted, and then it is rebuilt
+/// bit-identically by [`compute_plan`] (see [`Speculation::ensure_ops`]).
+#[derive(Debug)]
+struct PlanSummary {
+    /// The chunk partition (pure function of byte counts; cached to skip
+    /// recomputing it on every hit).
+    metas: Rc<[ChunkMeta]>,
+    /// Completion instant minus base, in nanoseconds.
+    completion_off: u64,
+    /// Scheduling events the plan coalesces (pre-adjustment; see
+    /// [`Speculation::coalesced`]).
+    coalesced: u64,
+    /// Length of the chunk-0/stage-0 occupancy — the one reservation a
+    /// hit makes eagerly (the calendar is idle, so it lands at `now`).
+    first_dur: u64,
+    /// Per-stage `(busy_ns, bytes, transfers)` totals over every chunk,
+    /// for the O(stages) counter fold at commit.
+    totals: Rc<Vec<(u64, u64, u64)>>,
+}
+
+/// Per-stage `(busy_ns, bytes, transfers)` totals of a full traversal —
+/// the counter delta [`Speculation::commit`] applies on an untouched
+/// window.
+fn stage_totals(stages: &[Stage], metas: &[ChunkMeta]) -> Vec<(u64, u64, u64)> {
+    stages
+        .iter()
+        .map(|stage| {
+            let mut busy = 0u64;
+            let mut bytes = 0u64;
+            let mut transfers = 0u64;
+            for meta in metas {
+                busy += stage.pipe.bulk_service(meta.cwire, meta.csegs).as_nanos();
+                bytes += meta.cwire;
+                transfers += meta.csegs;
+            }
+            (busy, bytes, transfers)
+        })
+        .collect()
 }
 
 /// Per-chunk wire geometry, fixed by the message partition alone (never by
@@ -436,6 +501,7 @@ impl Pipeline {
             segment,
             chunk,
             sim: sim.clone(),
+            memo: Rc::new(RefCell::new(BTreeMap::new())),
         }
     }
 
@@ -538,9 +604,12 @@ impl Pipeline {
             self.sim.sleep_until(done).await;
             return;
         }
-        let metas = self.chunk_partition(bytes, per_segment_overhead_bytes);
+        // The chunk partition is computed lazily: a memo hit replays the
+        // cached one, and only fast-path-ineligible transfers (or misses)
+        // pay for a fresh partition.
+        let mut part: Option<Rc<[ChunkMeta]>> = None;
         if self.sim.fast_path_enabled() {
-            if let Some(spec) = self.try_fast_path(&metas) {
+            if let Some(spec) = self.try_fast_path(bytes, per_segment_overhead_bytes, &mut part) {
                 // Single completion event for the whole traversal. If a
                 // competing reservation demotes the speculation while we
                 // sleep, the continuation tasks it spawned finish the walk
@@ -558,6 +627,12 @@ impl Pipeline {
             }
             self.sim.note_slow_path_fall();
         }
+        let metas: Rc<[ChunkMeta]> = match part {
+            Some(m) => m,
+            None => self
+                .chunk_partition(bytes, per_segment_overhead_bytes)
+                .into(),
+        };
         let mut joins = Vec::with_capacity(metas.len());
         for (c, &meta) in metas.iter().enumerate() {
             // Stage 0: enter now, FIFO behind this flow's earlier chunks.
@@ -591,11 +666,23 @@ impl Pipeline {
     /// replay's arithmetic is exactly the walk's (same expressions, same
     /// saturating `SimTime`/`SimDuration` ops, same first-fit placement).
     ///
+    /// With the transfer memo enabled, the legality gate doubles as the
+    /// memo's validity gate (the only cacheable occupancy class is "every
+    /// calendar idle"): a cached fingerprint replays the stored outcome
+    /// without recomputing the plan, a miss computes and caches it, and a
+    /// cached refusal skips straight to the walk. On a miss (or with the
+    /// memo disabled) the partition is handed back through `part` so the
+    /// walk does not recompute it.
+    ///
     /// On success the returned speculation is registered on every stage
     /// pipe; a competing reservation arriving mid-traversal finds it there
     /// and demotes it (see [`Speculation::demote`]).
-    fn try_fast_path(&self, metas: &[ChunkMeta]) -> Option<Rc<Speculation>> {
-        let nstages = self.stages.len();
+    fn try_fast_path(
+        &self,
+        bytes: u64,
+        per_segment_overhead_bytes: u64,
+        part: &mut Option<Rc<[ChunkMeta]>>,
+    ) -> Option<Rc<Speculation>> {
         let now = self.sim.now();
         let now_ns = now.as_nanos();
         for (i, st) in self.stages.iter().enumerate() {
@@ -622,117 +709,244 @@ impl Pipeline {
             }
         }
 
-        let mut vcal: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nstages];
-        // Last reservation wall per stage: insertion order into a calendar
-        // must match the walk's wall-clock order, so walls must strictly
-        // increase chunk-over-chunk on every stage.
-        let mut last_wall: Vec<u64> = vec![0; nstages];
-        let mut ops: Vec<PlanOp> = Vec::with_capacity(metas.len() * nstages);
-        let mut completion = now;
-        let mut coalesced: u64 = 0;
-        let mut w_main = now;
-        // Arm instant of the sleep currently driving the pacing loop; the
-        // creation instant stands in before the first pacing sleep.
-        let mut arm_main = now;
-        for (c, meta) in metas.iter().enumerate() {
-            let stage0 = &self.stages[0];
-            if c > 0 && w_main.as_nanos() <= last_wall[0] {
-                return None;
-            }
-            let dur0 = stage0.pipe.bulk_service(meta.cwire, meta.csegs);
-            let (s0, e0) = vreserve(&mut vcal[0], w_main.as_nanos(), dur0.as_nanos().max(1));
-            last_wall[0] = w_main.as_nanos();
-            ops.push(PlanOp {
-                wall: w_main.as_nanos(),
-                arm: arm_main.as_nanos(),
-                start: s0,
-                end: e0,
-            });
-            coalesced += 1; // the chunk task spawn
-            let mut tw = w_main;
-            // The chunk task is polled inside the pacing loop's drive
-            // segment, so until its first own sleep it is ordered by the
-            // pacing loop's driving timer.
-            let mut arm_task = arm_main;
-            let mut prev_start = SimTime::from_nanos(s0);
-            let mut prev_end = SimTime::from_nanos(e0);
-            let mut prev_seg = stage0.pipe.service_time(meta.seg_wire);
-            let mut prev_lat = stage0.latency;
-            for (s, stage) in self.stages.iter().enumerate().skip(1) {
-                let by_start = prev_start + prev_seg + prev_lat;
-                if by_start > tw {
-                    arm_task = tw;
-                    tw = by_start;
-                    coalesced += 1; // the by_start sleep
+        let memo_on = self.sim.transfer_memo_enabled();
+        let key = MemoKey {
+            bytes,
+            overhead: per_segment_overhead_bytes,
+            tie_salt: self.sim.tie_break_salt(),
+            fault_fp: self.sim.fault_fingerprint(),
+        };
+        if memo_on {
+            let cached = self.memo.borrow().get(&key).cloned();
+            if let Some(entry) = cached {
+                self.sim.note_memo_hit();
+                match entry {
+                    MemoEntry::Plan(sum) => return Some(self.adopt_plan(key, &sum, now)),
+                    MemoEntry::Refused(metas) => {
+                        *part = Some(metas);
+                        return None;
+                    }
                 }
-                let seg_service = stage.pipe.service_time(meta.seg_wire);
-                let block = stage.pipe.service_time(meta.cwire)
-                    + stage.pipe.service_time(0) * (meta.csegs - 1);
-                let floor = (prev_end + seg_service + prev_lat) - block;
-                let earliest = tw.max(floor);
-                if c > 0 && tw.as_nanos() <= last_wall[s] {
-                    return None;
-                }
-                let durs = stage.pipe.bulk_service(meta.cwire, meta.csegs);
-                let (st, en) = vreserve(&mut vcal[s], earliest.as_nanos(), durs.as_nanos().max(1));
-                last_wall[s] = tw.as_nanos();
-                ops.push(PlanOp {
-                    wall: tw.as_nanos(),
-                    arm: arm_task.as_nanos(),
-                    start: st,
-                    end: en,
-                });
-                prev_start = SimTime::from_nanos(st);
-                prev_end = SimTime::from_nanos(en);
-                prev_seg = seg_service;
-                prev_lat = stage.latency;
             }
-            let exit = prev_end + prev_lat;
-            if exit > tw {
-                tw = exit;
-                coalesced += 1; // the exit sleep
-            }
-            completion = completion.max(tw);
-            let e0t = SimTime::from_nanos(e0);
-            if c + 1 < metas.len() && e0t > w_main {
-                arm_main = w_main;
-                w_main = e0t;
-                coalesced += 1; // the pacing sleep in the main loop
-            }
+            self.sim.note_memo_miss();
         }
 
+        let metas: Rc<[ChunkMeta]> = self
+            .chunk_partition(bytes, per_segment_overhead_bytes)
+            .into();
+        let Some(plan) = compute_plan(&self.stages, &metas, now) else {
+            if memo_on {
+                self.memo_insert(key, MemoEntry::Refused(Rc::clone(&metas)));
+            }
+            *part = Some(metas);
+            return None;
+        };
+        let totals = if memo_on {
+            let totals = Rc::new(stage_totals(&self.stages, &metas));
+            let first = plan.ops[0];
+            self.memo_insert(
+                key,
+                MemoEntry::Plan(Rc::new(PlanSummary {
+                    metas: Rc::clone(&metas),
+                    completion_off: (plan.completion - now).as_nanos(),
+                    coalesced: plan.coalesced,
+                    first_dur: first.end - first.start,
+                    totals: Rc::clone(&totals),
+                })),
+            );
+            Some(totals)
+        } else {
+            None
+        };
         let spec = Rc::new(Speculation {
             sim: self.sim.clone(),
             stages: Rc::clone(&self.stages),
-            metas: metas.to_vec(),
-            ops,
-            nstages,
-            completion,
-            coalesced: coalesced.saturating_sub(1),
+            metas,
+            ops: RefCell::new(plan.ops),
+            nstages: self.stages.len(),
+            base: now,
+            completion: plan.completion,
+            coalesced: plan.coalesced.saturating_sub(1),
+            totals,
+            memo: memo_on.then(|| (Rc::clone(&self.memo), key)),
             phase: Cell::new(SpecPhase::Active),
-            mat: (0..nstages).map(|_| Cell::new(0)).collect(),
+            mat: (0..self.stages.len()).map(|_| Cell::new(0)).collect(),
             waker: RefCell::new(None),
         });
-        // The walk reserves chunk 0 on stage 0 synchronously, before its
-        // first await — in program order ahead of anything else this
-        // instant. Mirror that for real (placement equals the plan's: the
-        // calendar was idle and first-fit is deterministic), so only
-        // timer-driven reservations are ever subject to the due rule.
-        {
-            let meta = metas[0];
-            let (s0, e0) = self.stages[0].pipe.reserve_n(now, meta.cwire, meta.csegs);
-            debug_assert_eq!(
-                (s0.as_nanos(), e0.as_nanos()),
-                (spec.op(0, 0).start, spec.op(0, 0).end),
-                "eager stage-0 reservation must match the plan"
-            );
-            spec.mat[0].set(1);
-        }
-        for (i, st) in self.stages.iter().enumerate() {
-            *st.pipe.state.spec.borrow_mut() = Some((Rc::downgrade(&spec), i as u32));
-        }
+        let (s0, e0) = self.launch(&spec, now);
+        debug_assert_eq!(
+            (s0.as_nanos(), e0.as_nanos()),
+            (spec.op(0, 0).start, spec.op(0, 0).end),
+            "eager stage-0 reservation must match the plan"
+        );
         Some(spec)
     }
+
+    /// Replay a cached plan at the current instant. O(stages): no chunk
+    /// partition, no virtual-calendar walk — the speculation starts with
+    /// an empty op vector and rebuilds it only if the window is observed
+    /// or demoted ([`Speculation::ensure_ops`]).
+    fn adopt_plan(&self, key: MemoKey, sum: &Rc<PlanSummary>, now: SimTime) -> Rc<Speculation> {
+        let spec = Rc::new(Speculation {
+            sim: self.sim.clone(),
+            stages: Rc::clone(&self.stages),
+            metas: Rc::clone(&sum.metas),
+            ops: RefCell::new(Vec::new()),
+            nstages: self.stages.len(),
+            base: now,
+            completion: now + SimDuration::from_nanos(sum.completion_off),
+            coalesced: sum.coalesced.saturating_sub(1),
+            totals: Some(Rc::clone(&sum.totals)),
+            memo: Some((Rc::clone(&self.memo), key)),
+            phase: Cell::new(SpecPhase::Active),
+            mat: (0..self.stages.len()).map(|_| Cell::new(0)).collect(),
+            waker: RefCell::new(None),
+        });
+        let (s0, e0) = self.launch(&spec, now);
+        debug_assert_eq!(
+            e0.as_nanos() - s0.as_nanos(),
+            sum.first_dur,
+            "cached stage-0 occupancy must match the replayed reservation"
+        );
+        spec
+    }
+
+    /// Make the speculation live: eagerly reserve chunk 0 on stage 0 and
+    /// register on every stage pipe.
+    ///
+    /// The walk reserves chunk 0 on stage 0 synchronously, before its
+    /// first await — in program order ahead of anything else this instant.
+    /// Mirror that for real (placement equals the plan's: the calendar was
+    /// idle and first-fit is deterministic), so only timer-driven
+    /// reservations are ever subject to the due rule.
+    fn launch(&self, spec: &Rc<Speculation>, now: SimTime) -> (SimTime, SimTime) {
+        let meta = spec.metas[0];
+        let (s0, e0) = self.stages[0].pipe.reserve_n(now, meta.cwire, meta.csegs);
+        spec.mat[0].set(1);
+        for (i, st) in self.stages.iter().enumerate() {
+            *st.pipe.state.spec.borrow_mut() = Some((Rc::downgrade(spec), i as u32));
+        }
+        (s0, e0)
+    }
+
+    /// Insert a memo entry, evicting the oldest key at the capacity cap.
+    fn memo_insert(&self, key: MemoKey, entry: MemoEntry) {
+        let mut cache = self.memo.borrow_mut();
+        if cache.len() >= MEMO_CAPACITY && !cache.contains_key(&key) {
+            cache.pop_first();
+            self.sim.note_memo_eviction();
+        }
+        cache.insert(key, entry);
+    }
+}
+
+/// The computed closed-form plan for one traversal: the per-(chunk, stage)
+/// op vector plus its summary quantities.
+struct PlanOut {
+    ops: Vec<PlanOp>,
+    completion: SimTime,
+    coalesced: u64,
+}
+
+/// Replay the whole per-segment walk in closed form against virtual
+/// calendars, starting at `now`. Pure: touches no real calendar or
+/// counter, so it can run speculatively (fast path) or retroactively
+/// (rebuilding a memoized plan's ops at its original base).
+///
+/// **Translation invariance.** Every quantity in the plan is an offset
+/// from `now` composed with `max` and saturating add; the one subtraction
+/// (the cut-through `floor`) saturates at zero only when its true value is
+/// negative, and `earliest = max(tw, floor)` with `tw ≥ now` then ignores
+/// it either way. Hence `compute_plan(stages, metas, b)` equals
+/// `compute_plan(stages, metas, 0)` shifted by `b` — including the `None`
+/// refusals, whose wall-monotonicity comparisons are between same-base
+/// offsets. This is what makes whole-transfer memoization exact: a plan
+/// summary cached at one instant replays bit-identically at any other.
+fn compute_plan(stages: &[Stage], metas: &[ChunkMeta], now: SimTime) -> Option<PlanOut> {
+    let nstages = stages.len();
+    let mut vcal: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nstages];
+    // Last reservation wall per stage: insertion order into a calendar
+    // must match the walk's wall-clock order, so walls must strictly
+    // increase chunk-over-chunk on every stage.
+    let mut last_wall: Vec<u64> = vec![0; nstages];
+    let mut ops: Vec<PlanOp> = Vec::with_capacity(metas.len() * nstages);
+    let mut completion = now;
+    let mut coalesced: u64 = 0;
+    let mut w_main = now;
+    // Arm instant of the sleep currently driving the pacing loop; the
+    // creation instant stands in before the first pacing sleep.
+    let mut arm_main = now;
+    for (c, meta) in metas.iter().enumerate() {
+        let stage0 = &stages[0];
+        if c > 0 && w_main.as_nanos() <= last_wall[0] {
+            return None;
+        }
+        let dur0 = stage0.pipe.bulk_service(meta.cwire, meta.csegs);
+        let (s0, e0) = vreserve(&mut vcal[0], w_main.as_nanos(), dur0.as_nanos().max(1));
+        last_wall[0] = w_main.as_nanos();
+        ops.push(PlanOp {
+            wall: w_main.as_nanos(),
+            arm: arm_main.as_nanos(),
+            start: s0,
+            end: e0,
+        });
+        coalesced += 1; // the chunk task spawn
+        let mut tw = w_main;
+        // The chunk task is polled inside the pacing loop's drive
+        // segment, so until its first own sleep it is ordered by the
+        // pacing loop's driving timer.
+        let mut arm_task = arm_main;
+        let mut prev_start = SimTime::from_nanos(s0);
+        let mut prev_end = SimTime::from_nanos(e0);
+        let mut prev_seg = stage0.pipe.service_time(meta.seg_wire);
+        let mut prev_lat = stage0.latency;
+        for (s, stage) in stages.iter().enumerate().skip(1) {
+            let by_start = prev_start + prev_seg + prev_lat;
+            if by_start > tw {
+                arm_task = tw;
+                tw = by_start;
+                coalesced += 1; // the by_start sleep
+            }
+            let seg_service = stage.pipe.service_time(meta.seg_wire);
+            let block =
+                stage.pipe.service_time(meta.cwire) + stage.pipe.service_time(0) * (meta.csegs - 1);
+            let floor = (prev_end + seg_service + prev_lat) - block;
+            let earliest = tw.max(floor);
+            if c > 0 && tw.as_nanos() <= last_wall[s] {
+                return None;
+            }
+            let durs = stage.pipe.bulk_service(meta.cwire, meta.csegs);
+            let (st, en) = vreserve(&mut vcal[s], earliest.as_nanos(), durs.as_nanos().max(1));
+            last_wall[s] = tw.as_nanos();
+            ops.push(PlanOp {
+                wall: tw.as_nanos(),
+                arm: arm_task.as_nanos(),
+                start: st,
+                end: en,
+            });
+            prev_start = SimTime::from_nanos(st);
+            prev_end = SimTime::from_nanos(en);
+            prev_seg = seg_service;
+            prev_lat = stage.latency;
+        }
+        let exit = prev_end + prev_lat;
+        if exit > tw {
+            tw = exit;
+            coalesced += 1; // the exit sleep
+        }
+        completion = completion.max(tw);
+        let e0t = SimTime::from_nanos(e0);
+        if c + 1 < metas.len() && e0t > w_main {
+            arm_main = w_main;
+            w_main = e0t;
+            coalesced += 1; // the pacing sleep in the main loop
+        }
+    }
+    Some(PlanOut {
+        ops,
+        completion,
+        coalesced,
+    })
 }
 
 /// First-fit reserve on a sorted, disjoint virtual calendar, with the same
@@ -794,15 +1008,30 @@ enum SpecPhase {
 struct Speculation {
     sim: Sim,
     stages: Rc<[Stage]>,
-    metas: Vec<ChunkMeta>,
-    /// Chunk-major plan: `ops[c * nstages + s]`.
-    ops: Vec<PlanOp>,
+    metas: Rc<[ChunkMeta]>,
+    /// Chunk-major plan: `ops[c * nstages + s]`. Empty on a memo hit —
+    /// the cached summary carries everything an undisturbed traversal
+    /// needs, and [`Speculation::ensure_ops`] rebuilds the full plan only
+    /// if the window is observed or demoted.
+    ops: RefCell<Vec<PlanOp>>,
     nstages: usize,
+    /// The traversal's entry instant — the base every plan offset is
+    /// relative to, and the `now` a deferred [`compute_plan`] rebuild
+    /// must run at.
+    base: SimTime,
     /// Predicted completion — exact unless demoted, a lower bound if so.
     completion: SimTime,
     /// Scheduling events (sleeps + spawns) the plan avoids, minus the one
     /// completion sleep the fast path still takes.
     coalesced: u64,
+    /// Per-stage `(busy_ns, bytes, transfers)` totals over the whole plan,
+    /// shared with the memo entry; lets [`Speculation::commit`] fold the
+    /// counters in O(stages) instead of O(chunks × stages).
+    totals: Option<Rc<Vec<(u64, u64, u64)>>>,
+    /// The cache this traversal was served from (or inserted into): a
+    /// demotion means the cached outcome is no longer trustworthy for the
+    /// occupancy class it was keyed under, so the entry is evicted.
+    memo: Option<(MemoCache, MemoKey)>,
     phase: Cell<SpecPhase>,
     /// Per stage: number of chunks whose reservation has been written to
     /// the real calendar (reads and demotion advance this cursor).
@@ -813,7 +1042,23 @@ struct Speculation {
 
 impl Speculation {
     fn op(&self, c: usize, s: usize) -> PlanOp {
-        self.ops[c * self.nstages + s]
+        self.ops.borrow()[c * self.nstages + s]
+    }
+
+    /// Rebuild the op vector of a memo-hit speculation on first demand.
+    /// [`compute_plan`] is pure and translation-invariant, so replaying it
+    /// at this speculation's own `base` reproduces the exact plan the
+    /// original miss computed — the cached summary quantities double as a
+    /// cross-check.
+    fn ensure_ops(&self) {
+        if !self.ops.borrow().is_empty() {
+            return;
+        }
+        let plan = compute_plan(&self.stages, &self.metas, self.base)
+            .expect("memoized plan must recompute at its own base");
+        debug_assert_eq!(plan.completion, self.completion);
+        debug_assert_eq!(plan.coalesced.saturating_sub(1), self.coalesced);
+        *self.ops.borrow_mut() = plan.ops;
     }
 
     /// Would the walk's reservation behind `op` already have executed, as
@@ -841,6 +1086,10 @@ impl Speculation {
     fn materialize_due(&self, s: usize, now: SimTime) {
         let now_ns = now.as_nanos();
         let done = self.mat[s].get() as usize;
+        if done >= self.metas.len() {
+            return;
+        }
+        self.ensure_ops();
         let mut c = done;
         while c < self.metas.len() && self.op_due(&self.op(c, s), now_ns) {
             c += 1;
@@ -895,16 +1144,49 @@ impl Speculation {
             let pipe = &stage.pipe;
             self.unregister(pipe);
             let done = self.mat[s].get() as usize;
-            for meta in &self.metas[done..] {
+            if let Some((busy, bytes, transfers)) = self.fold_totals(s, done) {
                 pipe.state
                     .busy
-                    .set(pipe.state.busy.get() + pipe.bulk_service(meta.cwire, meta.csegs));
+                    .set(pipe.state.busy.get() + SimDuration::from_nanos(busy));
                 pipe.state
                     .transfers
-                    .set(pipe.state.transfers.get() + meta.csegs);
-                pipe.state.bytes.set(pipe.state.bytes.get() + meta.cwire);
+                    .set(pipe.state.transfers.get() + transfers);
+                pipe.state.bytes.set(pipe.state.bytes.get() + bytes);
+            } else {
+                for meta in &self.metas[done..] {
+                    pipe.state
+                        .busy
+                        .set(pipe.state.busy.get() + pipe.bulk_service(meta.cwire, meta.csegs));
+                    pipe.state
+                        .transfers
+                        .set(pipe.state.transfers.get() + meta.csegs);
+                    pipe.state.bytes.set(pipe.state.bytes.get() + meta.cwire);
+                }
             }
             self.mat[s].set(self.metas.len() as u32);
+        }
+    }
+
+    /// Remaining-counter delta for stage `s` at commit, folded from the
+    /// cached per-stage totals. Only the cursor positions an undisturbed
+    /// traversal can be in are folded — nothing materialized, or exactly
+    /// the eager chunk-0 reservation on stage 0; an observed window (any
+    /// other cursor) falls back to the per-chunk loop. Either way the
+    /// counter sums are identical: `u64`/saturating adds commute.
+    fn fold_totals(&self, s: usize, done: usize) -> Option<(u64, u64, u64)> {
+        let totals = self.totals.as_ref()?;
+        let (busy, bytes, transfers) = totals[s];
+        match done {
+            0 => Some((busy, bytes, transfers)),
+            1 if s == 0 => {
+                let m = self.metas[0];
+                let b0 = self.stages[0]
+                    .pipe
+                    .bulk_service(m.cwire, m.csegs)
+                    .as_nanos();
+                Some((busy - b0, bytes - m.cwire, transfers - m.csegs))
+            }
+            _ => None,
         }
     }
 
@@ -920,6 +1202,14 @@ impl Speculation {
         }
         self.phase.set(SpecPhase::Demoted);
         self.sim.note_slow_path_fall();
+        // The cached outcome assumed an undisturbed window; mid-window
+        // contention invalidates it for this fingerprint.
+        if let Some((cache, key)) = &self.memo {
+            if cache.borrow_mut().remove(key).is_some() {
+                self.sim.note_memo_eviction();
+            }
+        }
+        self.ensure_ops();
         // Unregister everywhere first: the continuations below re-enter
         // `reserve_service`, which must not demote us again.
         for stage in self.stages.iter() {
@@ -1353,6 +1643,104 @@ mod tests {
             })
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn memo_hit_replays_bit_identically() {
+        // Steady state: the same message shape back to back. The second
+        // transfer must hit the memo and still produce exactly the
+        // observables of a memo-off run.
+        let run = |memo: bool| {
+            let sim = Sim::new();
+            sim.set_transfer_memo(memo);
+            let pl = crooked_pipeline(&sim);
+            let pl2 = pl;
+            let s = sim.clone();
+            let obs = sim.block_on(async move {
+                for _ in 0..4 {
+                    pl2.transfer(123_456, 40).await;
+                }
+                observe(&pl2, s.now())
+            });
+            (obs, sim.stats())
+        };
+        let (on, st_on) = run(true);
+        let (off, st_off) = run(false);
+        assert_eq!(on, off);
+        assert_eq!(st_on.memo_misses, 1, "stats: {st_on:?}");
+        assert_eq!(st_on.memo_hits, 3, "stats: {st_on:?}");
+        assert_eq!(
+            st_off.memo_hits + st_off.memo_misses,
+            0,
+            "stats: {st_off:?}"
+        );
+        // Hit or miss, the traversal still completes on one coalesced event.
+        assert_eq!(st_on.fast_path_hits, 4);
+        assert_eq!(st_on.timer_events, st_off.timer_events);
+    }
+
+    #[test]
+    fn demotion_evicts_memo_entry_and_matches_walk() {
+        // Prime the cache with an uncontended transfer, then replay the
+        // same shape into a window a competitor disturbs: the replayed
+        // speculation must demote, evict its entry, and finish with the
+        // walk's exact observables.
+        let run = |memo: bool| {
+            let sim = Sim::new();
+            sim.set_transfer_memo(memo);
+            let pl = crooked_pipeline(&sim);
+            let pa = pl.clone();
+            let pb = pl.clone();
+            let sa = sim.clone();
+            let sb = sim.clone();
+            let h1 = sim.spawn(async move {
+                pa.transfer(200_000, 0).await; // primes the memo
+                pa.transfer(200_000, 0).await; // memo hit, then demoted
+                sa.now().as_nanos()
+            });
+            let h2 = sim.spawn(async move {
+                // Lands mid-window of the *second* (memoized) transfer:
+                // the first 200 kB transfer drains at the ~0.9 GB/s
+                // bottleneck in ~225 µs, so 250 µs is inside [~225, ~450].
+                sb.sleep(SimDuration::from_micros(250)).await;
+                pb.transfer(64_000, 0).await;
+                sb.now().as_nanos()
+            });
+            let ends = sim.block_on(async move { join_all(vec![h1, h2]).await });
+            let mut v = observe(&pl, sim.now());
+            v.extend(ends);
+            (v, sim.stats())
+        };
+        let (on, st_on) = run(true);
+        let (off, st_off) = run(false);
+        assert_eq!(on, off);
+        assert!(st_on.memo_hits >= 1, "stats: {st_on:?}");
+        assert!(st_on.memo_evictions >= 1, "stats: {st_on:?}");
+        assert_eq!(st_on.slow_path_falls, st_off.slow_path_falls);
+        assert!(st_on.slow_path_falls > 0, "competitor should demote");
+    }
+
+    #[test]
+    fn memo_capacity_cap_evicts_oldest() {
+        let sim = Sim::new();
+        sim.set_transfer_memo(true);
+        let pl = crooked_pipeline(&sim);
+        let pl2 = pl;
+        let s = sim.clone();
+        sim.block_on(async move {
+            // More distinct multi-chunk shapes than MEMO_CAPACITY (sizes
+            // all above one 8-segment pacing chunk, so every transfer is
+            // memo-eligible): each is a miss and the overflow evicts the
+            // oldest key.
+            for i in 0..(MEMO_CAPACITY as u64 + 8) {
+                pl2.transfer(30_000 + i * 971, 0).await;
+            }
+            let _ = &s;
+        });
+        let st = sim.stats();
+        assert_eq!(st.memo_hits, 0, "stats: {st:?}");
+        assert_eq!(st.memo_misses, MEMO_CAPACITY as u64 + 8);
+        assert_eq!(st.memo_evictions, 8);
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub struct SimStats {
     /// High-water mark of any pipe calendar's interval count; guards
     /// against unbounded calendar growth under multi-connection load.
     pub calendar_peak_len: u64,
+    /// Memo-eligible pipeline transfers replayed from the whole-transfer
+    /// cache ([`crate::memo`]): the closed-form plan was not recomputed,
+    /// the cached (duration, counter-delta) outcome was applied instead.
+    pub memo_hits: u64,
+    /// Memo-eligible transfers whose fingerprint was not cached — the
+    /// plan was computed fresh and inserted.
+    pub memo_misses: u64,
+    /// Memo entries evicted: a replayed transfer was demoted by mid-window
+    /// contention (the entry is no longer trusted), or the per-pipeline
+    /// capacity cap pushed out the oldest key.
+    pub memo_evictions: u64,
     /// Faults injected by a [`crate::fault::FaultPlane`]: every drop,
     /// corrupt or delay decision (delivered transfers are not counted).
     pub faults_injected: u64,
@@ -93,6 +104,9 @@ impl SimStats {
         self.slow_path_falls += other.slow_path_falls;
         self.events_coalesced += other.events_coalesced;
         self.calendar_peak_len = self.calendar_peak_len.max(other.calendar_peak_len);
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_evictions += other.memo_evictions;
         self.faults_injected += other.faults_injected;
         self.retransmits += other.retransmits;
         self.rto_fires += other.rto_fires;

@@ -132,6 +132,41 @@ fn shard_figure_digest_is_thread_count_invariant() {
     }
 }
 
+/// The whole-transfer memo (`simnet::memo`) replays cached traversal
+/// outcomes on steady-state data paths; force-disabling it must not move
+/// a single byte of figure output. fig1 (latency ping-pongs) and fig4
+/// (windowed bandwidth — the memo's hottest consumer) cover both shapes.
+/// Safe under the concurrent test harness: the global default is flipped
+/// only around runs whose digests are asserted invariant to it.
+#[test]
+fn fig1_and_fig4_digests_are_memo_invariant() {
+    for sel in ["fig1", "fig4"] {
+        let memo_on = figure_digest(&bench::generate(sel));
+        simnet::memo::set_default_enabled(false);
+        let memo_off = figure_digest(&bench::generate(sel));
+        simnet::memo::set_default_enabled(true);
+        assert_eq!(
+            memo_on, memo_off,
+            "{sel} output changed when the transfer memo was force-disabled"
+        );
+    }
+}
+
+/// Memo-on thread sweep: replayed transfers must not perturb the digest
+/// at any worker count (each worker's simulations own private caches, so
+/// hits can differ per schedule — outputs must not).
+#[test]
+fn fig1_digest_is_thread_count_invariant_with_memo() {
+    let serial = figure_digest(&bench::generate("fig1"));
+    for threads in [1usize, 4, 8] {
+        let par = figure_digest(&bench::generate_parallel_with("fig1", threads));
+        assert_eq!(
+            serial, par,
+            "fig1 output diverged from serial at {threads} threads with the memo on"
+        );
+    }
+}
+
 /// Schedule-perturbation replay: scrambling the executor's tie-break rank
 /// among simultaneously-ready timers (via [`simnet::perturb`]) permutes the
 /// internal pop order of same-deadline events but must NOT change any
