@@ -24,16 +24,43 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (broken intra-doc links are errors)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc -q --no-deps --workspace
 
-echo "==> simlint --deny-all (determinism & simulation-safety lints)"
+echo "==> simlint --deny-all --dataflow (determinism, panic-path & FSM gates)"
 # Workspace-wide AST lint pass: rejects hash-order iteration, wall-clock
 # reads, OS threads, unseeded RNGs, unordered float accumulation, and
-# Relaxed atomics inside simulation-state code. See DESIGN.md.
-cargo run -q -p simlint -- --deny-all
+# Relaxed atomics inside simulation-state code. --dataflow layers the
+# interprocedural passes on top — nondeterminism taint through calls,
+# unwraps reachable from the fabric transfer hot paths, and static FSM
+# conformance between the fabric machines and the simcheck tables — gated
+# on the committed crates/simlint/dataflow.baseline: only NEW findings
+# (or stale baseline entries) fail. See DESIGN.md §11.
+cargo run -q -p simlint -- --deny-all --dataflow
 
 mkdir -p results/ci
-echo "==> simlint --json artifact: results/ci/simlint.json"
-# Machine-readable per-rule violation/allow tally for trend tracking.
-cargo run -q -p simlint -- --deny-all --json > results/ci/simlint.json
+echo "==> simlint artifacts: results/ci/simlint.json + simlint.sarif"
+# Machine-readable per-rule violation/allow tally for trend tracking,
+# plus a SARIF 2.1.0 log for code-scanning UI ingestion.
+cargo run -q -p simlint -- --deny-all --dataflow \
+    --sarif results/ci/simlint.sarif --json > results/ci/simlint.json
+test -s results/ci/simlint.sarif
+
+echo "==> simlint --audit-allows: waiver budget no-regression"
+# Every inline allow is a standing exception to a determinism rule. The
+# audit fails on stale waivers, and the committed results/allow_budget.json
+# caps the total: adding an allow means consciously raising the budget in
+# the same diff that justifies it. Shrinking is always welcome.
+cargo run -q -p simlint -- --deny-all --audit-allows --json \
+    > results/ci/allow_audit.json
+python3 - <<'EOF'
+import json
+audit = json.load(open("results/ci/allow_audit.json"))
+budget = json.load(open("results/allow_budget.json"))
+assert audit["stale"] == 0, f"stale allow annotations: {audit}"
+assert audit["allows"] <= budget["allows"], (
+    f"allow count grew: {audit['allows']} > budgeted {budget['allows']}; "
+    "raise results/allow_budget.json deliberately or drop the new waiver"
+)
+print(f"allow audit: {audit['allows']} waivers (budget {budget['allows']}), 0 stale")
+EOF
 
 echo "==> differential sweep: fast path vs per-segment walk (100k cases)"
 FASTPATH_DIFF_CASES=100000 cargo test -q --release --test fastpath_diff

@@ -25,6 +25,101 @@ use simnet::{FaultDecision, FaultPlane, Pipeline, Sim, SimDuration};
 /// Duplicate-ACK count that triggers fast retransmit (RFC 5681's three).
 pub const DUP_ACK_THRESHOLD: u64 = 3;
 
+/// Send-side phases of one recovering transfer. This is the canonical
+/// machine: [`fsm_next`] is the single in-crate statement of which
+/// transitions exist, and `simlint --dataflow` statically diffs it against
+/// `simcheck::ether::TCP_FSM_TABLE` (rule `fsm-drift`) so the model and
+/// the conformance-side restatement cannot disagree silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpSendPhase {
+    /// Healthy: contiguous segments stream through the pipeline.
+    Streaming,
+    /// A loss with enough trailing segments to clock out duplicate ACKs;
+    /// retransmission fires after ~one RTT.
+    FastRetx,
+    /// Tail loss or lost retransmission: waiting out the (backed-off)
+    /// retransmission timer.
+    RtoWait,
+    /// Last byte cleared the pipeline.
+    Done,
+}
+
+/// Events driving [`TcpSendPhase`] through [`fsm_next`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpSendEvent {
+    /// A segment was judged deliverable.
+    SegmentDelivered,
+    /// A segment was delayed in flight (queueing, no retransmit).
+    SegmentDelayed,
+    /// A loss detected by duplicate ACKs (trailing segments exist).
+    LossFastRetx,
+    /// A tail loss: nothing behind it, only the timer notices.
+    LossTail,
+    /// A retransmission reached the receiver.
+    RetxDelivered,
+    /// A retransmission was itself lost.
+    RetxLost,
+    /// The final segment cleared the pipeline.
+    Finish,
+}
+
+impl TcpSendPhase {
+    /// Variant spelling as it appears in `simcheck::ether::TCP_FSM_TABLE`
+    /// rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            TcpSendPhase::Streaming => "Streaming",
+            TcpSendPhase::FastRetx => "FastRetx",
+            TcpSendPhase::RtoWait => "RtoWait",
+            TcpSendPhase::Done => "Done",
+        }
+    }
+}
+
+impl TcpSendEvent {
+    /// Event spelling as it appears in `simcheck::ether::TCP_FSM_TABLE`
+    /// rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            TcpSendEvent::SegmentDelivered => "SegmentDelivered",
+            TcpSendEvent::SegmentDelayed => "SegmentDelayed",
+            TcpSendEvent::LossFastRetx => "LossFastRetx",
+            TcpSendEvent::LossTail => "LossTail",
+            TcpSendEvent::RetxDelivered => "RetxDelivered",
+            TcpSendEvent::RetxLost => "RetxLost",
+            TcpSendEvent::Finish => "Finish",
+        }
+    }
+}
+
+/// Canonical recovery transition function: `None` means the event cannot
+/// occur in `from` (e.g. a fresh loss while already waiting on the timer —
+/// the engine handles one hole at a time).
+pub fn fsm_next(from: TcpSendPhase, ev: TcpSendEvent) -> Option<TcpSendPhase> {
+    match (from, ev) {
+        (TcpSendPhase::Streaming, TcpSendEvent::SegmentDelivered) => Some(TcpSendPhase::Streaming),
+        (TcpSendPhase::Streaming, TcpSendEvent::SegmentDelayed) => Some(TcpSendPhase::Streaming),
+        (TcpSendPhase::Streaming, TcpSendEvent::LossFastRetx) => Some(TcpSendPhase::FastRetx),
+        (TcpSendPhase::Streaming, TcpSendEvent::LossTail) => Some(TcpSendPhase::RtoWait),
+        (TcpSendPhase::FastRetx, TcpSendEvent::RetxDelivered) => Some(TcpSendPhase::Streaming),
+        (TcpSendPhase::FastRetx, TcpSendEvent::RetxLost) => Some(TcpSendPhase::RtoWait),
+        (TcpSendPhase::RtoWait, TcpSendEvent::RetxDelivered) => Some(TcpSendPhase::Streaming),
+        (TcpSendPhase::RtoWait, TcpSendEvent::RetxLost) => Some(TcpSendPhase::RtoWait),
+        (TcpSendPhase::Streaming, TcpSendEvent::Finish) => Some(TcpSendPhase::Done),
+        _ => None,
+    }
+}
+
+/// Advance a tracked phase, debug-asserting the move is one the machine
+/// admits. Pure bookkeeping: no simulated time is touched, so enabling the
+/// tracking cannot perturb transfer timing.
+fn fsm_step(phase: &mut TcpSendPhase, ev: TcpSendEvent) {
+    match fsm_next(*phase, ev) {
+        Some(next) => *phase = next,
+        None => debug_assert!(false, "illegal recovery transition {phase:?} --{ev:?}"),
+    }
+}
+
 /// Recovery-timer calibration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcpTuning {
@@ -130,14 +225,17 @@ pub async fn transfer_with_recovery(
         }
     };
 
+    let mut phase = TcpSendPhase::Streaming;
     let mut run_start = 0u64;
     let mut i = 0u64;
     while i < nsegs {
         match plane.judge(sim, stream) {
             FaultDecision::Deliver => {
+                fsm_step(&mut phase, TcpSendEvent::SegmentDelivered);
                 i += 1;
             }
             FaultDecision::Delay => {
+                fsm_step(&mut phase, TcpSendEvent::SegmentDelayed);
                 stats.faults += 1;
                 // Everything up to and including the delayed segment is on
                 // the wire; the delay adds queueing latency behind it.
@@ -167,10 +265,14 @@ pub async fn transfer_with_recovery(
                         // Out-of-order arrivals behind the hole clock out
                         // duplicate ACKs; the third triggers retransmission
                         // about one RTT after the loss.
+                        fsm_step(&mut phase, TcpSendEvent::LossFastRetx);
                         sim.sleep(tuning.fast_retx_delay).await;
                     } else {
                         // Tail loss or lost retransmission: wait out the
                         // timer, doubling per consecutive attempt.
+                        if attempt == 0 {
+                            fsm_step(&mut phase, TcpSendEvent::LossTail);
+                        }
                         let exp = attempt.min(tuning.max_backoff_exp);
                         sim.sleep(tuning.rto * (1u64 << exp)).await;
                         sim.note_rto_fire();
@@ -185,12 +287,14 @@ pub async fn transfer_with_recovery(
                             FaultDecision::Deliver | FaultDecision::Delay
                         );
                     if delivered {
+                        fsm_step(&mut phase, TcpSendEvent::RetxDelivered);
                         path.transfer(run_bytes(i, i + 1), per_segment_overhead)
                             .await;
                         #[cfg(feature = "simcheck")]
                         observe_run(i, i + 1, sim.now().as_nanos());
                         break;
                     }
+                    fsm_step(&mut phase, TcpSendEvent::RetxLost);
                     stats.faults += 1;
                 }
                 i += 1;
@@ -204,6 +308,8 @@ pub async fn transfer_with_recovery(
         #[cfg(feature = "simcheck")]
         observe_run(run_start, nsegs, sim.now().as_nanos());
     }
+    fsm_step(&mut phase, TcpSendEvent::Finish);
+    debug_assert_eq!(phase, TcpSendPhase::Done, "transfer must end in Done");
     #[cfg(feature = "simcheck")]
     {
         let now = Some(sim.now().as_nanos());
@@ -262,6 +368,38 @@ mod tests {
             }
         });
         (sim.now().as_micros_f64(), stats, sim.stats())
+    }
+
+    /// The crate machine and the conformance table must agree on every
+    /// (phase, event) pair — the runtime complement of the static
+    /// `fsm-drift` diff in `simlint --dataflow`.
+    #[cfg(feature = "simcheck")]
+    #[test]
+    fn recovery_machine_matches_simcheck_table_exhaustively() {
+        use TcpSendEvent::{
+            Finish, LossFastRetx, LossTail, RetxDelivered, RetxLost, SegmentDelayed,
+            SegmentDelivered,
+        };
+        use TcpSendPhase::{Done, FastRetx, RtoWait, Streaming};
+        for from in [Streaming, FastRetx, RtoWait, Done] {
+            for ev in [
+                SegmentDelivered,
+                SegmentDelayed,
+                LossFastRetx,
+                LossTail,
+                RetxDelivered,
+                RetxLost,
+                Finish,
+            ] {
+                let machine = fsm_next(from, ev).map(TcpSendPhase::table_name);
+                let table = simcheck::fsm_lookup(
+                    simcheck::ether::TCP_FSM_TABLE,
+                    from.table_name(),
+                    ev.table_name(),
+                );
+                assert_eq!(machine, table, "{from:?} --{ev:?}--> disagrees");
+            }
+        }
     }
 
     #[test]

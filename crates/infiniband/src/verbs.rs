@@ -17,6 +17,87 @@ use simnet::{FaultPlane, Pipeline, Sim};
 use crate::hca::{HcaDevice, IbFabric};
 use crate::recovery::{transfer_go_back_n, IbTuning};
 
+/// Lifecycle phases of a reliable-connected QP, as the connect handshake
+/// walks them. This is the canonical machine: [`fsm_next`] is the single
+/// in-crate statement of which transitions exist, and `simlint --dataflow`
+/// statically diffs it against `simcheck::ib::QP_FSM_TABLE` (rule
+/// `fsm-drift`) so the model and the conformance oracle cannot disagree
+/// silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpPhase {
+    /// Freshly created, no transport state.
+    Reset,
+    /// Port/pkey assigned; receives may be posted.
+    Init,
+    /// Ready to receive: remote QPN and path installed.
+    Rtr,
+    /// Ready to send: timeouts and retry budget armed.
+    Rts,
+    /// Fatal transport error; only a tear-down leaves this state.
+    Error,
+}
+
+/// Events driving [`QpPhase`] through [`fsm_next`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpEvent {
+    /// One rung of the modify-QP bring-up ladder.
+    BringUp,
+    /// Unrecoverable transport error.
+    Fatal,
+    /// Modify-QP back to RESET.
+    TearDown,
+}
+
+impl QpPhase {
+    /// Variant spelling as it appears in `simcheck::ib::QP_FSM_TABLE` rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            QpPhase::Reset => "Reset",
+            QpPhase::Init => "Init",
+            QpPhase::Rtr => "Rtr",
+            QpPhase::Rts => "Rts",
+            QpPhase::Error => "Error",
+        }
+    }
+
+    /// The oracle-side state mirroring this phase.
+    #[cfg(feature = "simcheck")]
+    fn oracle_state(self) -> simcheck::ib::QpState {
+        match self {
+            QpPhase::Reset => simcheck::ib::QpState::Reset,
+            QpPhase::Init => simcheck::ib::QpState::Init,
+            QpPhase::Rtr => simcheck::ib::QpState::Rtr,
+            QpPhase::Rts => simcheck::ib::QpState::Rts,
+            QpPhase::Error => simcheck::ib::QpState::Error,
+        }
+    }
+}
+
+impl QpEvent {
+    /// Event spelling as it appears in `simcheck::ib::QP_FSM_TABLE` rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            QpEvent::BringUp => "BringUp",
+            QpEvent::Fatal => "Fatal",
+            QpEvent::TearDown => "TearDown",
+        }
+    }
+}
+
+/// Canonical QP transition function: `None` means the event is illegal in
+/// `from`. [`connect`] drives the bring-up ladder through this function
+/// rather than a hardcoded state list.
+pub fn fsm_next(from: QpPhase, ev: QpEvent) -> Option<QpPhase> {
+    match (from, ev) {
+        (QpPhase::Reset, QpEvent::BringUp) => Some(QpPhase::Init),
+        (QpPhase::Init, QpEvent::BringUp) => Some(QpPhase::Rtr),
+        (QpPhase::Rtr, QpEvent::BringUp) => Some(QpPhase::Rts),
+        (_, QpEvent::Fatal) => Some(QpPhase::Error),
+        (_, QpEvent::TearDown) => Some(QpPhase::Reset),
+        _ => None,
+    }
+}
+
 /// A work request accepted by [`IbQp::post_send_wr`].
 #[derive(Clone, Debug)]
 pub enum IbWorkRequest {
@@ -123,18 +204,18 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
     let ep_b = mk_ep(cq_tx_b);
     let fault = fab.fault_plane();
     // Conformance oracle: walk each QP through the canonical RC bring-up
-    // (RESET → INIT → RTR → RTS) that the connect handshake models.
+    // (RESET → INIT → RTR → RTS) that the connect handshake models, driven
+    // off the crate's own state machine rather than a hardcoded ladder.
     #[cfg(feature = "simcheck")]
     let mk_state = |qpn: u32| {
         let mut st = simcheck::ib::QpStateOracle::new(u64::from(qpn));
         let now = Some(fab.sim().now().as_nanos());
-        for s in [
-            simcheck::ib::QpState::Init,
-            simcheck::ib::QpState::Rtr,
-            simcheck::ib::QpState::Rts,
-        ] {
-            let _ = st.observe_transition(s, now);
+        let mut phase = QpPhase::Reset;
+        while let Some(next) = fsm_next(phase, QpEvent::BringUp) {
+            let _ = st.observe_transition(next.oracle_state(), now);
+            phase = next;
         }
+        debug_assert_eq!(phase, QpPhase::Rts, "bring-up ladder must end in RTS");
         RefCell::new(st)
     };
     let qp_a = IbQp {
@@ -400,6 +481,27 @@ mod tests {
     use super::*;
     use hostmodel::cpu::CpuCosts;
     use simnet::sync::join2;
+
+    /// The crate machine and the conformance table must agree on every
+    /// (phase, event) pair — the runtime complement of the static
+    /// `fsm-drift` diff in `simlint --dataflow`.
+    #[cfg(feature = "simcheck")]
+    #[test]
+    fn qp_machine_matches_simcheck_table_exhaustively() {
+        use QpEvent::{BringUp, Fatal, TearDown};
+        use QpPhase::{Error, Init, Reset, Rtr, Rts};
+        for from in [Reset, Init, Rtr, Rts, Error] {
+            for ev in [BringUp, Fatal, TearDown] {
+                let machine = fsm_next(from, ev).map(QpPhase::table_name);
+                let table = simcheck::fsm_lookup(
+                    simcheck::ib::QP_FSM_TABLE,
+                    from.table_name(),
+                    ev.table_name(),
+                );
+                assert_eq!(machine, table, "{from:?} --{ev:?}--> disagrees");
+            }
+        }
+    }
 
     fn setup() -> (Sim, IbFabric, Cpu, Cpu) {
         let sim = Sim::new();

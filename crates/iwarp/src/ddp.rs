@@ -235,7 +235,11 @@ impl UntaggedReassembler {
             p.total = Some(end);
         }
         if p.have_last && p.total == Some(p.received) {
-            let msg = self.partial.remove(&(qn, msn)).unwrap().bytes;
+            let msg = self
+                .partial
+                .remove(&(qn, msn))
+                .expect("entry was just updated under this key")
+                .bytes;
             #[cfg(feature = "simcheck")]
             let _ = self.check.observe_complete(qn, msn);
             Some((qn, msn, msg))

@@ -25,6 +25,86 @@ use crate::rnic::{IwarpFabric, RnicDevice};
 
 pub use hostmodel::nic::{Cqe, CqeOpcode, CqeStatus};
 
+/// Lifecycle phases of one RDMAP stream (one direction of a QP). This is
+/// the canonical machine: [`fsm_next`] is the single in-crate statement of
+/// which transitions exist, and `simlint --dataflow` statically diffs it
+/// against `simcheck::iwarp::RDMAP_FSM_TABLE` (rule `fsm-drift`) so the
+/// model and the conformance oracle cannot disagree silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamPhase {
+    /// Connection up; any opcode may be posted.
+    Operational,
+    /// A Terminate was sent or received; nothing further is legal.
+    Terminated,
+}
+
+/// Events driving [`StreamPhase`] through [`fsm_next`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// Tagged RDMA Write posted.
+    PostWrite,
+    /// Untagged Send posted.
+    PostSend,
+    /// RDMA Read Request posted.
+    PostReadRequest,
+    /// Terminate posted (local error path).
+    PostTerminate,
+    /// Read Response arrived for an outstanding Read Request.
+    RecvReadResponse,
+    /// Terminate arrived from the peer (remote error path; idempotent).
+    RecvTerminate,
+}
+
+impl StreamPhase {
+    /// Variant spelling as it appears in `simcheck::iwarp::RDMAP_FSM_TABLE`
+    /// rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            StreamPhase::Operational => "Operational",
+            StreamPhase::Terminated => "Terminated",
+        }
+    }
+}
+
+impl StreamEvent {
+    /// Event spelling as it appears in `simcheck::iwarp::RDMAP_FSM_TABLE`
+    /// rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            StreamEvent::PostWrite => "PostWrite",
+            StreamEvent::PostSend => "PostSend",
+            StreamEvent::PostReadRequest => "PostReadRequest",
+            StreamEvent::PostTerminate => "PostTerminate",
+            StreamEvent::RecvReadResponse => "RecvReadResponse",
+            StreamEvent::RecvTerminate => "RecvTerminate",
+        }
+    }
+}
+
+/// Canonical RDMAP stream transition function: `None` means the event is
+/// illegal in `from` (e.g. any post on a terminated stream).
+pub fn fsm_next(from: StreamPhase, ev: StreamEvent) -> Option<StreamPhase> {
+    match (from, ev) {
+        (StreamPhase::Operational, StreamEvent::PostWrite) => Some(StreamPhase::Operational),
+        (StreamPhase::Operational, StreamEvent::PostSend) => Some(StreamPhase::Operational),
+        (StreamPhase::Operational, StreamEvent::PostReadRequest) => Some(StreamPhase::Operational),
+        (StreamPhase::Operational, StreamEvent::PostTerminate) => Some(StreamPhase::Terminated),
+        (StreamPhase::Operational, StreamEvent::RecvReadResponse) => Some(StreamPhase::Operational),
+        (_, StreamEvent::RecvTerminate) => Some(StreamPhase::Terminated),
+        _ => None,
+    }
+}
+
+/// Advance a tracked stream phase by `ev`. An event with no legal
+/// transition (posting on a terminated stream) leaves the phase unchanged:
+/// judging that is the simcheck oracle's job — the tracker only mirrors
+/// the legal moves the model makes.
+fn fsm_advance(phase: &std::cell::Cell<StreamPhase>, ev: StreamEvent) {
+    if let Some(next) = fsm_next(phase.get(), ev) {
+        phase.set(next);
+    }
+}
+
 /// A work request accepted by [`IwarpQp::post_send_wr`].
 #[derive(Clone, Debug)]
 pub enum WorkRequest {
@@ -112,6 +192,10 @@ pub struct IwarpQp {
     conn_tx: u64,
     /// Stream id of the peer → local direction (RDMA Read responses).
     conn_rx: u64,
+    /// Canonical [`StreamPhase`] of this side's outgoing stream, advanced
+    /// by [`fsm_next`] as the model moves (always compiled; the simcheck
+    /// oracle below additionally *judges* the moves when enabled).
+    phase: Rc<std::cell::Cell<StreamPhase>>,
     /// Conformance oracle: RDMAP opcode legality on this side's outgoing
     /// stream (rule `iwarp.rdmap-state`).
     #[cfg(feature = "simcheck")]
@@ -177,6 +261,7 @@ pub async fn connect(
         fault: fault.clone(),
         conn_tx: conn_ab,
         conn_rx: conn_ba,
+        phase: Rc::new(std::cell::Cell::new(StreamPhase::Operational)),
         #[cfg(feature = "simcheck")]
         rdmap_check: Rc::new(RefCell::new(simcheck::iwarp::RdmapStateOracle::new(
             conn_ab,
@@ -196,6 +281,7 @@ pub async fn connect(
         fault,
         conn_tx: conn_ba,
         conn_rx: conn_ab,
+        phase: Rc::new(std::cell::Cell::new(StreamPhase::Operational)),
         #[cfg(feature = "simcheck")]
         rdmap_check: Rc::new(RefCell::new(simcheck::iwarp::RdmapStateOracle::new(
             conn_ba,
@@ -226,6 +312,15 @@ impl IwarpQp {
     /// handed to the NIC; completion arrives on the CQ.
     pub async fn post_send_wr(&self, wr: WorkRequest) {
         self.charge_post().await;
+        // Track the canonical stream phase for this post.
+        fsm_advance(
+            &self.phase,
+            match &wr {
+                WorkRequest::RdmaWrite { .. } => StreamEvent::PostWrite,
+                WorkRequest::RdmaRead { .. } => StreamEvent::PostReadRequest,
+                WorkRequest::Send { .. } => StreamEvent::PostSend,
+            },
+        );
         // Conformance oracle: opcode legality against the stream state.
         #[cfg(feature = "simcheck")]
         {
@@ -242,6 +337,7 @@ impl IwarpQp {
         // Delivery at the peer follows post order (TCP stream semantics),
         // whatever the relative wire times of the messages.
         let ticket = self.remote.order.ticket();
+        let phase = Rc::clone(&self.phase);
         #[cfg(feature = "simcheck")]
         let check_sim = self.sim.clone();
         #[cfg(feature = "simcheck")]
@@ -284,6 +380,7 @@ impl IwarpQp {
                     if !peer_registry.check(remote_stag, remote_addr, len) {
                         // Remote protection fault: Terminate flows back.
                         rx_path.transfer(46, ovh).await;
+                        fsm_advance(&phase, StreamEvent::RecvTerminate);
                         #[cfg(feature = "simcheck")]
                         let _ = rdmap_check
                             .borrow_mut()
@@ -336,6 +433,7 @@ impl IwarpQp {
                     remote_ep.order.leave();
                     if !peer_registry.check(remote_stag, remote_addr, len) {
                         rx_path.transfer(46, ovh).await;
+                        fsm_advance(&phase, StreamEvent::RecvTerminate);
                         #[cfg(feature = "simcheck")]
                         let _ = rdmap_check
                             .borrow_mut()
@@ -355,6 +453,7 @@ impl IwarpQp {
                         &sim, &fault, &rx_path, "iwarp", conn_rx, len, mss, ovh, &tuning,
                     )
                     .await;
+                    fsm_advance(&phase, StreamEvent::RecvReadResponse);
                     #[cfg(feature = "simcheck")]
                     let _ = rdmap_check
                         .borrow_mut()
@@ -445,6 +544,11 @@ impl IwarpQp {
     /// uses for optimistic latency numbers.
     pub async fn wait_placement(&self) {
         self.local.placement.notified().await;
+    }
+
+    /// Current [`StreamPhase`] of this side's outgoing RDMAP stream.
+    pub fn stream_phase(&self) -> StreamPhase {
+        self.phase.get()
     }
 }
 
@@ -652,6 +756,7 @@ mod tests {
         let (sim, fab, cpu_a, cpu_b) = setup();
         sim.block_on(async move {
             let (qa, _qb) = connect(&fab, 0, 1, &cpu_a, &cpu_b).await;
+            assert_eq!(qa.stream_phase(), StreamPhase::Operational);
             qa.post_send_wr(WorkRequest::RdmaWrite {
                 wr_id: 1,
                 len: 16,
@@ -662,7 +767,39 @@ mod tests {
             .await;
             let cqe = qa.next_cqe().await;
             assert_eq!(cqe.status, CqeStatus::RemoteAccessError);
+            // The remote protection fault terminated the stream.
+            assert_eq!(qa.stream_phase(), StreamPhase::Terminated);
         });
+    }
+
+    /// The crate machine and the conformance table must agree on every
+    /// (phase, event) pair — the runtime complement of the static
+    /// `fsm-drift` diff in `simlint --dataflow`.
+    #[cfg(feature = "simcheck")]
+    #[test]
+    fn stream_machine_matches_simcheck_table_exhaustively() {
+        use StreamEvent::{
+            PostReadRequest, PostSend, PostTerminate, PostWrite, RecvReadResponse, RecvTerminate,
+        };
+        use StreamPhase::{Operational, Terminated};
+        for from in [Operational, Terminated] {
+            for ev in [
+                PostWrite,
+                PostSend,
+                PostReadRequest,
+                PostTerminate,
+                RecvReadResponse,
+                RecvTerminate,
+            ] {
+                let machine = fsm_next(from, ev).map(StreamPhase::table_name);
+                let table = simcheck::fsm_lookup(
+                    simcheck::iwarp::RDMAP_FSM_TABLE,
+                    from.table_name(),
+                    ev.table_name(),
+                );
+                assert_eq!(machine, table, "{from:?} --{ev:?}--> disagrees");
+            }
+        }
     }
 
     #[test]

@@ -305,7 +305,13 @@ impl<T: Transport> HostEngine<T> {
                 .iter()
                 .position(|u| src.admits(u.from) && (tag == crate::rank::ANY_TAG || tag == u.tag));
             match pos {
-                Some(i) => (i + 1, Some(unex.remove(i).unwrap())),
+                Some(i) => (
+                    i + 1,
+                    Some(
+                        unex.remove(i)
+                            .expect("position() returned an in-bounds index"),
+                    ),
+                ),
                 None => (unex.len(), None),
             }
         };

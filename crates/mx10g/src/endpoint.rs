@@ -28,10 +28,82 @@ pub struct MxStatus {
     pub bits: MatchInfo,
 }
 
+/// Lifecycle phases of one MX send, from matching through protocol
+/// selection to completion. This is the canonical machine: [`fsm_next`] is
+/// the single in-crate statement of which transitions exist, and `simlint
+/// --dataflow` statically diffs it against `simcheck::mx::MX_FSM_TABLE`
+/// (rule `fsm-drift`) so the model and the conformance-side restatement
+/// cannot disagree silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MxSendPhase {
+    /// Posted; the eager/rendezvous switch has not yet chosen a protocol.
+    Matching,
+    /// Eager: the payload travels with the envelope.
+    EagerData,
+    /// Rendezvous: RTS announced, waiting for the receiver's CTS.
+    RndvHandshake,
+    /// Rendezvous: CTS arrived, the sender NIC streams the bulk data.
+    RndvData,
+    /// The send request completed.
+    Complete,
+}
+
+/// Events driving [`MxSendPhase`] through [`fsm_next`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MxSendEvent {
+    /// The switch chose eager (`len < rndv_threshold`).
+    SelectEager,
+    /// The switch chose rendezvous.
+    SelectRndv,
+    /// The receiver matched the RTS and its CTS reached the sender.
+    CtsArrived,
+    /// The payload (eager or pulled) finished delivering.
+    DataDelivered,
+}
+
+impl MxSendPhase {
+    /// Variant spelling as it appears in `simcheck::mx::MX_FSM_TABLE` rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            MxSendPhase::Matching => "Matching",
+            MxSendPhase::EagerData => "EagerData",
+            MxSendPhase::RndvHandshake => "RndvHandshake",
+            MxSendPhase::RndvData => "RndvData",
+            MxSendPhase::Complete => "Complete",
+        }
+    }
+}
+
+impl MxSendEvent {
+    /// Event spelling as it appears in `simcheck::mx::MX_FSM_TABLE` rows.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            MxSendEvent::SelectEager => "SelectEager",
+            MxSendEvent::SelectRndv => "SelectRndv",
+            MxSendEvent::CtsArrived => "CtsArrived",
+            MxSendEvent::DataDelivered => "DataDelivered",
+        }
+    }
+}
+
+/// Canonical MX send transition function: `None` means the event cannot
+/// occur in `from` (e.g. a CTS for an eager send).
+pub fn fsm_next(from: MxSendPhase, ev: MxSendEvent) -> Option<MxSendPhase> {
+    match (from, ev) {
+        (MxSendPhase::Matching, MxSendEvent::SelectEager) => Some(MxSendPhase::EagerData),
+        (MxSendPhase::Matching, MxSendEvent::SelectRndv) => Some(MxSendPhase::RndvHandshake),
+        (MxSendPhase::RndvHandshake, MxSendEvent::CtsArrived) => Some(MxSendPhase::RndvData),
+        (MxSendPhase::EagerData, MxSendEvent::DataDelivered) => Some(MxSendPhase::Complete),
+        (MxSendPhase::RndvData, MxSendEvent::DataDelivered) => Some(MxSendPhase::Complete),
+        _ => None,
+    }
+}
+
 struct ReqState {
     done: Cell<bool>,
     len: Cell<u64>,
     bits: Cell<MatchInfo>,
+    phase: Cell<MxSendPhase>,
     notify: Notify,
 }
 
@@ -48,9 +120,29 @@ impl MxRequest {
                 done: Cell::new(false),
                 len: Cell::new(0),
                 bits: Cell::new(MatchInfo(0)),
+                phase: Cell::new(MxSendPhase::Matching),
                 notify: Notify::new(),
             }),
         }
+    }
+
+    /// Advance the send phase by `ev`, debug-asserting the move is one
+    /// [`fsm_next`] admits. Pure bookkeeping: no simulated time is touched.
+    fn advance_phase(&self, ev: MxSendEvent) {
+        match fsm_next(self.state.phase.get(), ev) {
+            Some(next) => self.state.phase.set(next),
+            None => debug_assert!(
+                false,
+                "illegal MX send transition {:?} --{ev:?}",
+                self.state.phase.get()
+            ),
+        }
+    }
+
+    /// Current [`MxSendPhase`] (meaningful for send requests; receive
+    /// requests stay in `Matching`).
+    pub fn send_phase(&self) -> MxSendPhase {
+        self.state.phase.get()
     }
 
     fn complete(&self, len: u64, bits: MatchInfo) {
@@ -257,8 +349,10 @@ impl MxEndpoint {
         self.cpu.work(self.nic.calib.post_cost).await;
         let req = MxRequest::new();
         if len < self.nic.calib.rndv_threshold {
+            req.advance_phase(MxSendEvent::SelectEager);
             self.eager_send(dest, bits, len, payload, req.clone());
         } else {
+            req.advance_phase(MxSendEvent::SelectRndv);
             self.rndv_send(dest, bits, buf, len, payload, req.clone())
                 .await;
         }
@@ -324,7 +418,14 @@ impl MxEndpoint {
                     let mut posted = peer_inner.posted.borrow_mut();
                     let pos = posted.iter().position(|p| matches(bits, p.bits, p.mask));
                     match pos {
-                        Some(i) => (i + 1, Some(posted.remove(i).unwrap())),
+                        Some(i) => (
+                            i + 1,
+                            Some(
+                                posted
+                                    .remove(i)
+                                    .expect("position() returned an in-bounds index"),
+                            ),
+                        ),
                         None => {
                             let walked = posted.len();
                             peer_inner.unexpected.borrow_mut().push_back(Unexpected {
@@ -347,6 +448,7 @@ impl MxEndpoint {
                     }
                     p.req.complete(len.min(p.len), bits);
                 }
+                req.advance_phase(MxSendEvent::DataDelivered);
                 req.complete(len, bits);
             }
             gate.leave();
@@ -444,6 +546,7 @@ impl MxEndpoint {
                             .registry
                             .register_cached(&peer_progression, raddr, n)
                             .await;
+                        sreq.advance_phase(MxSendEvent::CtsArrived);
                         // The pull data resends like any MX traffic; a
                         // duplicate here rewrites the same bytes, so no
                         // dedup is needed beyond the engine's accounting.
@@ -462,6 +565,7 @@ impl MxEndpoint {
                             peer_mem.write(raddr, &data[..n as usize]);
                         }
                         rreq.complete(n, bits);
+                        sreq.advance_phase(MxSendEvent::DataDelivered);
                         sreq.complete(n, bits);
                     });
                 });
@@ -471,7 +575,12 @@ impl MxEndpoint {
             let hit = {
                 let mut posted = peer_inner.posted.borrow_mut();
                 match posted.iter().position(|p| matches(bits, p.bits, p.mask)) {
-                    Some(i) => Ok((i + 1, posted.remove(i).unwrap())),
+                    Some(i) => Ok((
+                        i + 1,
+                        posted
+                            .remove(i)
+                            .expect("position() returned an in-bounds index"),
+                    )),
                     None => Err(posted.len()),
                 }
             };
@@ -510,7 +619,13 @@ impl MxEndpoint {
             let mut unex = self.inner.unexpected.borrow_mut();
             let pos = unex.iter().position(|u| matches(u.bits, bits, mask));
             match pos {
-                Some(i) => (i + 1, Some(unex.remove(i).unwrap())),
+                Some(i) => (
+                    i + 1,
+                    Some(
+                        unex.remove(i)
+                            .expect("position() returned an in-bounds index"),
+                    ),
+                ),
                 None => {
                     let walked = unex.len();
                     self.inner.posted.borrow_mut().push_back(Posted {
@@ -585,7 +700,29 @@ mod tests {
             assert_eq!(st.len, 5);
             s.wait().await;
             assert_eq!(eb.nic().mem.read(rbuf, 5), b"lanai");
+            assert_eq!(s.send_phase(), MxSendPhase::Complete);
         });
+    }
+
+    /// The crate machine and the conformance table must agree on every
+    /// (phase, event) pair — the runtime complement of the static
+    /// `fsm-drift` diff in `simlint --dataflow`.
+    #[cfg(feature = "simcheck")]
+    #[test]
+    fn send_machine_matches_simcheck_table_exhaustively() {
+        use MxSendEvent::{CtsArrived, DataDelivered, SelectEager, SelectRndv};
+        use MxSendPhase::{Complete, EagerData, Matching, RndvData, RndvHandshake};
+        for from in [Matching, EagerData, RndvHandshake, RndvData, Complete] {
+            for ev in [SelectEager, SelectRndv, CtsArrived, DataDelivered] {
+                let machine = fsm_next(from, ev).map(MxSendPhase::table_name);
+                let table = simcheck::fsm_lookup(
+                    simcheck::mx::MX_FSM_TABLE,
+                    from.table_name(),
+                    ev.table_name(),
+                );
+                assert_eq!(machine, table, "{from:?} --{ev:?}--> disagrees");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,29 @@ const ETH_MIN_FRAME: u64 = 64;
 const ETH_PREAMBLE_LEN: u64 = 8;
 const ETH_IFG_LEN: u64 = 12;
 
+/// Legal send-path phases of the host-TCP recovery loop, `(from, event,
+/// to)` with `"*"` matching any state: a stream delivers (or delays)
+/// segments while `Streaming`, drops move it to `FastRetx` when enough
+/// trailing segments exist to generate duplicate ACKs and to `RtoWait`
+/// otherwise, retransmissions either resume the stream or stay in RTO
+/// backoff, and the final segment finishes the transfer. The
+/// `etherstack::recovery` loop tracks these phases (`TcpSendPhase` /
+/// `fsm_next`), this export is the conformance-side restatement, and
+/// `simlint --dataflow` diffs the two (rule `fsm-drift`); feature-gated
+/// tests in `etherstack` additionally cross-check the machine against this
+/// table exhaustively.
+pub const TCP_FSM_TABLE: crate::FsmTable = &[
+    ("Streaming", "SegmentDelivered", "Streaming"),
+    ("Streaming", "SegmentDelayed", "Streaming"),
+    ("Streaming", "LossFastRetx", "FastRetx"),
+    ("Streaming", "LossTail", "RtoWait"),
+    ("FastRetx", "RetxDelivered", "Streaming"),
+    ("FastRetx", "RetxLost", "RtoWait"),
+    ("RtoWait", "RetxDelivered", "Streaming"),
+    ("RtoWait", "RetxLost", "RtoWait"),
+    ("Streaming", "Finish", "Done"),
+];
+
 /// Transmit-side TCP sequence oracle: the segmenter must emit contiguous
 /// sequence numbers, each segment starting where the previous ended
 /// (mod 2^32).

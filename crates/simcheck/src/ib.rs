@@ -25,7 +25,34 @@ impl QpState {
             QpState::Error => "ERROR",
         }
     }
+
+    /// Variant spelling as it appears in [`QP_FSM_TABLE`] rows (and in the
+    /// `infiniband` crate's `QpPhase` machine).
+    fn table_name(self) -> &'static str {
+        match self {
+            QpState::Reset => "Reset",
+            QpState::Init => "Init",
+            QpState::Rtr => "Rtr",
+            QpState::Rts => "Rts",
+            QpState::Error => "Error",
+        }
+    }
 }
+
+/// Legal QP transitions, `(from, event, to)` with `"*"` matching any state:
+/// the bring-up ladder RESET → INIT → RTR → RTS, a fall to ERROR from
+/// anywhere, and a tear-down back to RESET from anywhere. This table is the
+/// oracle's single source of legality ([`QpStateOracle::observe_transition`]
+/// consults it via [`crate::fsm_legal_transition`]), and `simlint
+/// --dataflow` statically diffs it against `infiniband::verbs::fsm_next`
+/// (rule `fsm-drift`).
+pub const QP_FSM_TABLE: crate::FsmTable = &[
+    ("Reset", "BringUp", "Init"),
+    ("Init", "BringUp", "Rtr"),
+    ("Rtr", "BringUp", "Rts"),
+    ("*", "Fatal", "Error"),
+    ("*", "TearDown", "Reset"),
+];
 
 /// QP state-machine oracle: transitions must follow
 /// RESET → INIT → RTR → RTS (any state may fall to ERROR); work requests
@@ -55,17 +82,13 @@ impl QpStateOracle {
         })
     }
 
-    /// Observe a modify-QP transition to `to`.
+    /// Observe a modify-QP transition to `to`. Legality is read off
+    /// [`QP_FSM_TABLE`]: a modify-QP call does not name its event, so any
+    /// row admitting `from → to` makes the transition legal.
     pub fn observe_transition(&mut self, to: QpState, now_ns: Option<u64>) -> Option<Violation> {
         note_check(Rule::IbQpState);
-        let legal = matches!(
-            (self.state, to),
-            (QpState::Reset, QpState::Init)
-                | (QpState::Init, QpState::Rtr)
-                | (QpState::Rtr, QpState::Rts)
-                | (_, QpState::Error)
-                | (_, QpState::Reset)
-        );
+        let legal =
+            crate::fsm_legal_transition(QP_FSM_TABLE, self.state.table_name(), to.table_name());
         let fired = if legal {
             None
         } else {
@@ -194,6 +217,26 @@ mod tests {
         o.observe_transition(QpState::Init, None);
         let v = o.observe_post_send(None).expect("must fire");
         assert!(v.detail.contains("state INIT"), "{}", v.detail);
+    }
+
+    #[test]
+    fn qp_table_reproduces_legacy_legality_exactly() {
+        // The table-driven check must be extensionally identical to the
+        // hand-written `matches!` it replaced, over all 25 state pairs.
+        use QpState::{Error, Init, Reset, Rtr, Rts};
+        for from in [Reset, Init, Rtr, Rts, Error] {
+            for to in [Reset, Init, Rtr, Rts, Error] {
+                let legacy = matches!(
+                    (from, to),
+                    (Reset, Init) | (Init, Rtr) | (Rtr, Rts) | (_, Error) | (_, Reset)
+                );
+                assert_eq!(
+                    crate::fsm_legal_transition(QP_FSM_TABLE, from.table_name(), to.table_name()),
+                    legacy,
+                    "{from:?} -> {to:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -215,6 +215,42 @@ enum StreamState {
     Terminated,
 }
 
+impl StreamState {
+    /// Variant spelling as it appears in [`RDMAP_FSM_TABLE`] rows (and in
+    /// the `iwarp` crate's `StreamPhase` machine).
+    fn table_name(self) -> &'static str {
+        match self {
+            StreamState::Operational => "Operational",
+            StreamState::Terminated => "Terminated",
+        }
+    }
+
+    fn from_table_name(name: &str) -> Self {
+        match name {
+            "Operational" => StreamState::Operational,
+            "Terminated" => StreamState::Terminated,
+            other => panic!("RDMAP_FSM_TABLE names unknown state {other:?}"),
+        }
+    }
+}
+
+/// Legal RDMAP stream transitions, `(from, event, to)` with `"*"` matching
+/// any state: every opcode family is legal only on an operational stream
+/// (posting a Terminate moves the stream to Terminated), while a Terminate
+/// *arriving* is legal from any state (the remote error path is
+/// idempotent). This table is the oracle's single source of state legality
+/// ([`RdmapStateOracle`] consults it via [`crate::fsm_lookup`]), and
+/// `simlint --dataflow` statically diffs it against
+/// `iwarp::verbs::fsm_next` (rule `fsm-drift`).
+pub const RDMAP_FSM_TABLE: crate::FsmTable = &[
+    ("Operational", "PostWrite", "Operational"),
+    ("Operational", "PostSend", "Operational"),
+    ("Operational", "PostReadRequest", "Operational"),
+    ("Operational", "PostTerminate", "Terminated"),
+    ("Operational", "RecvReadResponse", "Operational"),
+    ("*", "RecvTerminate", "Terminated"),
+];
+
 /// RDMAP opcode-legality oracle for one stream (QP).
 ///
 /// Tracks whether the stream has been terminated (no opcode is legal
@@ -248,30 +284,47 @@ impl RdmapStateOracle {
                 detail,
             })
         };
-        if self.state == StreamState::Terminated {
-            return Some(mk(format!("opcode {op:#04x} posted on terminated stream")));
-        }
-        match op {
-            opcode::WRITE | opcode::SEND => None,
-            opcode::READ_REQUEST => {
-                self.outstanding_reads += 1;
-                None
-            }
-            opcode::TERMINATE => {
-                self.state = StreamState::Terminated;
-                None
-            }
+        // Opcodes that are never legal to post (in any state) short-circuit;
+        // a terminated stream still reports the terminated-stream message
+        // first, matching the event-free legality check below.
+        let event = match op {
+            opcode::WRITE => "PostWrite",
+            opcode::SEND => "PostSend",
+            opcode::READ_REQUEST => "PostReadRequest",
+            opcode::TERMINATE => "PostTerminate",
             opcode::READ_RESPONSE => {
-                Some(mk("Read Response posted from the requester side".to_owned()))
+                return Some(if self.state == StreamState::Terminated {
+                    mk(format!("opcode {op:#04x} posted on terminated stream"))
+                } else {
+                    mk("Read Response posted from the requester side".to_owned())
+                });
             }
-            other => Some(mk(format!("unknown RDMAP opcode {other:#04x}"))),
+            other => {
+                return Some(if self.state == StreamState::Terminated {
+                    mk(format!("opcode {op:#04x} posted on terminated stream"))
+                } else {
+                    mk(format!("unknown RDMAP opcode {other:#04x}"))
+                });
+            }
+        };
+        match crate::fsm_lookup(RDMAP_FSM_TABLE, self.state.table_name(), event) {
+            Some(next) => {
+                if op == opcode::READ_REQUEST {
+                    self.outstanding_reads += 1;
+                }
+                self.state = StreamState::from_table_name(next);
+                None
+            }
+            // The only state with no row for a post event is Terminated.
+            None => Some(mk(format!("opcode {op:#04x} posted on terminated stream"))),
         }
     }
 
     /// Observe a Read Response arriving for this stream's requester.
     pub fn observe_read_response(&mut self, now_ns: Option<u64>) -> Option<Violation> {
         note_check(Rule::RdmapState);
-        if self.state == StreamState::Terminated {
+        if crate::fsm_lookup(RDMAP_FSM_TABLE, self.state.table_name(), "RecvReadResponse").is_none()
+        {
             return Some(record(Violation {
                 rule: Rule::RdmapState,
                 sim_time_ns: now_ns,
@@ -296,7 +349,11 @@ impl RdmapStateOracle {
     /// Observe a Terminate arriving from the peer (remote error path).
     pub fn observe_terminate_received(&mut self, now_ns: Option<u64>) -> Option<Violation> {
         note_check(Rule::RdmapState);
-        self.state = StreamState::Terminated;
+        // Legal from any state (wildcard row): receiving Terminate is
+        // idempotent, so this never fires.
+        let next = crate::fsm_lookup(RDMAP_FSM_TABLE, self.state.table_name(), "RecvTerminate")
+            .expect("RDMAP_FSM_TABLE admits RecvTerminate from any state");
+        self.state = StreamState::from_table_name(next);
         let _ = now_ns;
         None
     }

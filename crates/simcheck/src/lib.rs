@@ -191,6 +191,34 @@ impl fmt::Display for Violation {
     }
 }
 
+/// A protocol transition table: `(from, event, to)` rows over state and
+/// event *names* (enum variant spelling), with `"*"` as the wildcard
+/// from-state. Each fabric oracle module exports its table as a `pub const`
+/// (`ib::QP_FSM_TABLE`, `iwarp::RDMAP_FSM_TABLE`, `ether::TCP_FSM_TABLE`,
+/// `mx::MX_FSM_TABLE`) so that (a) the runtime oracles and the fabric state
+/// machines share one source of truth, and (b) `simlint --dataflow` can
+/// statically diff each table against the fabric's `fsm_next` match arms
+/// (rule `fsm-drift`, DESIGN.md §11).
+pub type FsmTable = &'static [(&'static str, &'static str, &'static str)];
+
+/// Look up the successor state for `(from, ev)` in `table`. First matching
+/// row wins; a `"*"` from-state matches any state.
+pub fn fsm_lookup(table: FsmTable, from: &str, ev: &str) -> Option<&'static str> {
+    table
+        .iter()
+        .find(|(f, e, _)| (*f == "*" || *f == from) && *e == ev)
+        .map(|(_, _, to)| *to)
+}
+
+/// True when any row of `table` admits a `from → to` transition under
+/// *some* event — the legality question an oracle that observes state
+/// changes (but not their triggering events) can ask.
+pub fn fsm_legal_transition(table: FsmTable, from: &str, to: &str) -> bool {
+    table
+        .iter()
+        .any(|(f, _, t)| (*f == "*" || *f == from) && *t == to)
+}
+
 /// Violations beyond this many are counted but not retained verbatim.
 pub const MAX_LOGGED: usize = 64;
 

@@ -1,0 +1,531 @@
+//! Pass 2c of the dataflow engine: static protocol-FSM conformance.
+//!
+//! Each fabric crate expresses its protocol state machine as one canonical
+//! pure function:
+//!
+//! ```text
+//! pub fn fsm_next(from: Phase, ev: Event) -> Option<Phase> {
+//!     match (from, ev) {
+//!         (Phase::A, Event::Go) => Some(Phase::B),
+//!         (_, Event::Fatal)     => Some(Phase::Error),
+//!         _ => None,
+//!     }
+//! }
+//! ```
+//!
+//! and `simcheck` exports the transition table its runtime oracle enforces
+//! as a `pub const NAME_FSM_TABLE: &[(&str, &str, &str)]` of
+//! `(from, event, to)` rows, with `"*"` as the wildcard state. This pass
+//! extracts both sides *from source tokens* — no compilation, no feature
+//! flags — canonicalizes them to `(from, event, to)` string triples
+//! (wildcard `_` ⇒ `"*"`), and set-diffs them:
+//!
+//! * a machine row missing from the table ⇒ **implemented-but-unchecked**
+//!   (the oracle would wave through a transition the fabric performs);
+//! * a table row missing from the machine ⇒ **checked-but-unreachable**
+//!   (the oracle "verifies" behavior the fabric can no longer exhibit).
+//!
+//! Both directions are `fsm-drift` findings. A pair where *neither* side
+//! is present in the analyzed file set is skipped (single-file CLI runs);
+//! exactly one side present is itself drift.
+
+use crate::{flatten, Diagnostic, FlatTok};
+
+use proc_macro2::{Delimiter, TokenStream, TokenTree};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One `(from, event, to)` transition, canonical string form.
+pub type Row = (String, String, String);
+
+/// A fabric machine ↔ oracle table pairing.
+pub struct FsmPair {
+    /// Short id used in messages, e.g. "ib-qp".
+    pub id: &'static str,
+    /// Fabric crate directory (workspace-relative) holding `fsm_next`.
+    pub fabric_dir: &'static str,
+    /// The phase enum name — disambiguates if a crate ever grows a second
+    /// `fsm_next`, and makes messages self-describing.
+    pub phase_ty: &'static str,
+    /// `pub const` table name exported by simcheck.
+    pub table_name: &'static str,
+    /// File (workspace-relative) the table lives in.
+    pub table_file: &'static str,
+}
+
+/// The four fabric state machines and their simcheck oracle tables.
+pub const FSM_PAIRS: &[FsmPair] = &[
+    FsmPair {
+        id: "ib-qp",
+        fabric_dir: "crates/infiniband",
+        phase_ty: "QpPhase",
+        table_name: "QP_FSM_TABLE",
+        table_file: "crates/simcheck/src/ib.rs",
+    },
+    FsmPair {
+        id: "iwarp-rdmap",
+        fabric_dir: "crates/iwarp",
+        phase_ty: "StreamPhase",
+        table_name: "RDMAP_FSM_TABLE",
+        table_file: "crates/simcheck/src/iwarp.rs",
+    },
+    FsmPair {
+        id: "ether-tcp",
+        fabric_dir: "crates/etherstack",
+        phase_ty: "TcpSendPhase",
+        table_name: "TCP_FSM_TABLE",
+        table_file: "crates/simcheck/src/ether.rs",
+    },
+    FsmPair {
+        id: "mx-match",
+        fabric_dir: "crates/mx10g",
+        phase_ty: "MxSendPhase",
+        table_name: "MX_FSM_TABLE",
+        table_file: "crates/simcheck/src/mx.rs",
+    },
+];
+
+/// Run the conformance pass over `(path, source)` pairs; append `fsm-drift`
+/// findings to `diags`. Paths are matched workspace-relative against `root`.
+pub fn fsm_pass(root: &Path, files: &[(PathBuf, String)], diags: &mut Vec<Diagnostic>) {
+    for pair in FSM_PAIRS {
+        check_pair(root, files, pair, diags);
+    }
+}
+
+fn rel<'a>(root: &Path, file: &'a Path) -> &'a Path {
+    file.strip_prefix(root).unwrap_or(file)
+}
+
+fn check_pair(
+    root: &Path,
+    files: &[(PathBuf, String)],
+    pair: &FsmPair,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let machine = extract_machine(root, files, pair);
+    let table = extract_table(root, files, pair);
+    let (machine, table) = match (machine, table) {
+        // Neither side in the analyzed set: the subsystem is out of view
+        // (e.g. a single-file CLI run), not drifted.
+        (None, None) => return,
+        (Some(m), None) => {
+            diags.push(Diagnostic {
+                file: PathBuf::from(pair.table_file),
+                line: 1,
+                column: 0,
+                rule: "fsm-drift",
+                message: format!(
+                    "{}: fabric machine `{}::fsm_next` has {} transitions but simcheck \
+                     exports no `{}` table",
+                    pair.id,
+                    pair.phase_ty,
+                    m.rows.len(),
+                    pair.table_name
+                ),
+            });
+            return;
+        }
+        (None, Some(t)) => {
+            diags.push(Diagnostic {
+                file: t.file,
+                line: t.line,
+                column: 0,
+                rule: "fsm-drift",
+                message: format!(
+                    "{}: simcheck table `{}` has {} rows but no `fn fsm_next` over \
+                     `{}` exists under {}",
+                    pair.id,
+                    pair.table_name,
+                    t.rows.len(),
+                    pair.phase_ty,
+                    pair.fabric_dir
+                ),
+            });
+            return;
+        }
+        (Some(m), Some(t)) => (m, t),
+    };
+
+    for row in machine.rows.difference(&table.rows) {
+        diags.push(Diagnostic {
+            file: machine.file.clone(),
+            line: machine.line,
+            column: 0,
+            rule: "fsm-drift",
+            message: format!(
+                "{}: transition ({} --{}--> {}) is implemented by `{}::fsm_next` but \
+                 unchecked: `{}` has no such row",
+                pair.id, row.0, row.1, row.2, pair.phase_ty, pair.table_name
+            ),
+        });
+    }
+    for row in table.rows.difference(&machine.rows) {
+        diags.push(Diagnostic {
+            file: table.file.clone(),
+            line: table.line,
+            column: 0,
+            rule: "fsm-drift",
+            message: format!(
+                "{}: table row ({} --{}--> {}) in `{}` is checked but unreachable: \
+                 `{}::fsm_next` never performs it",
+                pair.id, row.0, row.1, row.2, pair.table_name, pair.phase_ty
+            ),
+        });
+    }
+}
+
+/// One extracted side: the rows plus where they came from (for anchoring).
+struct Extracted {
+    rows: BTreeSet<Row>,
+    file: PathBuf,
+    line: usize,
+}
+
+/// Find `fn fsm_next` under `pair.fabric_dir` whose tokens mention
+/// `pair.phase_ty`, and extract its match-arm transition rows.
+fn extract_machine(root: &Path, files: &[(PathBuf, String)], pair: &FsmPair) -> Option<Extracted> {
+    for (path, src) in files {
+        if !rel(root, path).starts_with(pair.fabric_dir) {
+            continue;
+        }
+        let Ok(ast) = syn::parse_file(src) else {
+            continue;
+        };
+        if let Some(found) = find_fsm_next(&ast.items, pair.phase_ty) {
+            let rows = machine_rows(&found.tokens);
+            return Some(Extracted {
+                rows,
+                file: path.clone(),
+                line: found.span.start().line,
+            });
+        }
+    }
+    None
+}
+
+fn find_fsm_next<'a>(items: &'a [syn::Item], phase_ty: &str) -> Option<&'a syn::Item> {
+    for item in items {
+        if item.kind == syn::ItemKind::Fn
+            && item.ident.as_ref().is_some_and(|i| *i == "fsm_next")
+            && stream_mentions(&item.tokens, phase_ty)
+        {
+            return Some(item);
+        }
+        if let Some(found) = find_fsm_next(&item.sub_items, phase_ty) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+fn stream_mentions(stream: &TokenStream, name: &str) -> bool {
+    for tree in stream {
+        match tree {
+            TokenTree::Ident(i) if i == name => return true,
+            TokenTree::Group(g) if stream_mentions(&g.stream(), name) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Extract `(from, event, to)` rows from an `fsm_next` body: the first
+/// `match` keyword's brace group, arms split on depth-0 commas, each arm
+/// `(FromPat, EvPat) => Some(Path)` (alternations with `|` allowed,
+/// `_`-pattern or `None`-result arms contribute no rows).
+fn machine_rows(tokens: &TokenStream) -> BTreeSet<Row> {
+    let mut rows = BTreeSet::new();
+    let Some(body) = match_body(tokens) else {
+        return rows;
+    };
+    let mut flat = Vec::new();
+    flatten(&body, &mut flat);
+    for arm in split_depth0(&flat, ',') {
+        // Split the arm at `=>`.
+        let Some(at) = find_fat_arrow(&arm) else {
+            continue;
+        };
+        let (pat, result) = (&arm[..at], &arm[at + 2..]);
+        let Some(to) = result_state(result) else {
+            continue; // `=> None`: an illegal transition, not a row
+        };
+        // Pattern side: one or more paren groups separated by `|`.
+        for group in pattern_groups(pat) {
+            let parts = split_depth0(&group, ',');
+            if parts.len() != 2 {
+                continue;
+            }
+            let (Some(from), Some(ev)) = (pattern_name(&parts[0]), pattern_name(&parts[1])) else {
+                continue;
+            };
+            rows.insert((from, ev, to.clone()));
+        }
+    }
+    rows
+}
+
+/// Locate the first `match` keyword and return its following brace group.
+fn match_body(tokens: &TokenStream) -> Option<TokenStream> {
+    let mut seen_match = false;
+    for tree in tokens {
+        match tree {
+            TokenTree::Ident(i) if i == "match" => seen_match = true,
+            TokenTree::Group(g) => {
+                if seen_match && g.delimiter() == Delimiter::Brace {
+                    return Some(g.stream());
+                }
+                if let Some(found) = match_body(&g.stream()) {
+                    return Some(found);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split a flat token run on a punct at nesting depth 0.
+fn split_depth0(toks: &[FlatTok], sep: char) -> Vec<Vec<FlatTok>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0usize;
+    for t in toks {
+        match t {
+            FlatTok::Open(..) => {
+                depth += 1;
+                cur.push(t.clone());
+            }
+            FlatTok::Close(..) => {
+                depth -= 1;
+                cur.push(t.clone());
+            }
+            FlatTok::Punct(c, _) if *c == sep && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Index of the `=` in a depth-0 `=>` inside `arm`, or None.
+fn find_fat_arrow(arm: &[FlatTok]) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in arm.iter().enumerate() {
+        match t {
+            FlatTok::Open(..) => depth += 1,
+            FlatTok::Close(..) => depth -= 1,
+            FlatTok::Punct('=', _)
+                if depth == 0 && arm.get(i + 1).is_some_and(|t| t.is_punct('>')) =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `Some ( Path :: To )` ⇒ `Some("To")`; `None` ⇒ None.
+fn result_state(result: &[FlatTok]) -> Option<String> {
+    if !result.first().is_some_and(|t| t.is_ident("Some")) {
+        return None;
+    }
+    // Last ident inside the paren group is the target variant.
+    let mut last = None;
+    for t in result.iter().skip(1) {
+        if let FlatTok::Ident(name, _) = t {
+            last = Some(name.clone());
+        }
+    }
+    last
+}
+
+/// The paren groups of a pattern run: `(A, B) | (A, C)` ⇒ both inner runs.
+fn pattern_groups(pat: &[FlatTok]) -> Vec<Vec<FlatTok>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < pat.len() {
+        if let FlatTok::Open(Delimiter::Parenthesis, _) = pat[i] {
+            let end = crate::skip_group(pat, i);
+            out.push(pat[i + 1..end - 1].to_vec());
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Canonical name of one pattern slot: last ident of a path, or `"*"` for
+/// the `_` wildcard.
+fn pattern_name(toks: &[FlatTok]) -> Option<String> {
+    let mut last = None;
+    for t in toks {
+        if let FlatTok::Ident(name, _) = t {
+            if name == "_" {
+                return Some("*".to_owned());
+            }
+            last = Some(name.clone());
+        }
+    }
+    last
+}
+
+/// Find `pub const <table_name>` in `pair.table_file` and read its string
+/// literals as `(from, event, to)` triples.
+fn extract_table(root: &Path, files: &[(PathBuf, String)], pair: &FsmPair) -> Option<Extracted> {
+    let (path, src) = files
+        .iter()
+        .find(|(p, _)| rel(root, p) == Path::new(pair.table_file))?;
+    let ast = syn::parse_file(src).ok()?;
+    let item = find_const(&ast.items, pair.table_name)?;
+    let mut flat = Vec::new();
+    flatten(&item.tokens, &mut flat);
+    let strings: Vec<String> = flat
+        .iter()
+        .filter_map(|t| match t {
+            FlatTok::Lit(text, _) if text.starts_with('"') && text.ends_with('"') => {
+                Some(text[1..text.len() - 1].to_owned())
+            }
+            _ => None,
+        })
+        .collect();
+    let mut rows = BTreeSet::new();
+    for triple in strings.chunks_exact(3) {
+        rows.insert((triple[0].clone(), triple[1].clone(), triple[2].clone()));
+    }
+    Some(Extracted {
+        rows,
+        file: path.clone(),
+        line: item.span.start().line,
+    })
+}
+
+fn find_const<'a>(items: &'a [syn::Item], name: &str) -> Option<&'a syn::Item> {
+    for item in items {
+        if item.kind == syn::ItemKind::Const && item.ident.as_ref().is_some_and(|i| *i == name) {
+            return Some(item);
+        }
+        if let Some(found) = find_const(&item.sub_items, name) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MACHINE: &str = "\
+pub enum QpPhase { Reset, Init, Error }\n\
+pub enum QpEvent { BringUp, Fatal }\n\
+pub fn fsm_next(from: QpPhase, ev: QpEvent) -> Option<QpPhase> {\n\
+    match (from, ev) {\n\
+        (QpPhase::Reset, QpEvent::BringUp) => Some(QpPhase::Init),\n\
+        (_, QpEvent::Fatal) => Some(QpPhase::Error),\n\
+        _ => None,\n\
+    }\n\
+}\n";
+
+    fn table_src(rows: &str) -> String {
+        format!("pub const QP_FSM_TABLE: &[(&str, &str, &str)] = &[{rows}];\n")
+    }
+
+    fn run(machine: &str, table: &str) -> Vec<Diagnostic> {
+        let files = vec![
+            (
+                PathBuf::from("crates/infiniband/src/m.rs"),
+                machine.to_owned(),
+            ),
+            (PathBuf::from("crates/simcheck/src/ib.rs"), table.to_owned()),
+        ];
+        let mut diags = Vec::new();
+        fsm_pass(Path::new(""), &files, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn matching_sides_report_no_drift() {
+        let diags = run(
+            MACHINE,
+            &table_src(r#"("Reset", "BringUp", "Init"), ("*", "Fatal", "Error")"#),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn implemented_but_unchecked_is_drift() {
+        let diags = run(MACHINE, &table_src(r#"("Reset", "BringUp", "Init")"#));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("implemented"),
+            "{}",
+            diags[0].message
+        );
+        assert!(
+            diags[0].message.contains("* --Fatal--> Error"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn checked_but_unreachable_is_drift() {
+        let diags = run(
+            MACHINE,
+            &table_src(
+                r#"("Reset", "BringUp", "Init"), ("*", "Fatal", "Error"), ("Init", "Warp", "Reset")"#,
+            ),
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("unreachable"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn one_missing_side_is_drift_both_absent_is_skipped() {
+        let mut diags = Vec::new();
+        let machine_only = vec![(
+            PathBuf::from("crates/infiniband/src/m.rs"),
+            MACHINE.to_owned(),
+        )];
+        fsm_pass(Path::new(""), &machine_only, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("exports no"),
+            "{}",
+            diags[0].message
+        );
+
+        let mut none = Vec::new();
+        fsm_pass(Path::new(""), &[], &mut none);
+        assert!(none.is_empty(), "{none:?}");
+    }
+
+    #[test]
+    fn alternation_patterns_expand_to_rows() {
+        let machine = "\
+pub fn fsm_next(from: QpPhase, ev: QpEvent) -> Option<QpPhase> {\n\
+    match (from, ev) {\n\
+        (QpPhase::Reset, QpEvent::BringUp) | (QpPhase::Init, QpEvent::BringUp) => Some(QpPhase::Init),\n\
+        _ => None,\n\
+    }\n\
+}\n";
+        let diags = run(
+            machine,
+            &table_src(r#"("Reset", "BringUp", "Init"), ("Init", "BringUp", "Init")"#),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -44,7 +44,12 @@ use proc_macro2::{Delimiter, Span, TokenStream, TokenTree};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod dataflow;
+pub mod fsm;
+pub mod graph;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 // ---------------------------------------------------------------------------
 // Diagnostics
@@ -88,7 +93,7 @@ impl Diagnostic {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -346,7 +351,11 @@ pub fn lint_source(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> Ve
 /// Like [`lint_source`], but also reports which findings were suppressed by
 /// allow annotations.
 pub fn lint_source_stats(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> LintOutcome {
-    let known: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
+    // The dataflow-layer rule names are always legal in allow annotations,
+    // even in a classic-only run: the annotation's *validity* must not
+    // depend on which layer happens to be executing.
+    let mut known: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
+    known.extend(dataflow::DATAFLOW_RULES.iter().map(|(n, _)| *n));
     let mut diags = Vec::new();
     let mut suppressed = Vec::new();
     let mut allows = parse_allows(path, src, &known, &mut diags);
@@ -401,7 +410,10 @@ pub fn lint_source_stats(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>])
         }
     }
     for a in &allows {
-        if !a.used {
+        // Annotations naming any dataflow rule are audited by the dataflow
+        // layer instead (`run_dataflow` re-checks their usage); flagging
+        // them unused here would force-fail every justified suppression.
+        if !a.used && !a.rules.iter().any(|r| dataflow::is_dataflow_rule(r)) {
             diags.push(Diagnostic {
                 file: path.to_owned(),
                 line: a.decl_line,

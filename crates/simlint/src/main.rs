@@ -4,16 +4,30 @@
 //! ```text
 //! cargo run -p simlint --                    # lint the workspace, warn only
 //! cargo run -p simlint -- --deny-all        # CI mode: nonzero exit on any finding
+//! cargo run -p simlint -- --dataflow        # also run the interprocedural
+//!                                           #   passes: nondeterminism taint,
+//!                                           #   hot-path panic audit, static
+//!                                           #   FSM conformance — gated on the
+//!                                           #   committed dataflow baseline
 //! cargo run -p simlint -- --json            # one aggregate JSON document:
 //!                                           #   files checked, per-rule
 //!                                           #   violation/allow counts, and
 //!                                           #   the diagnostics themselves
+//! cargo run -p simlint -- --sarif FILE      # also write the findings as a
+//!                                           #   SARIF 2.1.0 log (code-scanning
+//!                                           #   UI ingestion)
+//! cargo run -p simlint -- --dataflow --write-baseline
+//!                                           # accept the current dataflow
+//!                                           #   findings as the new baseline
+//! cargo run -p simlint -- --baseline FILE   # override the baseline location
 //! cargo run -p simlint -- --list-rules      # rule registry with summaries
 //! cargo run -p simlint -- --audit-allows    # every inline allow: location,
 //!                                           #   rules, justification, and
 //!                                           #   whether it still suppresses
 //!                                           #   anything (stale allows fail
-//!                                           #   under --deny-all)
+//!                                           #   under --deny-all); with --json,
+//!                                           #   a machine-readable tally for
+//!                                           #   the CI no-regression check
 //! cargo run -p simlint -- path/to/file.rs   # lint explicit files (fixtures, spot checks)
 //! cargo run -p simlint -- --dump file.rs    # debug: show the parsed item structure
 //! ```
@@ -21,9 +35,14 @@
 #![forbid(unsafe_code)]
 
 use quote::ToTokens;
+use simlint::dataflow::{
+    apply_baseline, dataflow_files, parse_baseline, render_baseline, run_dataflow, BASELINE_PATH,
+    DATAFLOW_RULES,
+};
 use simlint::rules::all_rules;
 use simlint::{find_workspace_root, lint_source_stats, workspace_files, Allow, Diagnostic};
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -32,13 +51,18 @@ struct Options {
     json: bool,
     list_rules: bool,
     audit_allows: bool,
+    dataflow: bool,
+    write_baseline: bool,
+    baseline: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     dump: Option<PathBuf>,
     root: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: simlint [--deny-all] [--json] [--list-rules] [--audit-allows] [--dump FILE] [--root DIR] [FILES...]"
+    "usage: simlint [--deny-all] [--json] [--list-rules] [--audit-allows] [--dataflow] \
+     [--baseline FILE] [--write-baseline] [--sarif FILE] [--dump FILE] [--root DIR] [FILES...]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,35 +71,41 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         list_rules: false,
         audit_allows: false,
+        dataflow: false,
+        write_baseline: false,
+        baseline: None,
+        sarif: None,
         dump: None,
         root: None,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
+    let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("{flag} requires a path argument"))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-all" => opts.deny_all = true,
             "--json" => opts.json = true,
             "--list-rules" => opts.list_rules = true,
             "--audit-allows" => opts.audit_allows = true,
-            "--dump" => {
-                let path = args
-                    .next()
-                    .ok_or_else(|| "--dump requires FILE".to_owned())?;
-                opts.dump = Some(PathBuf::from(path));
-            }
-            "--root" => {
-                let path = args
-                    .next()
-                    .ok_or_else(|| "--root requires DIR".to_owned())?;
-                opts.root = Some(PathBuf::from(path));
-            }
+            "--dataflow" => opts.dataflow = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--baseline" => opts.baseline = Some(path_arg(&mut args, "--baseline")?),
+            "--sarif" => opts.sarif = Some(path_arg(&mut args, "--sarif")?),
+            "--dump" => opts.dump = Some(path_arg(&mut args, "--dump")?),
+            "--root" => opts.root = Some(path_arg(&mut args, "--root")?),
             "--help" | "-h" => return Err(usage().to_owned()),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}\n{}", usage()));
             }
             file => opts.files.push(PathBuf::from(file)),
         }
+    }
+    if opts.write_baseline && !opts.dataflow {
+        return Err("--write-baseline requires --dataflow".to_owned());
     }
     Ok(opts)
 }
@@ -94,6 +124,10 @@ fn main() -> ExitCode {
         for rule in all_rules() {
             println!("  {:<18} {}", rule.name(), rule.summary());
         }
+        println!("\ninterprocedural rules (run with --dataflow):");
+        for (name, summary) in DATAFLOW_RULES {
+            println!("  {name:<18} {summary}");
+        }
         println!(
             "\nsuppress in place with: // simlint: allow(rule-name) -- reason\n\
              engine diagnostics: parse-error, malformed-allow, unknown-rule, unused-allow"
@@ -105,15 +139,16 @@ fn main() -> ExitCode {
         return dump_file(path);
     }
 
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = match opts.root.clone().or_else(|| find_workspace_root(&cwd)) {
+        Some(root) => root,
+        None => {
+            eprintln!("simlint: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+
     let files = if opts.files.is_empty() {
-        let cwd = std::env::current_dir().expect("cwd");
-        let root = match opts.root.clone().or_else(|| find_workspace_root(&cwd)) {
-            Some(root) => root,
-            None => {
-                eprintln!("simlint: no workspace root found above {}", cwd.display());
-                return ExitCode::from(2);
-            }
-        };
         match workspace_files(&root) {
             Ok(files) => files,
             Err(err) => {
@@ -125,6 +160,7 @@ fn main() -> ExitCode {
         opts.files.clone()
     };
 
+    // --- classic per-file pass ---------------------------------------------
     let rules = all_rules();
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut suppressed: Vec<Diagnostic> = Vec::new();
@@ -146,18 +182,113 @@ fn main() -> ExitCode {
     }
 
     if opts.audit_allows {
-        return audit_allows(checked, &allows, opts.deny_all);
+        return audit_allows(checked, &allows, opts.deny_all, opts.json);
+    }
+
+    // --- interprocedural passes + baseline gate ----------------------------
+    let mut stale_baseline: Vec<String> = Vec::new();
+    let mut baselined = 0usize;
+    if opts.dataflow {
+        // Workspace runs widen the file set (simcheck tables, bench
+        // helpers); explicit-FILES runs analyze exactly what was given so
+        // fixtures stay self-contained.
+        let dataflow_inputs = if opts.files.is_empty() {
+            match dataflow_files(&root) {
+                Ok(pairs) => pairs,
+                Err(err) => {
+                    eprintln!("simlint: reading dataflow scope: {err}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            let mut pairs = Vec::new();
+            for file in &files {
+                match std::fs::read_to_string(file) {
+                    Ok(src) => pairs.push((file.clone(), src)),
+                    Err(err) => {
+                        eprintln!("simlint: reading {}: {err}", file.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            pairs
+        };
+        let outcome = run_dataflow(&root, &dataflow_inputs);
+        suppressed.extend(outcome.suppressed);
+
+        let baseline_path = opts
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root.join(BASELINE_PATH));
+        if opts.write_baseline {
+            let text = render_baseline(&root, &outcome.diags);
+            if let Err(err) = std::fs::write(&baseline_path, &text) {
+                eprintln!("simlint: writing {}: {err}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "simlint: wrote {} finding{} to {}",
+                outcome.diags.len(),
+                if outcome.diags.len() == 1 { "" } else { "s" },
+                baseline_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => parse_baseline(&text),
+            Err(_) => Vec::new(), // no baseline file: everything is new
+        };
+        let (fresh, matched, stale) = apply_baseline(&root, outcome.diags, &baseline);
+        baselined = matched;
+        stale_baseline = stale;
+        diags.extend(fresh);
+    }
+
+    // One bad directive or one finding must report once even when both
+    // layers walked the same file (dedupe satellite, ISSUE 8).
+    diags.sort();
+    diags.dedup();
+    suppressed.sort();
+    suppressed.dedup();
+
+    if let Some(sarif_path) = &opts.sarif {
+        let mut summaries: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+        for rule in &rules {
+            summaries.insert(rule.name(), rule.summary());
+        }
+        for (name, summary) in DATAFLOW_RULES {
+            summaries.insert(name, summary);
+        }
+        let sarif = simlint::sarif::to_sarif(&root, &diags, &summaries);
+        if let Err(err) = std::fs::write(sarif_path, &sarif) {
+            eprintln!("simlint: writing {}: {err}", sarif_path.display());
+            return ExitCode::from(2);
+        }
     }
 
     if opts.json {
-        println!("{}", aggregate_json(checked, &diags, &suppressed));
+        println!(
+            "{}",
+            aggregate_json(checked, &diags, &suppressed, opts.dataflow, baselined)
+        );
     } else {
         for d in &diags {
             println!("{d}");
         }
+        for fp in &stale_baseline {
+            println!("simlint: stale baseline entry (finding no longer occurs): {fp}");
+        }
         if diags.is_empty() {
+            let passes = if opts.dataflow {
+                format!(
+                    ", {} dataflow rules, {baselined} baselined",
+                    DATAFLOW_RULES.len()
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "simlint: clean ({checked} files checked, {} rules)",
+                "simlint: clean ({checked} files checked, {} rules{passes})",
                 rules.len()
             );
         } else {
@@ -169,7 +300,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.deny_all && !diags.is_empty() {
+    if opts.deny_all && !(diags.is_empty() && stale_baseline.is_empty()) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -182,22 +313,63 @@ fn main() -> ExitCode {
 /// set honest: every entry is a standing exception to a determinism rule,
 /// so each one must still earn its reason. Stale (unused) allows fail the
 /// run under `--deny-all`, same as the `unused-allow` diagnostic would.
-fn audit_allows(checked: usize, allows: &[(PathBuf, Allow)], deny_all: bool) -> ExitCode {
-    let stale = allows.iter().filter(|(_, a)| !a.used).count();
-    println!(
-        "simlint allow audit: {} annotation{} across {checked} files, {stale} stale",
-        allows.len(),
-        if allows.len() == 1 { "" } else { "s" },
-    );
-    for (file, a) in allows {
+/// With `--json`, emits the tally CI tracks for allow-count no-regression
+/// (annotations naming dataflow rules are counted but never stale here —
+/// their usage is resolved by the `--dataflow` layer).
+fn audit_allows(
+    checked: usize,
+    allows: &[(PathBuf, Allow)],
+    deny_all: bool,
+    json: bool,
+) -> ExitCode {
+    let is_dataflow_only = |a: &Allow| {
+        a.rules
+            .iter()
+            .all(|r| simlint::dataflow::is_dataflow_rule(r))
+    };
+    let stale = allows
+        .iter()
+        .filter(|(_, a)| !a.used && !is_dataflow_only(a))
+        .count();
+    if json {
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for (_, a) in allows {
+            for rule in &a.rules {
+                *by_rule.entry(rule.as_str()).or_default() += 1;
+            }
+        }
+        let rules_json: Vec<String> = by_rule
+            .iter()
+            .map(|(rule, n)| format!(r#"    "{rule}": {n}"#))
+            .collect();
         println!(
-            "  {}:{} {} allow({}) -- {}",
-            file.display(),
-            a.decl_line,
-            if a.used { "used " } else { "STALE" },
-            a.rules.join(", "),
-            a.reason,
+            "{{\n  \"files_checked\": {checked},\n  \"allows\": {},\n  \"stale\": {stale},\n  \"by_rule\": {{\n{}\n  }}\n}}",
+            allows.len(),
+            rules_json.join(",\n"),
         );
+    } else {
+        println!(
+            "simlint allow audit: {} annotation{} across {checked} files, {stale} stale",
+            allows.len(),
+            if allows.len() == 1 { "" } else { "s" },
+        );
+        for (file, a) in allows {
+            let state = if a.used {
+                "used "
+            } else if is_dataflow_only(a) {
+                "defer" // resolved by the --dataflow layer
+            } else {
+                "STALE"
+            };
+            println!(
+                "  {}:{} {} allow({}) -- {}",
+                file.display(),
+                a.decl_line,
+                state,
+                a.rules.join(", "),
+                a.reason,
+            );
+        }
     }
     if deny_all && stale > 0 {
         ExitCode::FAILURE
@@ -209,11 +381,21 @@ fn audit_allows(checked: usize, allows: &[(PathBuf, Allow)], deny_all: bool) -> 
 /// Build the `--json` aggregate document: files checked, per-rule
 /// violation/allow tallies (every registered rule appears, plus any engine
 /// pseudo-rules that fired), and the surviving diagnostics verbatim.
-fn aggregate_json(checked: usize, diags: &[Diagnostic], suppressed: &[Diagnostic]) -> String {
-    use std::collections::BTreeMap;
+fn aggregate_json(
+    checked: usize,
+    diags: &[Diagnostic],
+    suppressed: &[Diagnostic],
+    dataflow: bool,
+    baselined: usize,
+) -> String {
     let mut counts: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
     for rule in all_rules() {
         counts.insert(rule.name(), (0, 0));
+    }
+    if dataflow {
+        for (name, _) in DATAFLOW_RULES {
+            counts.insert(name, (0, 0));
+        }
     }
     for d in diags {
         counts.entry(d.rule).or_insert((0, 0)).0 += 1;
@@ -231,8 +413,13 @@ fn aggregate_json(checked: usize, diags: &[Diagnostic], suppressed: &[Diagnostic
         .iter()
         .map(|d| format!("    {}", d.to_json()))
         .collect();
+    let baseline_field = if dataflow {
+        format!("\n  \"baselined\": {baselined},")
+    } else {
+        String::new()
+    };
     format!(
-        "{{\n  \"files_checked\": {checked},\n  \"violations\": {},\n  \"allows\": {},\n  \"rules\": {{\n{}\n  }},\n  \"diagnostics\": [{}{}{}]\n}}",
+        "{{\n  \"files_checked\": {checked},{baseline_field}\n  \"violations\": {},\n  \"allows\": {},\n  \"rules\": {{\n{}\n  }},\n  \"diagnostics\": [{}{}{}]\n}}",
         diags.len(),
         suppressed.len(),
         rules_json.join(",\n"),

@@ -1,0 +1,261 @@
+//! Integration tests for the `--dataflow` layer: fixture trigger/ok pairs
+//! per interprocedural rule, cross-crate call-graph resolution, the
+//! committed-baseline byte-identity gate, SARIF rendering, and CLI-level
+//! engine-diagnostic dedupe.
+//!
+//! Fixture files live under `tests/fixtures/dataflow/`. Their on-disk paths
+//! start with `crates/simlint/…`, which is deliberately *outside*
+//! [`simlint::SIM_SCOPE`] — so each test reads the fixture *content* from
+//! disk and pairs it with a virtual sim-scope path (e.g.
+//! `crates/simnet/src/fixture.rs`) before handing it to the engine. That
+//! keeps the fixtures inert for workspace-wide runs while still exercising
+//! the exact scope logic production files hit.
+
+use simlint::dataflow::{run_dataflow, BASELINE_PATH, DATAFLOW_RULES};
+use simlint::graph::build_index;
+use simlint::{find_workspace_root, Diagnostic};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/dataflow")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("reading fixture {}: {err}", path.display()))
+}
+
+/// Run the dataflow engine over fixture contents mounted at virtual
+/// sim-scope paths.
+fn run_virtual(files: &[(&str, String)]) -> Vec<Diagnostic> {
+    let owned: Vec<(PathBuf, String)> = files
+        .iter()
+        .map(|(p, s)| (PathBuf::from(p), s.clone()))
+        .collect();
+    run_dataflow(Path::new(""), &owned).diags
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// taint-through-call
+// ---------------------------------------------------------------------------
+
+#[test]
+fn taint_fixture_trigger_is_caught_through_one_call_indirection() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("taint_indirect_trigger.rs"),
+    )]);
+    assert_eq!(rules_of(&diags), ["taint-through-call"], "{diags:?}");
+    assert!(
+        diags[0].message.contains("`schedule` -> `jitter_ns`"),
+        "witness chain must name the indirection: {}",
+        diags[0].message
+    );
+    assert!(diags[0].message.contains("Instant"), "{}", diags[0].message);
+}
+
+#[test]
+fn taint_fixture_ok_twin_is_clean() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("taint_indirect_ok.rs"),
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// panic-path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_path_fixture_trigger_flags_unwrap_behind_transfer() {
+    let diags = run_virtual(&[(
+        "crates/iwarp/src/fixture.rs",
+        fixture("panic_path_trigger.rs"),
+    )]);
+    assert_eq!(rules_of(&diags), ["panic-path"], "{diags:?}");
+    assert!(
+        diags[0].message.contains("`transfer` -> `deliver`"),
+        "entry chain must be reported: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn panic_path_fixture_ok_twin_is_clean() {
+    let diags = run_virtual(&[("crates/iwarp/src/fixture.rs", fixture("panic_path_ok.rs"))]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// fsm-drift
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fsm_fixture_trigger_reports_implemented_but_unchecked_row() {
+    let diags = run_virtual(&[
+        (
+            "crates/infiniband/src/fixture.rs",
+            fixture("fsm_drift_machine_trigger.rs"),
+        ),
+        ("crates/simcheck/src/ib.rs", fixture("fsm_drift_table.rs")),
+    ]);
+    assert_eq!(rules_of(&diags), ["fsm-drift"], "{diags:?}");
+    assert!(
+        diags[0].message.contains("Error --Reopen--> Init"),
+        "{}",
+        diags[0].message
+    );
+    assert!(
+        diags[0]
+            .message
+            .contains("implemented by `QpPhase::fsm_next`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn fsm_fixture_ok_twin_is_clean() {
+    let diags = run_virtual(&[
+        (
+            "crates/infiniband/src/fixture.rs",
+            fixture("fsm_drift_machine_ok.rs"),
+        ),
+        ("crates/simcheck/src/ib.rs", fixture("fsm_drift_table.rs")),
+    ]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// call graph across a synthetic two-crate tree
+// ---------------------------------------------------------------------------
+
+#[test]
+fn call_graph_resolves_names_across_crates() {
+    let files = vec![
+        (
+            PathBuf::from("crates/infiniband/src/verbs.rs"),
+            "pub fn post(&self) { helper(); stamp(); }\n".to_owned(),
+        ),
+        (
+            PathBuf::from("crates/simnet/src/util.rs"),
+            "pub fn helper() {}\npub fn stamp() -> u64 { 0 }\n".to_owned(),
+        ),
+    ];
+    let index = build_index(&files, &mut Vec::new());
+    assert_eq!(index.fns.len(), 3);
+    let post = &index.fns[index.defs("post")[0]];
+    let callees: Vec<&str> = post.calls.iter().map(|c| c.callee.as_str()).collect();
+    assert_eq!(callees, ["helper", "stamp"]);
+    // Both callees resolve to definitions in the *other* crate: the index
+    // is workspace-global, not per-file.
+    assert_eq!(index.defs("helper").len(), 1);
+    assert_eq!(
+        index.fns[index.defs("helper")[0]].file,
+        PathBuf::from("crates/simnet/src/util.rs")
+    );
+}
+
+#[test]
+fn taint_fixed_point_crosses_crate_boundary() {
+    let diags = run_virtual(&[
+        (
+            "crates/mpisim/src/collect.rs",
+            "pub fn gather(sim: &Sim) { let s = seed(); sim.spawn(s); }\n".to_owned(),
+        ),
+        (
+            "crates/hostmodel/src/rng.rs",
+            "pub fn seed() -> u64 { getrandom() }\n".to_owned(),
+        ),
+    ]);
+    assert_eq!(rules_of(&diags), ["taint-through-call"], "{diags:?}");
+    assert!(
+        diags[0].message.contains("`gather` -> `seed`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// committed baseline: byte identity against a real workspace run
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_dataflow_run_reproduces_committed_baseline_bytes() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root above simlint");
+    let files = simlint::dataflow::dataflow_files(&root).expect("collect dataflow scope");
+    assert!(
+        files.len() > 50,
+        "dataflow scope should cover the workspace, got {} files",
+        files.len()
+    );
+    let outcome = run_dataflow(&root, &files);
+    let rendered = simlint::dataflow::render_baseline(&root, &outcome.diags);
+    let committed =
+        std::fs::read_to_string(root.join(BASELINE_PATH)).expect("committed baseline file");
+    assert_eq!(
+        rendered, committed,
+        "workspace findings drifted from crates/simlint/dataflow.baseline; \
+         fix the finding or regenerate with --dataflow --write-baseline"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SARIF
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sarif_renders_dataflow_findings_with_catalog_entries() {
+    let diags = run_virtual(&[(
+        "crates/iwarp/src/fixture.rs",
+        fixture("panic_path_trigger.rs"),
+    )]);
+    let summaries: BTreeMap<&'static str, &'static str> = DATAFLOW_RULES.iter().copied().collect();
+    let sarif = simlint::sarif::to_sarif(Path::new(""), &diags, &summaries);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"ruleId\": \"panic-path\""));
+    assert!(sarif.contains("\"uri\": \"crates/iwarp/src/fixture.rs\""));
+    // All three dataflow rules appear in the catalog even when only one fired.
+    for (name, _) in DATAFLOW_RULES {
+        assert!(sarif.contains(&format!("\"id\": \"{name}\"")), "{name}");
+    }
+    assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+}
+
+// ---------------------------------------------------------------------------
+// CLI: combined classic + dataflow run reports each bad directive once
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cli_reports_bad_allow_directives_once_in_combined_mode() {
+    let fixture_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/allow_malformed.rs");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--dataflow")
+        .arg("--json")
+        .arg(&fixture_path)
+        .output()
+        .expect("run simlint binary");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(
+        stdout.matches("\"rule\":\"malformed-allow\"").count(),
+        1,
+        "one malformed directive must produce exactly one diagnostic:\n{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("\"rule\":\"unknown-rule\"").count(),
+        1,
+        "one typoed rule name must produce exactly one diagnostic:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"baselined\""),
+        "dataflow mode must report the baselined count:\n{stdout}"
+    );
+}

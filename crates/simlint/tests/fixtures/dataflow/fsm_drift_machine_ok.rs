@@ -1,0 +1,27 @@
+// Fixture: a fabric QpPhase machine that agrees with the oracle table
+// exactly (no drift in either direction).
+
+pub enum QpPhase {
+    Reset,
+    Init,
+    Rtr,
+    Rts,
+    Error,
+}
+
+pub enum QpEvent {
+    BringUp,
+    Fatal,
+    TearDown,
+}
+
+pub fn fsm_next(from: QpPhase, ev: QpEvent) -> Option<QpPhase> {
+    match (from, ev) {
+        (QpPhase::Reset, QpEvent::BringUp) => Some(QpPhase::Init),
+        (QpPhase::Init, QpEvent::BringUp) => Some(QpPhase::Rtr),
+        (QpPhase::Rtr, QpEvent::BringUp) => Some(QpPhase::Rts),
+        (_, QpEvent::Fatal) => Some(QpPhase::Error),
+        (_, QpEvent::TearDown) => Some(QpPhase::Reset),
+        _ => None,
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: a fabric QpPhase machine implementing one transition (Error
+// --Reopen--> Init) that the oracle table does not check (`fsm-drift`,
+// implemented-but-unchecked direction).
+
+pub enum QpPhase {
+    Reset,
+    Init,
+    Rtr,
+    Rts,
+    Error,
+}
+
+pub enum QpEvent {
+    BringUp,
+    Fatal,
+    TearDown,
+    Reopen,
+}
+
+pub fn fsm_next(from: QpPhase, ev: QpEvent) -> Option<QpPhase> {
+    match (from, ev) {
+        (QpPhase::Reset, QpEvent::BringUp) => Some(QpPhase::Init),
+        (QpPhase::Init, QpEvent::BringUp) => Some(QpPhase::Rtr),
+        (QpPhase::Rtr, QpEvent::BringUp) => Some(QpPhase::Rts),
+        (QpPhase::Error, QpEvent::Reopen) => Some(QpPhase::Init),
+        (_, QpEvent::Fatal) => Some(QpPhase::Error),
+        (_, QpEvent::TearDown) => Some(QpPhase::Reset),
+        _ => None,
+    }
+}

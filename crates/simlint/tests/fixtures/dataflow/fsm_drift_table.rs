@@ -1,0 +1,10 @@
+// Fixture: oracle-side transition table for the fsm-drift pair tests,
+// mirroring the shape of `simcheck::ib::QP_FSM_TABLE`.
+
+pub const QP_FSM_TABLE: &[(&str, &str, &str)] = &[
+    ("Reset", "BringUp", "Init"),
+    ("Init", "BringUp", "Rtr"),
+    ("Rtr", "BringUp", "Rts"),
+    ("*", "Fatal", "Error"),
+    ("*", "TearDown", "Reset"),
+];

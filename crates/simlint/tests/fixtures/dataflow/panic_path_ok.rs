@@ -1,0 +1,13 @@
+// Fixture: clean twin of panic_path_trigger — the invariant is stated in
+// an expect, which the panic audit accepts.
+
+pub fn transfer(q: &Queue) {
+    deliver(q);
+}
+
+fn deliver(q: &Queue) {
+    q.items
+        .borrow_mut()
+        .pop_front()
+        .expect("transfer enqueues before deliver runs");
+}

@@ -1,0 +1,10 @@
+// Fixture: a bare unwrap in a helper one call away from a fabric transfer
+// hot path (`panic-path`).
+
+pub fn transfer(q: &Queue) {
+    deliver(q);
+}
+
+fn deliver(q: &Queue) {
+    q.items.borrow_mut().pop_front().unwrap();
+}

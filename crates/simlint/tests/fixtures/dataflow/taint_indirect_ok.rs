@@ -1,0 +1,14 @@
+// Fixture: clean twin of taint_indirect_trigger — the helper derives its
+// value from the deterministic simulation clock, so nothing taints the
+// scheduling sink.
+
+pub fn jitter_ns(sim: &Sim) -> u64 {
+    sim.now().as_nanos()
+}
+
+pub fn schedule(sim: &Sim) {
+    let j = jitter_ns(sim);
+    sim.spawn(async move {
+        let _ = j;
+    });
+}

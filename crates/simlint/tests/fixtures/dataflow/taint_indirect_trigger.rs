@@ -1,0 +1,14 @@
+// Fixture: a wall-clock read hidden behind one call indirection reaches an
+// event-scheduling sink. The flat per-file rules cannot see this — only the
+// interprocedural taint pass can (`taint-through-call`).
+
+pub fn jitter_ns() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn schedule(sim: &Sim) {
+    let j = jitter_ns();
+    sim.spawn(async move {
+        let _ = j;
+    });
+}

@@ -554,7 +554,10 @@ pub async fn join2<A: Future, B: Future>(a: A, b: B) -> (A::Output, B::Output) {
             }
         }
         if ra.is_some() && rb.is_some() {
-            Poll::Ready((ra.take().unwrap(), rb.take().unwrap()))
+            Poll::Ready((
+                ra.take().expect("is_some() checked above"),
+                rb.take().expect("is_some() checked above"),
+            ))
         } else {
             Poll::Pending
         }
@@ -577,7 +580,11 @@ pub async fn join_all<F: Future>(futs: Vec<F>) -> Vec<F::Output> {
             }
         }
         if all {
-            Poll::Ready(outs.iter_mut().map(|o| o.take().unwrap()).collect())
+            Poll::Ready(
+                outs.iter_mut()
+                    .map(|o| o.take().expect("`all` implies every slot resolved"))
+                    .collect(),
+            )
         } else {
             Poll::Pending
         }
