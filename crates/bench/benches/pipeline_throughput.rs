@@ -18,10 +18,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simnet::pipe::{Pipe, Pipeline, Stage};
-use simnet::{Sim, SimDuration};
+use simnet::{ByteRate, Bytes, Sim, SimDuration};
 
 /// Ethernet-ish MSS so large messages span thousands of segments.
-const SEGMENT: u64 = 1460;
+const SEGMENT: Bytes = Bytes::new(1460);
 
 /// Build an `n`-stage pipeline of distinct pipes with staggered rates
 /// (middle stage slowest, as in the NIC models) and small overheads.
@@ -31,7 +31,11 @@ fn pipeline(sim: &Sim, n: usize) -> Pipeline {
             // 1.05–1.45 GB/s band, slowest mid-pipeline; odd rates avoid
             // degenerate exact-tie service times.
             let rate = 1_050_000_003 + 100_000_007 * ((i as u64 + 2) % n as u64);
-            let pipe = Pipe::new(sim, rate, SimDuration::from_nanos(25 + 7 * i as u64));
+            let pipe = Pipe::new(
+                sim,
+                ByteRate::from_bytes_per_sec(rate),
+                SimDuration::from_nanos(25 + 7 * i as u64),
+            );
             Stage::new(pipe, SimDuration::from_nanos(300 + 90 * i as u64))
         })
         .collect();
@@ -42,7 +46,7 @@ fn pipeline(sim: &Sim, n: usize) -> Pipeline {
 fn run_uncontended(nstages: usize, bytes: u64) -> u64 {
     let sim = Sim::new();
     let pl = pipeline(&sim, nstages);
-    sim.block_on(async move { pl.transfer(bytes, 54).await });
+    sim.block_on(async move { pl.transfer(Bytes::new(bytes), Bytes::new(54)).await });
     sim.now().as_nanos()
 }
 
@@ -54,8 +58,8 @@ fn run_contended(nstages: usize, bytes: u64) -> u64 {
     let pl = pipeline(&sim, nstages);
     let pa = pl.clone();
     let pb = pl;
-    let h1 = sim.spawn(async move { pa.transfer(bytes, 54).await });
-    let h2 = sim.spawn(async move { pb.transfer(bytes, 54).await });
+    let h1 = sim.spawn(async move { pa.transfer(Bytes::new(bytes), Bytes::new(54)).await });
+    let h2 = sim.spawn(async move { pb.transfer(Bytes::new(bytes), Bytes::new(54)).await });
     sim.block_on(async move {
         simnet::sync::join2(h1, h2).await;
     });

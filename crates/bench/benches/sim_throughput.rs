@@ -157,13 +157,17 @@ fn pipe_contention(c: &mut Criterion) {
     g.bench_function("pipe_contention_4x2500", |b| {
         b.iter(|| {
             let sim = Sim::new();
-            let pipe = simnet::Pipe::new(&sim, 1_000_000_000, SimDuration::from_nanos(40));
+            let pipe = simnet::Pipe::new(
+                &sim,
+                simnet::ByteRate::from_gbps(8),
+                SimDuration::from_nanos(40),
+            );
             let mut handles = Vec::new();
             for _ in 0..4 {
                 let p = pipe.clone();
                 handles.push(sim.spawn(async move {
                     for _ in 0..2_500u32 {
-                        p.transfer(1_500).await;
+                        p.transfer(simnet::Bytes::new(1_500)).await;
                     }
                 }));
             }

@@ -25,13 +25,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simnet::pipe::{Pipe, Pipeline, Stage};
-use simnet::{Sim, SimDuration};
+use simnet::{ByteRate, Bytes, Sim, SimDuration};
 
 /// Ethernet-ish MSS so the burst messages span many pacing chunks.
-const SEGMENT: u64 = 1460;
+const SEGMENT: Bytes = Bytes::new(1460);
 
 /// 96 kB ≈ 66 segments ≈ 9 pacing chunks per message.
-const BYTES: u64 = 96 << 10;
+const BYTES: Bytes = Bytes::new(96 << 10);
 
 /// Messages per burst: the steady-state window the figures replay.
 const REPS: u32 = 256;
@@ -41,7 +41,11 @@ fn pipeline(sim: &Sim) -> Pipeline {
     let stages = (0..3usize)
         .map(|i| {
             let rate = 1_050_000_003 + 100_000_007 * ((i as u64 + 2) % 3);
-            let pipe = Pipe::new(sim, rate, SimDuration::from_nanos(25 + 7 * i as u64));
+            let pipe = Pipe::new(
+                sim,
+                ByteRate::from_bytes_per_sec(rate),
+                SimDuration::from_nanos(25 + 7 * i as u64),
+            );
             Stage::new(pipe, SimDuration::from_nanos(300 + 90 * i as u64))
         })
         .collect();
@@ -56,7 +60,7 @@ fn run_burst(memo: bool, fast_path: bool) -> u64 {
     let pl = pipeline(&sim);
     sim.block_on(async move {
         for _ in 0..REPS {
-            pl.transfer(BYTES, 54).await;
+            pl.transfer(BYTES, Bytes::new(54)).await;
         }
     });
     sim.now().as_nanos()

@@ -160,13 +160,17 @@ fn run_selftest() {
     });
 
     // Phase 3: contended bandwidth pipe (calendar reservations).
-    let pipe = simnet::Pipe::new(&sim, 1_000_000_000, SimDuration::from_nanos(40));
+    let pipe = simnet::Pipe::new(
+        &sim,
+        simnet::ByteRate::from_gbps(8),
+        SimDuration::from_nanos(40),
+    );
     let mut handles = Vec::new();
     for _ in 0..8 {
         let p = pipe.clone();
         handles.push(sim.spawn(async move {
             for _ in 0..5_000u32 {
-                p.transfer(1_500).await;
+                p.transfer(simnet::Bytes::new(1_500)).await;
             }
         }));
     }
@@ -181,15 +185,20 @@ fn run_selftest() {
     let stages: Vec<simnet::Stage> = (0..3)
         .map(|_| {
             simnet::Stage::new(
-                simnet::Pipe::new(&sim, 1_250_000_000, SimDuration::from_nanos(40)),
+                simnet::Pipe::new(
+                    &sim,
+                    simnet::ByteRate::from_gbps(10),
+                    SimDuration::from_nanos(40),
+                ),
                 SimDuration::from_nanos(500),
             )
         })
         .collect();
-    let pl = simnet::Pipeline::new(&sim, stages, 1_500);
+    let pl = simnet::Pipeline::new(&sim, stages, simnet::Bytes::new(1_500));
     sim.block_on(async move {
         for _ in 0..2_000u32 {
-            pl.transfer(96_000, 58).await;
+            pl.transfer(simnet::Bytes::new(96_000), simnet::Bytes::new(58))
+                .await;
         }
     });
 

@@ -160,7 +160,9 @@ pub fn cluster_exchange(kind: FabricKind, spec: ClusterSpec) -> ClusterOutcome {
                 let ctx = ctx.clone();
                 tasks.push(ctx.sim().clone().spawn(async move {
                     for _ in 0..spec.messages {
-                        egress.transfer(spec.message_bytes, ovh).await;
+                        egress
+                            .transfer(simnet::Bytes::new(spec.message_bytes), ovh)
+                            .await;
                         ctx.send(next, spec.message_bytes);
                     }
                 }));
@@ -177,7 +179,7 @@ pub fn cluster_exchange(kind: FabricKind, spec: ClusterSpec) -> ClusterOutcome {
                 received += bytes;
                 let ingress = path.ingress.clone();
                 pumps.push(ctx.sim().spawn(async move {
-                    ingress.transfer(bytes, ovh).await;
+                    ingress.transfer(simnet::Bytes::new(bytes), ovh).await;
                 }));
             }
             join_all(tasks).await;

@@ -10,7 +10,7 @@
 
 use hostmodel::cpu::Cpu;
 use hostmodel::pcie::{PcieConfig, PciePort};
-use simnet::{FaultPlane, Pipe, Pipeline, Sim, SimDuration, Stage};
+use simnet::{ByteRate, Bytes, FaultPlane, Pipe, Pipeline, Sim, SimDuration, Stage};
 
 use crate::recovery::{transfer_with_recovery, TcpTuning};
 use crate::switch::{CutThroughSwitch, SwitchConfig};
@@ -29,14 +29,14 @@ pub struct HostTcpCalib {
     pub coalesce: u64,
     /// Extra latency of taking an interrupt and scheduling the stack.
     pub interrupt_latency: SimDuration,
-    /// Socket-layer copy bandwidth (user ⇄ kernel), bytes/second.
-    pub copy_bytes_per_sec: u64,
+    /// Socket-layer copy bandwidth (user ⇄ kernel).
+    pub copy_bytes_per_sec: ByteRate,
     /// PCIe slot of the NIC.
     pub pcie: PcieConfig,
     /// TCP maximum segment payload.
-    pub mss: u64,
+    pub mss: Bytes,
     /// Per-segment wire overhead (Ethernet + IP + TCP).
-    pub per_segment_overhead: u64,
+    pub per_segment_overhead: Bytes,
 }
 
 impl Default for HostTcpCalib {
@@ -46,10 +46,10 @@ impl Default for HostTcpCalib {
             rx_per_segment: SimDuration::from_nanos(3_000),
             coalesce: 4,
             interrupt_latency: SimDuration::from_micros(14),
-            copy_bytes_per_sec: 2_000_000_000,
+            copy_bytes_per_sec: ByteRate::from_bytes_per_sec(2_000_000_000),
             pcie: PcieConfig::gen1_x8(),
-            mss: 1448,
-            per_segment_overhead: 98,
+            mss: Bytes::new(1448),
+            per_segment_overhead: Bytes::new(98),
         }
     }
 }
@@ -99,9 +99,15 @@ impl HostTcpFabric {
         let stack_pipe = |per_seg: SimDuration| {
             // A stack that takes `per_seg` per MSS-sized segment is a
             // "bandwidth" resource of mss/per_seg bytes per second.
-            let bps =
-                (calib.mss as u128 * 1_000_000_000 / per_seg.as_nanos().max(1) as u128) as u64;
-            move |sim: &Sim| Pipe::new(sim, bps.max(1), SimDuration::ZERO)
+            let bps = (calib.mss.get() as u128 * 1_000_000_000 / per_seg.as_nanos().max(1) as u128)
+                as u64;
+            move |sim: &Sim| {
+                Pipe::new(
+                    sim,
+                    ByteRate::from_bytes_per_sec(bps.max(1)),
+                    SimDuration::ZERO,
+                )
+            }
         };
         HostTcpFabric {
             sim: sim.clone(),
@@ -169,14 +175,19 @@ impl HostTcpFabric {
     /// when the receiving process holds the data in user space. The
     /// protocol and copy work is charged to the two processes' CPUs —
     /// which is exactly what the offloaded fabrics avoid.
-    pub async fn send_msg(&self, src: usize, dst: usize, src_cpu: &Cpu, dst_cpu: &Cpu, bytes: u64) {
+    pub async fn send_msg(
+        &self,
+        src: usize,
+        dst: usize,
+        src_cpu: &Cpu,
+        dst_cpu: &Cpu,
+        bytes: Bytes,
+    ) {
         let calib = &self.nics[src].calib;
         let nsegs = bytes.div_ceil(calib.mss).max(1);
         // Syscall + user→kernel copy on the sender.
         src_cpu.work(SimDuration::from_nanos(900)).await;
-        src_cpu
-            .work(SimDuration::serialize(bytes, calib.copy_bytes_per_sec))
-            .await;
+        src_cpu.work(bytes / calib.copy_bytes_per_sec).await;
         // Stack + wire + remote stack (the pipeline overlaps all phases at
         // segment granularity, as real streaming does). Under an enabled
         // fault plane, injected losses engage the software stack's
@@ -204,9 +215,7 @@ impl HostTcpFabric {
         );
         // Kernel→user copy + syscall return on the receiver.
         dst_cpu.work(SimDuration::from_nanos(900)).await;
-        dst_cpu
-            .work(SimDuration::serialize(bytes, calib.copy_bytes_per_sec))
-            .await;
+        dst_cpu.work(bytes / calib.copy_bytes_per_sec).await;
     }
 }
 
@@ -221,8 +230,13 @@ pub fn shard_host_path(sim: &Sim, calib: HostTcpCalib) -> simnet::shard::HostPat
     // resource of mss/per_seg bytes per second (same formula as
     // `HostTcpFabric::with_calib`).
     let stack_pipe = |per_seg: SimDuration| {
-        let bps = (calib.mss as u128 * 1_000_000_000 / per_seg.as_nanos().max(1) as u128) as u64;
-        Pipe::new(sim, bps.max(1), SimDuration::ZERO)
+        let bps =
+            (calib.mss.get() as u128 * 1_000_000_000 / per_seg.as_nanos().max(1) as u128) as u64;
+        Pipe::new(
+            sim,
+            ByteRate::from_bytes_per_sec(bps.max(1)),
+            SimDuration::ZERO,
+        )
     };
     let pcie = PciePort::new(sim, calib.pcie);
     let cfg = SwitchConfig::xg700();
@@ -282,8 +296,8 @@ mod tests {
                 let iters = 20u64;
                 let t0 = sim.now();
                 for _ in 0..iters {
-                    fab.send_msg(0, 1, &cpu_a, &cpu_b, size).await;
-                    fab.send_msg(1, 0, &cpu_b, &cpu_a, size).await;
+                    fab.send_msg(0, 1, &cpu_a, &cpu_b, Bytes::new(size)).await;
+                    fab.send_msg(1, 0, &cpu_b, &cpu_a, Bytes::new(size)).await;
                 }
                 (sim.now() - t0).as_micros_f64() / (2.0 * iters as f64)
             }
@@ -312,7 +326,7 @@ mod tests {
             async move {
                 let n = 8u64 << 20;
                 let t0 = sim.now();
-                fab.send_msg(0, 1, &cpu_a, &cpu_b, n).await;
+                fab.send_msg(0, 1, &cpu_a, &cpu_b, Bytes::new(n)).await;
                 n as f64 / (sim.now() - t0).as_secs_f64() / 1e6
             }
         });
@@ -332,7 +346,8 @@ mod tests {
             let fab = std::rc::Rc::clone(&fab);
             let cpu_b2 = cpu_b.clone();
             async move {
-                fab.send_msg(0, 1, &cpu_a, &cpu_b2, 1 << 20).await;
+                fab.send_msg(0, 1, &cpu_a, &cpu_b2, Bytes::new(1 << 20))
+                    .await;
             }
         });
         // Receiving 1 MB burns >1 ms of CPU (copies + per-segment work);
@@ -353,8 +368,8 @@ mod tests {
         sim.block_on({
             let fab2 = std::rc::Rc::clone(&fab);
             async move {
-                let a = fab.send_msg(0, 1, &cpu_a, &cpu_b, 4096);
-                let b = fab2.send_msg(1, 0, &cpu_b, &cpu_a, 4096);
+                let a = fab.send_msg(0, 1, &cpu_a, &cpu_b, Bytes::new(4096));
+                let b = fab2.send_msg(1, 0, &cpu_b, &cpu_a, Bytes::new(4096));
                 join2(a, b).await;
             }
         });

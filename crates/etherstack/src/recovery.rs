@@ -20,7 +20,7 @@
 //! With the plane disabled the engine is one branch and a tail call to
 //! [`Pipeline::transfer`] — bit-identical to the pre-fault code path.
 
-use simnet::{FaultDecision, FaultPlane, Pipeline, Sim, SimDuration};
+use simnet::{Bytes, FaultDecision, FaultPlane, Pipeline, Sim, SimDuration};
 
 /// Duplicate-ACK count that triggers fast retransmit (RFC 5681's three).
 pub const DUP_ACK_THRESHOLD: u64 = 3;
@@ -194,9 +194,9 @@ pub async fn transfer_with_recovery(
     path: &Pipeline,
     fabric: &'static str,
     stream: u64,
-    bytes: u64,
-    mss: u64,
-    per_segment_overhead: u64,
+    bytes: Bytes,
+    mss: Bytes,
+    per_segment_overhead: Bytes,
     tuning: &TcpTuning,
 ) -> RecoveryStats {
     let _ = fabric;
@@ -204,15 +204,15 @@ pub async fn transfer_with_recovery(
         path.transfer(bytes, per_segment_overhead).await;
         return RecoveryStats::default();
     }
-    let mss = mss.max(1);
+    let mss = mss.max(Bytes::new(1));
     let nsegs = bytes.div_ceil(mss).max(1);
     // Byte length of the segment run [lo, hi): all full MSS except a
     // possibly short tail.
-    let run_bytes = |lo: u64, hi: u64| -> u64 {
+    let run_bytes = |lo: u64, hi: u64| -> Bytes {
         if hi == nsegs {
-            bytes - lo * mss
+            bytes - mss * lo
         } else {
-            (hi - lo) * mss
+            mss * (hi - lo)
         }
     };
     let mut stats = RecoveryStats::default();
@@ -331,20 +331,20 @@ pub async fn transfer_with_recovery(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet::{FaultConfig, Pipe, Stage};
+    use simnet::{ByteRate, FaultConfig, Pipe, Stage};
 
     fn test_path(sim: &Sim) -> Pipeline {
         let stages = vec![
             Stage::new(
-                Pipe::new(sim, 1_250_000_000, SimDuration::ZERO),
+                Pipe::new(sim, ByteRate::from_gbps(10), SimDuration::ZERO),
                 SimDuration::from_nanos(300),
             ),
             Stage::new(
-                Pipe::new(sim, 1_250_000_000, SimDuration::ZERO),
+                Pipe::new(sim, ByteRate::from_gbps(10), SimDuration::ZERO),
                 SimDuration::from_nanos(500),
             ),
         ];
-        Pipeline::new(sim, stages, 1448)
+        Pipeline::new(sim, stages, Bytes::new(1448))
     }
 
     fn run(plane: FaultPlane, bytes: u64) -> (f64, RecoveryStats, simnet::SimStats) {
@@ -359,9 +359,9 @@ mod tests {
                     &path,
                     "ether",
                     7,
-                    bytes,
-                    1448,
-                    98,
+                    Bytes::new(bytes),
+                    Bytes::new(1448),
+                    Bytes::new(98),
                     &TcpTuning::host_stack(),
                 )
                 .await
@@ -407,7 +407,7 @@ mod tests {
         let sim = Sim::new();
         let path = test_path(&sim);
         sim.block_on(async move {
-            path.transfer(1 << 20, 98).await;
+            path.transfer(Bytes::new(1 << 20), Bytes::new(98)).await;
         });
         let baseline = sim.now().as_nanos();
         let (t, stats, sstats) = run(FaultPlane::disabled(), 1 << 20);
@@ -500,9 +500,9 @@ mod tests {
                     &path,
                     "ether",
                     1,
-                    2 * 1448,
-                    1448,
-                    98,
+                    Bytes::new(2 * 1448),
+                    Bytes::new(1448),
+                    Bytes::new(98),
                     &TcpTuning::host_stack(),
                 )
                 .await

@@ -6,13 +6,13 @@
 //! delay; its contribution to bandwidth is a per-egress-port serialization
 //! pipe (shared when multiple flows converge on one output).
 
-use simnet::{Pipe, Sim, SimDuration, Stage};
+use simnet::{ByteRate, Pipe, Sim, SimDuration, Stage};
 
 /// Switch configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SwitchConfig {
-    /// Per-port bandwidth (bytes/second).
-    pub port_bytes_per_sec: u64,
+    /// Per-port bandwidth.
+    pub port_bytes_per_sec: ByteRate,
     /// Fixed port-to-port forwarding latency.
     pub forwarding_latency: SimDuration,
 }
@@ -21,7 +21,7 @@ impl SwitchConfig {
     /// Fujitsu XG700-class 10GbE cut-through switch.
     pub fn xg700() -> Self {
         SwitchConfig {
-            port_bytes_per_sec: 1_250_000_000,
+            port_bytes_per_sec: ByteRate::from_gbps(10),
             forwarding_latency: SimDuration::from_nanos(450),
         }
     }
@@ -29,7 +29,7 @@ impl SwitchConfig {
     /// Myricom Myri-10G 16-port switch (lower latency crossbar).
     pub fn myri_10g() -> Self {
         SwitchConfig {
-            port_bytes_per_sec: 1_250_000_000,
+            port_bytes_per_sec: ByteRate::from_gbps(10),
             forwarding_latency: SimDuration::from_nanos(200),
         }
     }
@@ -37,7 +37,7 @@ impl SwitchConfig {
     /// Mellanox 4X InfiniBand switch: 1 GB/s data per port, ~200 ns hop.
     pub fn mellanox_ib() -> Self {
         SwitchConfig {
-            port_bytes_per_sec: 1_000_000_000,
+            port_bytes_per_sec: ByteRate::from_gbps(8),
             forwarding_latency: SimDuration::from_nanos(200),
         }
     }
@@ -91,18 +91,18 @@ impl CutThroughSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet::{Pipeline, SimTime};
+    use simnet::{Bytes, Pipeline, SimTime};
 
     #[test]
     fn two_flows_share_one_egress_port() {
         let sim = Sim::new();
         let sw = CutThroughSwitch::new(&sim, SwitchConfig::xg700(), 4);
         // Both flows target port 0: they serialize on its egress pipe.
-        let mk = |_: usize| Pipeline::new(&sim, vec![sw.stage_to(0)], 1500);
+        let mk = |_: usize| Pipeline::new(&sim, vec![sw.stage_to(0)], Bytes::new(1500));
         let p1 = mk(0);
         let p2 = mk(1);
-        let h1 = sim.spawn(async move { p1.transfer(1_250_000, 0).await });
-        let h2 = sim.spawn(async move { p2.transfer(1_250_000, 0).await });
+        let h1 = sim.spawn(async move { p1.transfer(Bytes::new(1_250_000), Bytes::ZERO).await });
+        let h2 = sim.spawn(async move { p2.transfer(Bytes::new(1_250_000), Bytes::ZERO).await });
         sim.block_on(async move { simnet::sync::join2(h1, h2).await });
         // Two 1 ms flows into one port take ~2 ms, not 1 ms.
         assert!(
@@ -116,10 +116,10 @@ mod tests {
     fn distinct_egress_ports_run_in_parallel() {
         let sim = Sim::new();
         let sw = CutThroughSwitch::new(&sim, SwitchConfig::xg700(), 4);
-        let p1 = Pipeline::new(&sim, vec![sw.stage_to(0)], 1500);
-        let p2 = Pipeline::new(&sim, vec![sw.stage_to(1)], 1500);
-        let h1 = sim.spawn(async move { p1.transfer(1_250_000, 0).await });
-        let h2 = sim.spawn(async move { p2.transfer(1_250_000, 0).await });
+        let p1 = Pipeline::new(&sim, vec![sw.stage_to(0)], Bytes::new(1500));
+        let p2 = Pipeline::new(&sim, vec![sw.stage_to(1)], Bytes::new(1500));
+        let h1 = sim.spawn(async move { p1.transfer(Bytes::new(1_250_000), Bytes::ZERO).await });
+        let h2 = sim.spawn(async move { p2.transfer(Bytes::new(1_250_000), Bytes::ZERO).await });
         sim.block_on(async move { simnet::sync::join2(h1, h2).await });
         assert!(
             sim.now() < SimTime::from_nanos(1_200_000),
@@ -132,10 +132,10 @@ mod tests {
     fn forwarding_latency_is_charged_once_per_hop() {
         let sim = Sim::new();
         let sw = CutThroughSwitch::new(&sim, SwitchConfig::xg700(), 2);
-        let p = Pipeline::new(&sim, vec![sw.stage_to(1)], 1500);
+        let p = Pipeline::new(&sim, vec![sw.stage_to(1)], Bytes::new(1500));
         let s = sim.clone();
         sim.block_on(async move {
-            p.transfer(125, 0).await;
+            p.transfer(Bytes::new(125), Bytes::ZERO).await;
             // 100 ns serialization + 450 ns forwarding.
             assert_eq!(s.now().as_nanos(), 550);
         });

@@ -13,18 +13,17 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use simnet::stats::TimeAccumulator;
-use simnet::{Sim, SimDuration, SimTime};
+use simnet::{ByteRate, Bytes, Sim, SimDuration, SimTime};
 
 /// Per-core cost calibration.
 #[derive(Clone, Copy, Debug)]
 pub struct CpuCosts {
-    /// Sustained memory-copy bandwidth for eager-protocol copies
-    /// (bytes/second). A 2007 Xeon sustains roughly 2.5 GB/s on cached
-    /// copies.
-    pub memcpy_bytes_per_sec: u64,
+    /// Sustained memory-copy bandwidth for eager-protocol copies. A 2007
+    /// Xeon sustains roughly 2.5 GB/s on cached copies.
+    pub memcpy_bytes_per_sec: ByteRate,
     /// Copy bandwidth when the source/destination is cold in cache (the
     /// buffer-cycling patterns of the paper's Fig. 6 run at this rate).
-    pub memcpy_cold_bytes_per_sec: u64,
+    pub memcpy_cold_bytes_per_sec: ByteRate,
     /// Fixed cost of any library call (function-call + argument checking).
     pub call_overhead: SimDuration,
 }
@@ -32,8 +31,8 @@ pub struct CpuCosts {
 impl Default for CpuCosts {
     fn default() -> Self {
         CpuCosts {
-            memcpy_bytes_per_sec: 2_500_000_000,
-            memcpy_cold_bytes_per_sec: 1_100_000_000,
+            memcpy_bytes_per_sec: ByteRate::from_bytes_per_sec(2_500_000_000),
+            memcpy_cold_bytes_per_sec: ByteRate::from_bytes_per_sec(1_100_000_000),
             call_overhead: SimDuration::from_nanos(60),
         }
     }
@@ -89,27 +88,21 @@ impl Cpu {
     }
 
     /// Copy `bytes` through the core (eager-protocol buffer copies).
-    pub async fn memcpy(&self, bytes: u64) {
-        if bytes == 0 {
+    pub async fn memcpy(&self, bytes: Bytes) {
+        if bytes.is_zero() {
             return;
         }
-        self.work(SimDuration::serialize(
-            bytes,
-            self.state.costs.memcpy_bytes_per_sec,
-        ))
-        .await;
+        self.work(bytes / self.state.costs.memcpy_bytes_per_sec)
+            .await;
     }
 
     /// Copy `bytes` through the core from/to cache-cold buffers.
-    pub async fn memcpy_cold(&self, bytes: u64) {
-        if bytes == 0 {
+    pub async fn memcpy_cold(&self, bytes: Bytes) {
+        if bytes.is_zero() {
             return;
         }
-        self.work(SimDuration::serialize(
-            bytes,
-            self.state.costs.memcpy_cold_bytes_per_sec,
-        ))
-        .await;
+        self.work(bytes / self.state.costs.memcpy_cold_bytes_per_sec)
+            .await;
     }
 
     /// Record `d` as CPU-busy without occupying the core's timeline.
@@ -183,14 +176,14 @@ mod tests {
         let cpu = Cpu::new(
             &sim,
             CpuCosts {
-                memcpy_bytes_per_sec: 1_000_000_000,
+                memcpy_bytes_per_sec: ByteRate::from_bytes_per_sec(1_000_000_000),
                 ..CpuCosts::default()
             },
         );
         let c = cpu;
         let s = sim.clone();
         sim.block_on(async move {
-            c.memcpy(4096).await;
+            c.memcpy(Bytes::new(4096)).await;
             assert_eq!(s.now().as_nanos(), 4_096);
         });
     }
@@ -202,7 +195,7 @@ mod tests {
         let c = cpu.clone();
         sim.block_on(async move {
             c.work(SimDuration::ZERO).await;
-            c.memcpy(0).await;
+            c.memcpy(Bytes::ZERO).await;
         });
         assert_eq!(sim.now(), SimTime::ZERO);
         assert_eq!(cpu.busy_time(), SimDuration::ZERO);

@@ -7,14 +7,14 @@
 //! x4 restriction is what caps Myrinet's achievable bandwidth at ~75% of the
 //! 10G line rate in the paper, so lane count is a first-class parameter.
 
-use simnet::{Pipe, Sim, SimDuration};
+use simnet::{ByteRate, Bytes, Pipe, Sim, SimDuration};
 
 /// PCIe configuration for one slot.
 #[derive(Clone, Copy, Debug)]
 pub struct PcieConfig {
-    /// Effective per-direction data bandwidth (bytes/second), after 8b/10b
-    /// and TLP header overheads. PCIe 1.1 x8 ≈ 1.8 GB/s effective; x4 half.
-    pub bytes_per_sec: u64,
+    /// Effective per-direction data bandwidth, after 8b/10b and TLP header
+    /// overheads. PCIe 1.1 x8 ≈ 1.8 GB/s effective; x4 half.
+    pub bytes_per_sec: ByteRate,
     /// Latency of a DMA transaction crossing the bus (round-trip for reads).
     pub dma_latency: SimDuration,
     /// Per-DMA-transaction setup overhead (TLP assembly, credit check).
@@ -28,7 +28,7 @@ impl PcieConfig {
     /// PCIe 1.1 x8 slot (NetEffect RNIC, Mellanox HCA).
     pub fn gen1_x8() -> Self {
         PcieConfig {
-            bytes_per_sec: 1_800_000_000,
+            bytes_per_sec: ByteRate::from_bytes_per_sec(1_800_000_000),
             dma_latency: SimDuration::from_nanos(350),
             dma_overhead: SimDuration::from_nanos(120),
             doorbell: SimDuration::from_nanos(250),
@@ -38,7 +38,7 @@ impl PcieConfig {
     /// PCIe 1.1 x4 operation (the Myri-10G card on these hosts).
     pub fn gen1_x4() -> Self {
         PcieConfig {
-            bytes_per_sec: 900_000_000,
+            bytes_per_sec: ByteRate::from_bytes_per_sec(900_000_000),
             ..Self::gen1_x8()
         }
     }
@@ -84,14 +84,14 @@ impl PciePort {
 
     /// DMA `bytes` from host memory into the device. Completes when the
     /// data is on the device. Reads pay the round-trip `dma_latency`.
-    pub async fn dma_read(&self, bytes: u64) {
+    pub async fn dma_read(&self, bytes: Bytes) {
         let (_s, end) = self.to_device.reserve(self.sim.now(), bytes);
         self.sim.sleep_until(end + self.config.dma_latency).await;
     }
 
     /// DMA `bytes` from the device into host memory. Posted writes pay half
     /// the round-trip latency.
-    pub async fn dma_write(&self, bytes: u64) {
+    pub async fn dma_write(&self, bytes: Bytes) {
         let (_s, end) = self.to_host.reserve(self.sim.now(), bytes);
         self.sim
             .sleep_until(end + SimDuration::from_nanos(self.config.dma_latency.as_nanos() / 2))
@@ -122,7 +122,7 @@ mod tests {
         let port = PciePort::new(
             &sim,
             PcieConfig {
-                bytes_per_sec: 1_000_000_000,
+                bytes_per_sec: ByteRate::from_bytes_per_sec(1_000_000_000),
                 dma_latency: SimDuration::from_nanos(400),
                 dma_overhead: SimDuration::from_nanos(100),
                 doorbell: SimDuration::from_nanos(250),
@@ -131,7 +131,7 @@ mod tests {
         let p = port;
         let s = sim.clone();
         sim.block_on(async move {
-            p.dma_read(1000).await;
+            p.dma_read(Bytes::new(1000)).await;
             // 100 overhead + 1000 serialize + 400 latency.
             assert_eq!(s.now().as_nanos(), 1_500);
         });
@@ -145,7 +145,7 @@ mod tests {
             let p = port.clone();
             let s = sim.clone();
             sim.spawn(async move {
-                p.dma_read(1_800_000).await; // ~1 ms serialization
+                p.dma_read(Bytes::new(1_800_000)).await; // ~1 ms serialization
                 s.now().as_nanos()
             })
         };
@@ -153,7 +153,7 @@ mod tests {
             let p = port;
             let s = sim.clone();
             sim.spawn(async move {
-                p.dma_write(1_800_000).await;
+                p.dma_write(Bytes::new(1_800_000)).await;
                 s.now().as_nanos()
             })
         };
@@ -172,7 +172,7 @@ mod tests {
             let p = port.clone();
             let s = sim.clone();
             handles.push(sim.spawn(async move {
-                p.dma_read(1_800_000).await;
+                p.dma_read(Bytes::new(1_800_000)).await;
                 s.now().as_nanos()
             }));
         }

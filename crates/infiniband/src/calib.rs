@@ -11,7 +11,7 @@
 
 use hostmodel::mem::RegistrationCosts;
 use hostmodel::pcie::PcieConfig;
-use simnet::SimDuration;
+use simnet::{ByteRate, Bytes, SimDuration};
 
 /// Complete calibration for one Mellanox HCA + host.
 #[derive(Clone, Copy, Debug)]
@@ -19,7 +19,7 @@ pub struct MellanoxCalib {
     /// PCIe x8 slot.
     pub pcie: PcieConfig,
     /// Protocol processor throughput (serves both directions).
-    pub engine_bytes_per_sec: u64,
+    pub engine_bytes_per_sec: ByteRate,
     /// Processor per-packet occupancy.
     pub engine_packet_overhead: SimDuration,
     /// Processor pipeline latency per direction.
@@ -35,16 +35,16 @@ pub struct MellanoxCalib {
     /// QP-context cache capacity (the knee of Fig. 2 sits here).
     pub context_cache_entries: usize,
     /// 4X SDR data rate per direction.
-    pub link_bytes_per_sec: u64,
+    pub link_bytes_per_sec: ByteRate,
     /// Cable + SerDes latency per hop.
     pub link_latency: SimDuration,
     /// CPU cost to build and post a WQE.
     pub post_wqe: SimDuration,
     /// Path MTU payload per packet.
-    pub mtu_payload: u64,
+    pub mtu_payload: Bytes,
     /// Wire overhead per packet: LRH(8) + BTH(12) + RETH(16) + ICRC(4) +
     /// VCRC(2).
-    pub per_packet_overhead_bytes: u64,
+    pub per_packet_overhead_bytes: Bytes,
     /// Memory-registration cost model. InfiniBand registration on this
     /// generation is notoriously expensive per page; the paper's Fig. 6
     /// shows a 4.3x buffer-reuse penalty at 128 KB, versus ~2x for iWARP.
@@ -58,18 +58,18 @@ impl Default for MellanoxCalib {
     fn default() -> Self {
         MellanoxCalib {
             pcie: PcieConfig::gen1_x8(),
-            engine_bytes_per_sec: 1_845_000_000,
+            engine_bytes_per_sec: ByteRate::from_bytes_per_sec(1_845_000_000),
             engine_packet_overhead: SimDuration::from_nanos(40),
             engine_latency: SimDuration::from_nanos(740),
             msg_cost_tx: SimDuration::from_nanos(550),
             msg_cost_rx: SimDuration::from_nanos(550),
             context_miss_penalty: SimDuration::from_nanos(1_000),
             context_cache_entries: 8,
-            link_bytes_per_sec: 1_000_000_000,
+            link_bytes_per_sec: ByteRate::from_gbps(8),
             link_latency: SimDuration::from_nanos(100),
             post_wqe: SimDuration::from_nanos(300),
-            mtu_payload: 2_048,
-            per_packet_overhead_bytes: 42,
+            mtu_payload: Bytes::new(2_048),
+            per_packet_overhead_bytes: Bytes::new(42),
             registration: RegistrationCosts {
                 // Effective costs calibrated to the paper's Fig. 6: a 4.3x
                 // buffer-reuse latency ratio at 128 KB implies roughly

@@ -212,7 +212,7 @@ impl IbFabric {
     }
 
     /// Per-packet wire/header overhead.
-    pub fn per_packet_overhead(&self) -> u64 {
+    pub fn per_packet_overhead(&self) -> simnet::Bytes {
         self.devices[0].calib.per_packet_overhead_bytes
     }
 }
@@ -276,7 +276,7 @@ mod tests {
         let path = fab.data_path(0, 1);
         let ovh = fab.per_packet_overhead();
         let bytes: u64 = 8 << 20;
-        sim.block_on(async move { path.transfer(bytes, ovh).await });
+        sim.block_on(async move { path.transfer(simnet::Bytes::new(bytes), ovh).await });
         let mbps = bytes as f64 / sim.now().as_secs_f64() / 1e6;
         assert!(
             (940.0..1000.0).contains(&mbps),
@@ -292,8 +292,8 @@ mod tests {
         let p10 = fab.data_path(1, 0);
         let ovh = fab.per_packet_overhead();
         let bytes: u64 = 8 << 20;
-        let h1 = sim.spawn(async move { p01.transfer(bytes, ovh).await });
-        let h2 = sim.spawn(async move { p10.transfer(bytes, ovh).await });
+        let h1 = sim.spawn(async move { p01.transfer(simnet::Bytes::new(bytes), ovh).await });
+        let h2 = sim.spawn(async move { p10.transfer(simnet::Bytes::new(bytes), ovh).await });
         sim.block_on(async move { join2(h1, h2).await });
         let agg = (2 * bytes) as f64 / sim.now().as_secs_f64() / 1e6;
         assert!(

@@ -20,7 +20,7 @@
 //! With the plane disabled the function is one branch and a tail call to
 //! [`Pipeline::transfer`] — bit-identical to the pre-fault code path.
 
-use simnet::{FaultDecision, FaultPlane, Pipeline, Sim, SimDuration};
+use simnet::{Bytes, FaultDecision, FaultPlane, Pipeline, Sim, SimDuration};
 
 /// RC retransmission-timer calibration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,23 +81,23 @@ pub async fn transfer_go_back_n(
     plane: &FaultPlane,
     path: &Pipeline,
     stream: u64,
-    bytes: u64,
-    mtu: u64,
-    per_packet_overhead: u64,
+    bytes: Bytes,
+    mtu: Bytes,
+    per_packet_overhead: Bytes,
     tuning: &IbTuning,
 ) -> IbRecoveryStats {
     if !plane.enabled() {
         path.transfer(bytes, per_packet_overhead).await;
         return IbRecoveryStats::default();
     }
-    let mtu = mtu.max(1);
+    let mtu = mtu.max(Bytes::new(1));
     let npkts = bytes.div_ceil(mtu).max(1);
     // Byte length of the packet run [lo, hi): full MTUs plus a short tail.
-    let run_bytes = |lo: u64, hi: u64| -> u64 {
+    let run_bytes = |lo: u64, hi: u64| -> Bytes {
         if hi == npkts {
-            bytes - lo * mtu
+            bytes - mtu * lo
         } else {
-            (hi - lo) * mtu
+            mtu * (hi - lo)
         }
     };
     let mut stats = IbRecoveryStats::default();
@@ -203,20 +203,20 @@ pub async fn transfer_go_back_n(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet::{FaultConfig, Pipe, Stage};
+    use simnet::{ByteRate, FaultConfig, Pipe, Stage};
 
     fn test_path(sim: &Sim) -> Pipeline {
         let stages = vec![
             Stage::new(
-                Pipe::new(sim, 1_000_000_000, SimDuration::ZERO),
+                Pipe::new(sim, ByteRate::from_gbps(8), SimDuration::ZERO),
                 SimDuration::from_nanos(740),
             ),
             Stage::new(
-                Pipe::new(sim, 1_000_000_000, SimDuration::ZERO),
+                Pipe::new(sim, ByteRate::from_gbps(8), SimDuration::ZERO),
                 SimDuration::from_nanos(100),
             ),
         ];
-        Pipeline::new(sim, stages, 2048)
+        Pipeline::new(sim, stages, Bytes::new(2048))
     }
 
     fn run(plane: FaultPlane, bytes: u64) -> (f64, IbRecoveryStats, simnet::SimStats) {
@@ -230,9 +230,9 @@ mod tests {
                     &plane,
                     &path,
                     11,
-                    bytes,
-                    2048,
-                    42,
+                    Bytes::new(bytes),
+                    Bytes::new(2048),
+                    Bytes::new(42),
                     &IbTuning::mellanox(),
                 )
                 .await
@@ -246,7 +246,7 @@ mod tests {
         let sim = Sim::new();
         let path = test_path(&sim);
         sim.block_on(async move {
-            path.transfer(1 << 20, 42).await;
+            path.transfer(Bytes::new(1 << 20), Bytes::new(42)).await;
         });
         let baseline = sim.now().as_nanos();
         let (t, stats, sstats) = run(FaultPlane::disabled(), 1 << 20);
@@ -339,9 +339,9 @@ mod tests {
                     &plane,
                     &path,
                     1,
-                    2 * 2048,
-                    2048,
-                    42,
+                    Bytes::new(2 * 2048),
+                    Bytes::new(2048),
+                    Bytes::new(42),
                     &IbTuning::mellanox(),
                 )
                 .await

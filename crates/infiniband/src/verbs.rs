@@ -12,7 +12,7 @@ use hostmodel::cpu::Cpu;
 use hostmodel::mem::{MemKey, VirtAddr};
 use hostmodel::nic::{Cqe, CqeOpcode, CqeStatus};
 use simnet::sync::{mpsc, FifoGate, Notify, Receiver, Sender};
-use simnet::{FaultPlane, Pipeline, Sim};
+use simnet::{Bytes, FaultPlane, Pipeline, Sim};
 
 use crate::hca::{HcaDevice, IbFabric};
 use crate::recovery::{transfer_go_back_n, IbTuning};
@@ -159,7 +159,7 @@ pub struct IbQp {
     local: Rc<QpEndpoint>,
     remote: Rc<QpEndpoint>,
     cq_rx: RefCell<Receiver<Cqe>>,
-    pkt_overhead: u64,
+    pkt_overhead: Bytes,
     /// Fault plane captured from the fabric at connect time.
     fault: FaultPlane,
     /// Fault-plane stream key for this QP's requester direction.
@@ -185,9 +185,9 @@ pub async fn connect(fab: &IbFabric, a: usize, b: usize, cpu_a: &Cpu, cpu_b: &Cp
     let qpn_b = fab.alloc_qpn();
 
     cpu_a.work(dev_a.calib.connect_cpu).await;
-    path_ab.transfer(64, ovh).await;
+    path_ab.transfer(Bytes::new(64), ovh).await;
     cpu_b.work(dev_b.calib.connect_cpu).await;
-    path_ba.transfer(64, ovh).await;
+    path_ba.transfer(Bytes::new(64), ovh).await;
 
     let (cq_tx_a, cq_rx_a) = mpsc();
     let (cq_tx_b, cq_rx_b) = mpsc();
@@ -324,7 +324,17 @@ impl IbQp {
                     rkey,
                     remote_addr,
                 } => {
-                    transfer_go_back_n(&sim, &fault, &tx_path, conn, len, mtu, ovh, &tuning).await;
+                    transfer_go_back_n(
+                        &sim,
+                        &fault,
+                        &tx_path,
+                        conn,
+                        Bytes::new(len),
+                        mtu,
+                        ovh,
+                        &tuning,
+                    )
+                    .await;
                     // Receive-side processor work (context lookup again).
                     peer_dev
                         .engine_message(peer_qpn, peer_dev.calib.msg_cost_rx)
@@ -364,7 +374,17 @@ impl IbQp {
                     len,
                     payload,
                 } => {
-                    transfer_go_back_n(&sim, &fault, &tx_path, conn, len, mtu, ovh, &tuning).await;
+                    transfer_go_back_n(
+                        &sim,
+                        &fault,
+                        &tx_path,
+                        conn,
+                        Bytes::new(len),
+                        mtu,
+                        ovh,
+                        &tuning,
+                    )
+                    .await;
                     peer_dev
                         .engine_message(peer_qpn, peer_dev.calib.msg_cost_rx)
                         .await;

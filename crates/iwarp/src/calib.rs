@@ -16,7 +16,7 @@
 
 use hostmodel::mem::RegistrationCosts;
 use hostmodel::pcie::PcieConfig;
-use simnet::SimDuration;
+use simnet::{ByteRate, Bytes, SimDuration};
 
 /// Complete calibration for one NetEffect RNIC + host.
 #[derive(Clone, Copy, Debug)]
@@ -25,36 +25,36 @@ pub struct NetEffectCalib {
     pub pcie: PcieConfig,
     /// Internal PCI-X bridge: aggregate bytes/second shared by both
     /// directions (the card's documented internal bottleneck).
-    pub internal_bus_bytes_per_sec: u64,
+    pub internal_bus_bytes_per_sec: ByteRate,
     /// Internal bus per-segment overhead.
     pub internal_bus_overhead: SimDuration,
     /// Internal bus crossing latency.
     pub internal_bus_latency: SimDuration,
     /// Protocol engine TX stage: processing bandwidth.
-    pub engine_tx_bytes_per_sec: u64,
+    pub engine_tx_bytes_per_sec: ByteRate,
     /// Protocol engine TX: per-segment occupancy (TCP/IP/MPA tx work).
     /// This is the card's unidirectional-bandwidth bottleneck.
     pub engine_tx_overhead: SimDuration,
     /// Protocol engine TX: pipeline depth latency (does not occupy).
     pub engine_tx_latency: SimDuration,
     /// Protocol engine RX stage: processing bandwidth.
-    pub engine_rx_bytes_per_sec: u64,
+    pub engine_rx_bytes_per_sec: ByteRate,
     /// Protocol engine RX: per-segment occupancy.
     pub engine_rx_overhead: SimDuration,
     /// Protocol engine RX: pipeline depth latency (TCP reassembly, MPA CRC,
     /// DDP placement lookup) — deep but pipelined.
     pub engine_rx_latency: SimDuration,
     /// 10GbE line rate.
-    pub link_bytes_per_sec: u64,
+    pub link_bytes_per_sec: ByteRate,
     /// Cable propagation + PHY latency per hop.
     pub link_latency: SimDuration,
     /// CPU cost to build a WQE and write it to the send queue.
     pub post_wqe: SimDuration,
     /// MULPDU payload per TCP segment after all headers.
-    pub segment_payload: u64,
+    pub segment_payload: Bytes,
     /// Wire overhead per segment: Ethernet(38) + IP(20) + TCP(20) + MPA
     /// framing/markers(~18) + DDP/RDMAP header(14/18).
-    pub per_segment_overhead_bytes: u64,
+    pub per_segment_overhead_bytes: Bytes,
     /// Memory-registration cost model (verbs `RegisterMr`).
     pub registration: RegistrationCosts,
     /// Connection-establishment host work (TCP handshake + MPA negotiation
@@ -72,20 +72,20 @@ impl Default for NetEffectCalib {
     fn default() -> Self {
         NetEffectCalib {
             pcie: PcieConfig::gen1_x8(),
-            internal_bus_bytes_per_sec: 2_200_000_000,
+            internal_bus_bytes_per_sec: ByteRate::from_bytes_per_sec(2_200_000_000),
             internal_bus_overhead: SimDuration::from_nanos(30),
             internal_bus_latency: SimDuration::from_nanos(150),
-            engine_tx_bytes_per_sec: 1_600_000_000,
+            engine_tx_bytes_per_sec: ByteRate::from_bytes_per_sec(1_600_000_000),
             engine_tx_overhead: SimDuration::from_nanos(340),
             engine_tx_latency: SimDuration::from_nanos(900),
-            engine_rx_bytes_per_sec: 1_600_000_000,
+            engine_rx_bytes_per_sec: ByteRate::from_bytes_per_sec(1_600_000_000),
             engine_rx_overhead: SimDuration::from_nanos(358),
             engine_rx_latency: SimDuration::from_nanos(5_300),
-            link_bytes_per_sec: 1_250_000_000,
+            link_bytes_per_sec: ByteRate::from_gbps(10),
             link_latency: SimDuration::from_nanos(100),
             post_wqe: SimDuration::from_nanos(400),
-            segment_payload: 1_448,
-            per_segment_overhead_bytes: 110,
+            segment_payload: Bytes::new(1_448),
+            per_segment_overhead_bytes: Bytes::new(110),
             registration: RegistrationCosts {
                 // Calibrated to the paper's Fig. 6: ~2x buffer-reuse ratio
                 // at 256 KB (the NetEffect driver registers considerably

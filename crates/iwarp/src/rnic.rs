@@ -230,7 +230,7 @@ impl IwarpFabric {
     }
 
     /// Per-segment wire/header overhead for this fabric's stack.
-    pub fn per_segment_overhead(&self) -> u64 {
+    pub fn per_segment_overhead(&self) -> simnet::Bytes {
         self.devices[0].calib.per_segment_overhead_bytes
     }
 }
@@ -327,7 +327,7 @@ mod tests {
         let bytes: u64 = 8 << 20; // 8 MB
         let s = sim.clone();
         sim.block_on(async move {
-            path.transfer(bytes, ovh).await;
+            path.transfer(simnet::Bytes::new(bytes), ovh).await;
         });
         let mbps = bytes as f64 / sim.now().as_secs_f64() / 1e6;
         // Paper: ~1088 MB/s unidirectional at the verbs layer.
@@ -346,8 +346,8 @@ mod tests {
         let p10 = fab.data_path(1, 0);
         let ovh = fab.per_segment_overhead();
         let bytes: u64 = 8 << 20;
-        let h1 = sim.spawn(async move { p01.transfer(bytes, ovh).await });
-        let h2 = sim.spawn(async move { p10.transfer(bytes, ovh).await });
+        let h1 = sim.spawn(async move { p01.transfer(simnet::Bytes::new(bytes), ovh).await });
+        let h2 = sim.spawn(async move { p10.transfer(simnet::Bytes::new(bytes), ovh).await });
         sim.block_on(async move { join2(h1, h2).await });
         let agg = (2 * bytes) as f64 / sim.now().as_secs_f64() / 1e6;
         // Paper: ~1950 MB/s both-way (94% of the 2064 MB/s internal bus);
@@ -370,13 +370,13 @@ mod tests {
             let sim2 = Sim::new();
             let fab2 = IwarpFabric::new(&sim2, 2);
             let p = fab2.data_path(0, 1);
-            sim2.block_on(async move { p.transfer(1024, ovh).await });
+            sim2.block_on(async move { p.transfer(simnet::Bytes::new(1024), ovh).await });
             sim2.now()
         };
         let pa = fab.data_path(0, 1);
         let pb = fab.data_path(0, 1);
-        let h1 = sim.spawn(async move { pa.transfer(1024, ovh).await });
-        let h2 = sim.spawn(async move { pb.transfer(1024, ovh).await });
+        let h1 = sim.spawn(async move { pa.transfer(simnet::Bytes::new(1024), ovh).await });
+        let h2 = sim.spawn(async move { pb.transfer(simnet::Bytes::new(1024), ovh).await });
         sim.block_on(async move { join2(h1, h2).await });
         let both = sim.now();
         assert!(both < simnet::SimTime::from_nanos(solo.as_nanos() * 2));

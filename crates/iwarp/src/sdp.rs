@@ -90,7 +90,7 @@ impl SdpSocket {
                     continue; // sender-side completion of our own traffic
                 }
                 // Copy out of the bounce buffer into the stream (BCopy).
-                cpu.memcpy(cqe.len).await;
+                cpu.memcpy(simnet::Bytes::new(cqe.len)).await;
                 {
                     let mut s = state.borrow_mut();
                     if cqe.len > 0 {
@@ -109,7 +109,9 @@ impl SdpSocket {
     pub async fn send(&self, data: &[u8]) {
         for chunk in data.chunks(SDP_SEGMENT as usize) {
             self.credits.acquire().await;
-            self.cpu.memcpy(chunk.len() as u64).await; // copy into bounce
+            self.cpu
+                .memcpy(simnet::Bytes::new(chunk.len() as u64))
+                .await; // copy into bounce
             self.qp
                 .post_send_wr(WorkRequest::Send {
                     wr_id: 1,

@@ -18,7 +18,7 @@ use etherstack::recovery::{transfer_with_recovery, TcpTuning};
 use hostmodel::cpu::Cpu;
 use hostmodel::mem::{MemKey, VirtAddr};
 use simnet::sync::{mpsc, FifoGate, Notify, Receiver, Sender};
-use simnet::{FaultPlane, Pipeline, Sim};
+use simnet::{Bytes, FaultPlane, Pipeline, Sim};
 
 use crate::rdmap::READ_REQUEST_LEN;
 use crate::rnic::{IwarpFabric, RnicDevice};
@@ -183,7 +183,7 @@ pub struct IwarpQp {
     local: Rc<QpEndpoint>,
     remote: Rc<QpEndpoint>,
     cq_rx: RefCell<Receiver<Cqe>>,
-    seg_overhead: u64,
+    seg_overhead: Bytes,
     /// Fault plane captured from the fabric at connect time (disabled by
     /// default): when enabled, the TOE recovers injected losses with TCP
     /// retransmission (hardware-tight timers).
@@ -219,9 +219,9 @@ pub async fn connect(
 
     // Handshake: SYN / SYN-ACK / MPA request+reply, plus host-side setup.
     cpu_a.work(dev_a.calib.connect_cpu).await;
-    path_ab.transfer(64, ovh).await;
+    path_ab.transfer(Bytes::new(64), ovh).await;
     cpu_b.work(dev_b.calib.connect_cpu).await;
-    path_ba.transfer(64, ovh).await;
+    path_ba.transfer(Bytes::new(64), ovh).await;
 
     let (cq_tx_a, cq_rx_a) = mpsc();
     let (cq_tx_b, cq_rx_b) = mpsc();
@@ -367,7 +367,15 @@ impl IwarpQp {
                     remote_addr,
                 } => {
                     transfer_with_recovery(
-                        &sim, &fault, &tx_path, "iwarp", conn_tx, len, mss, ovh, &tuning,
+                        &sim,
+                        &fault,
+                        &tx_path,
+                        "iwarp",
+                        conn_tx,
+                        Bytes::new(len),
+                        mss,
+                        ovh,
+                        &tuning,
                     )
                     .await;
                     remote_ep.order.enter(ticket).await;
@@ -379,7 +387,7 @@ impl IwarpQp {
                     remote_ep.order.leave();
                     if !peer_registry.check(remote_stag, remote_addr, len) {
                         // Remote protection fault: Terminate flows back.
-                        rx_path.transfer(46, ovh).await;
+                        rx_path.transfer(Bytes::new(46), ovh).await;
                         fsm_advance(&phase, StreamEvent::RecvTerminate);
                         #[cfg(feature = "simcheck")]
                         let _ = rdmap_check
@@ -418,7 +426,7 @@ impl IwarpQp {
                         &tx_path,
                         "iwarp",
                         conn_tx,
-                        READ_REQUEST_LEN as u64,
+                        Bytes::new(READ_REQUEST_LEN as u64),
                         mss,
                         ovh,
                         &tuning,
@@ -432,7 +440,7 @@ impl IwarpQp {
                         .observe_delivery(ticket, Some(check_sim.now().as_nanos()));
                     remote_ep.order.leave();
                     if !peer_registry.check(remote_stag, remote_addr, len) {
-                        rx_path.transfer(46, ovh).await;
+                        rx_path.transfer(Bytes::new(46), ovh).await;
                         fsm_advance(&phase, StreamEvent::RecvTerminate);
                         #[cfg(feature = "simcheck")]
                         let _ = rdmap_check
@@ -450,7 +458,15 @@ impl IwarpQp {
                     // response flows back tagged to the sink.
                     let data = peer_mem.read(remote_addr, len);
                     transfer_with_recovery(
-                        &sim, &fault, &rx_path, "iwarp", conn_rx, len, mss, ovh, &tuning,
+                        &sim,
+                        &fault,
+                        &rx_path,
+                        "iwarp",
+                        conn_rx,
+                        Bytes::new(len),
+                        mss,
+                        ovh,
+                        &tuning,
                     )
                     .await;
                     fsm_advance(&phase, StreamEvent::RecvReadResponse);
@@ -474,7 +490,15 @@ impl IwarpQp {
                     payload,
                 } => {
                     transfer_with_recovery(
-                        &sim, &fault, &tx_path, "iwarp", conn_tx, len, mss, ovh, &tuning,
+                        &sim,
+                        &fault,
+                        &tx_path,
+                        "iwarp",
+                        conn_tx,
+                        Bytes::new(len),
+                        mss,
+                        ovh,
+                        &tuning,
                     )
                     .await;
                     remote_ep.order.enter(ticket).await;

@@ -157,7 +157,9 @@ fn add_into(acc: &mut [f64], incoming: &[u8]) {
 /// Charge the CPU for the reduction arithmetic (8 B loads + add + store
 /// per element at memory speed).
 async fn charge_reduce(rank: &dyn MpiRank, elems: usize) {
-    rank.cpu().memcpy((elems * 16) as u64).await;
+    rank.cpu()
+        .memcpy(simnet::Bytes::new((elems * 16) as u64))
+        .await;
 }
 
 #[cfg(test)]

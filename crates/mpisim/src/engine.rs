@@ -214,9 +214,9 @@ impl<T: Transport> HostEngine<T> {
             }
         };
         if hot {
-            self.cpu.memcpy(len).await;
+            self.cpu.memcpy(simnet::Bytes::new(len)).await;
         } else {
-            self.cpu.memcpy_cold(len).await;
+            self.cpu.memcpy_cold(simnet::Bytes::new(len)).await;
         }
     }
 

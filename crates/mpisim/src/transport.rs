@@ -13,7 +13,7 @@ use std::rc::Rc;
 use hostmodel::cpu::Cpu;
 use hostmodel::mem::{HostMem, MemKey, MemoryRegistry, VirtAddr};
 use simnet::sync::FifoGate;
-use simnet::{Pipeline, SimDuration};
+use simnet::{Bytes, Pipeline, SimDuration};
 
 /// Timed fabric primitives for one rank.
 pub trait Transport: 'static {
@@ -51,7 +51,7 @@ pub struct IwarpTransport {
     /// completes on a single coalesced event via the simnet cut-through
     /// fast path rather than thousands of per-segment timer firings.
     paths: BTreeMap<usize, Pipeline>,
-    seg_overhead: u64,
+    seg_overhead: Bytes,
     registry: MemoryRegistry,
     peers: BTreeMap<usize, (MemoryRegistry, HostMem)>,
     /// Per-destination in-order delivery (the TCP stream guarantee).
@@ -94,7 +94,7 @@ impl Transport for IwarpTransport {
         Box::pin(async move {
             self.cpu.work(self.post_cost).await;
             self.paths[&dest]
-                .transfer(wire_bytes, self.seg_overhead)
+                .transfer(Bytes::new(wire_bytes), self.seg_overhead)
                 .await;
             let gate = &self.order[&dest];
             gate.enter(ticket).await;
@@ -112,7 +112,9 @@ impl Transport for IwarpTransport {
     ) -> crate::rank::LocalFuture<'_, bool> {
         Box::pin(async move {
             self.cpu.work(self.post_cost).await;
-            self.paths[&dest].transfer(len, self.seg_overhead).await;
+            self.paths[&dest]
+                .transfer(Bytes::new(len), self.seg_overhead)
+                .await;
             let (reg, mem) = &self.peers[&dest];
             if !reg.check(rkey, raddr, len) {
                 return false;
@@ -143,7 +145,7 @@ pub struct IbTransport {
     msg_cost_rx: SimDuration,
     dev: Rc<infiniband::HcaDevice>,
     paths: BTreeMap<usize, Pipeline>,
-    pkt_overhead: u64,
+    pkt_overhead: Bytes,
     registry: MemoryRegistry,
     peers: BTreeMap<usize, (Rc<infiniband::HcaDevice>, MemoryRegistry, HostMem)>,
     /// Per-destination in-order delivery (the RC-QP guarantee).
@@ -200,7 +202,7 @@ impl Transport for IbTransport {
                 .engine_message(mpi_qpn(self.node, dest), self.msg_cost_tx)
                 .await;
             self.paths[&dest]
-                .transfer(wire_bytes, self.pkt_overhead)
+                .transfer(Bytes::new(wire_bytes), self.pkt_overhead)
                 .await;
             let (pd, _, _) = &self.peers[&dest];
             pd.engine_message(mpi_qpn(dest, self.node), self.msg_cost_rx)
@@ -224,7 +226,9 @@ impl Transport for IbTransport {
             self.dev
                 .engine_message(mpi_qpn(self.node, dest), self.msg_cost_tx)
                 .await;
-            self.paths[&dest].transfer(len, self.pkt_overhead).await;
+            self.paths[&dest]
+                .transfer(Bytes::new(len), self.pkt_overhead)
+                .await;
             let (pd, reg, mem) = &self.peers[&dest];
             pd.engine_message(mpi_qpn(dest, self.node), self.msg_cost_rx)
                 .await;

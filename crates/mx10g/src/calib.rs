@@ -12,7 +12,7 @@
 
 use hostmodel::mem::RegistrationCosts;
 use hostmodel::pcie::PcieConfig;
-use simnet::SimDuration;
+use simnet::{ByteRate, Bytes, SimDuration};
 
 /// Complete calibration for one Myri-10G NIC + host.
 #[derive(Clone, Copy, Debug)]
@@ -20,13 +20,13 @@ pub struct MyriCalib {
     /// PCIe slot — x4 on the testbed (the bandwidth cap).
     pub pcie: PcieConfig,
     /// Lanai firmware TX path throughput.
-    pub lanai_tx_bytes_per_sec: u64,
+    pub lanai_tx_bytes_per_sec: ByteRate,
     /// Lanai TX per-packet occupancy.
     pub lanai_tx_overhead: SimDuration,
     /// Lanai TX pipeline latency.
     pub lanai_tx_latency: SimDuration,
     /// Lanai firmware RX path throughput.
-    pub lanai_rx_bytes_per_sec: u64,
+    pub lanai_rx_bytes_per_sec: ByteRate,
     /// Lanai RX per-packet occupancy.
     pub lanai_rx_overhead: SimDuration,
     /// Lanai RX pipeline latency (includes the base match attempt).
@@ -38,27 +38,27 @@ pub struct MyriCalib {
     /// posted. The Fig. 7 "Myrinet best" constant.
     pub nic_match_unexpected_per_entry: SimDuration,
     /// 10G line rate (both link modes).
-    pub link_bytes_per_sec: u64,
+    pub link_bytes_per_sec: ByteRate,
     /// Cable/PHY latency per hop.
     pub link_latency: SimDuration,
     /// Host CPU cost of an mx_isend/mx_irecv call (MX's lean host path).
     pub post_cost: SimDuration,
     /// Internal eager→rendezvous threshold.
-    pub rndv_threshold: u64,
+    pub rndv_threshold: Bytes,
     /// Host CPU work when the progression thread starts a large transfer.
     pub progression_wakeup: SimDuration,
     /// Internal registration cache cost model (enabled by default, as in
     /// the paper's tests).
     pub registration: RegistrationCosts,
     /// Maximum packet payload over Myrinet framing.
-    pub mxom_packet_payload: u64,
+    pub mxom_packet_payload: Bytes,
     /// Per-packet overhead over Myrinet framing (Myrinet header + CRC).
-    pub mxom_packet_overhead: u64,
+    pub mxom_packet_overhead: Bytes,
     /// Maximum packet payload over Ethernet framing.
-    pub mxoe_packet_payload: u64,
+    pub mxoe_packet_payload: Bytes,
     /// Per-packet overhead over Ethernet framing (Ethernet wire overhead +
     /// MX header).
-    pub mxoe_packet_overhead: u64,
+    pub mxoe_packet_overhead: Bytes,
 }
 
 impl Default for MyriCalib {
@@ -67,21 +67,21 @@ impl Default for MyriCalib {
             pcie: PcieConfig {
                 // x4, but Myricom's DMA engines push the lane efficiency
                 // slightly above the generic x4 default.
-                bytes_per_sec: 985_000_000,
+                bytes_per_sec: ByteRate::from_bytes_per_sec(985_000_000),
                 ..PcieConfig::gen1_x4()
             },
-            lanai_tx_bytes_per_sec: 1_600_000_000,
+            lanai_tx_bytes_per_sec: ByteRate::from_bytes_per_sec(1_600_000_000),
             lanai_tx_overhead: SimDuration::from_nanos(150),
             lanai_tx_latency: SimDuration::from_nanos(500),
-            lanai_rx_bytes_per_sec: 1_600_000_000,
+            lanai_rx_bytes_per_sec: ByteRate::from_bytes_per_sec(1_600_000_000),
             lanai_rx_overhead: SimDuration::from_nanos(150),
             lanai_rx_latency: SimDuration::from_nanos(700),
             nic_match_posted_per_entry: SimDuration::from_nanos(50),
             nic_match_unexpected_per_entry: SimDuration::from_nanos(4),
-            link_bytes_per_sec: 1_250_000_000,
+            link_bytes_per_sec: ByteRate::from_gbps(10),
             link_latency: SimDuration::from_nanos(100),
             post_cost: SimDuration::from_nanos(250),
-            rndv_threshold: 32 * 1024,
+            rndv_threshold: Bytes::from_kib(32),
             progression_wakeup: SimDuration::from_micros(1),
             registration: RegistrationCosts {
                 // Calibrated to the paper's Fig. 6: ~1.4x buffer-reuse
@@ -92,10 +92,10 @@ impl Default for MyriCalib {
                 cache_hit: SimDuration::from_nanos(120),
                 cache_capacity: 16,
             },
-            mxom_packet_payload: 4_096,
-            mxom_packet_overhead: 16,
-            mxoe_packet_payload: 1_472,
-            mxoe_packet_overhead: 66,
+            mxom_packet_payload: Bytes::new(4_096),
+            mxom_packet_overhead: Bytes::new(16),
+            mxoe_packet_payload: Bytes::new(1_472),
+            mxoe_packet_overhead: Bytes::new(66),
         }
     }
 }

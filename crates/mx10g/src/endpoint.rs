@@ -12,7 +12,7 @@ use std::rc::Rc;
 use hostmodel::cpu::Cpu;
 use hostmodel::mem::VirtAddr;
 use simnet::sync::{FifoGate, Notify};
-use simnet::{FaultPlane, Pipeline, Sim};
+use simnet::{Bytes, FaultPlane, Pipeline, Sim};
 
 use crate::matching::{matches, MatchInfo, ReplayFilter};
 use crate::nic::{MxFabric, MxNic};
@@ -223,9 +223,9 @@ pub struct MxAddr {
     path_out: Pipeline,
     /// peer → local (rendezvous pulls).
     path_back: Pipeline,
-    pkt_overhead: u64,
+    pkt_overhead: Bytes,
     /// Packet payload of the active link mode (resend granularity).
-    pkt: u64,
+    pkt: Bytes,
     /// In-order matching per source endpoint (the MX guarantee).
     order: FifoGate,
     /// Connection id: `(src_node << 32) | dst_node`. Keys the fault plane's
@@ -348,7 +348,7 @@ impl MxEndpoint {
     ) -> MxRequest {
         self.cpu.work(self.nic.calib.post_cost).await;
         let req = MxRequest::new();
-        if len < self.nic.calib.rndv_threshold {
+        if Bytes::new(len) < self.nic.calib.rndv_threshold {
             req.advance_phase(MxSendEvent::SelectEager);
             self.eager_send(dest, bits, len, payload, req.clone());
         } else {
@@ -372,7 +372,7 @@ impl MxEndpoint {
         #[cfg(feature = "simcheck")]
         let _ = simcheck::mx::check_rndv_switch(
             len,
-            self.nic.calib.rndv_threshold,
+            self.nic.calib.rndv_threshold.get(),
             true,
             dest.conn_id,
             Some(self.sim.now().as_nanos()),
@@ -393,9 +393,17 @@ impl MxEndpoint {
         let sim = self.sim.clone();
         self.sim.spawn(async move {
             let mut payload = payload;
-            let rs =
-                transfer_with_resend(&sim, &fault, &path, conn, len, pkt, ovh, &MxTuning::myri())
-                    .await;
+            let rs = transfer_with_resend(
+                &sim,
+                &fault,
+                &path,
+                conn,
+                Bytes::new(len),
+                pkt,
+                ovh,
+                &MxTuning::myri(),
+            )
+            .await;
             // MX matches messages from one source in send order.
             gate.enter(ticket).await;
             #[cfg(feature = "simcheck")]
@@ -469,7 +477,7 @@ impl MxEndpoint {
         #[cfg(feature = "simcheck")]
         let _ = simcheck::mx::check_rndv_switch(
             len,
-            self.nic.calib.rndv_threshold,
+            self.nic.calib.rndv_threshold.get(),
             false,
             dest.conn_id,
             Some(self.sim.now().as_nanos()),
@@ -500,7 +508,7 @@ impl MxEndpoint {
                 &fault,
                 &path_out,
                 conn,
-                32,
+                Bytes::new(32),
                 pkt,
                 ovh,
                 &MxTuning::myri(),
@@ -555,7 +563,7 @@ impl MxEndpoint {
                             &fault2,
                             &path_data,
                             conn,
-                            n,
+                            Bytes::new(n),
                             pkt,
                             ovh,
                             &MxTuning::myri(),
@@ -648,7 +656,7 @@ impl MxEndpoint {
                     let n = u.len.min(len);
                     // Unexpected eager data was parked in the host ring;
                     // the receiving process copies it out.
-                    self.cpu.memcpy(n).await;
+                    self.cpu.memcpy(Bytes::new(n)).await;
                     if let Some(data) = payload {
                         self.nic.mem.write(addr, &data[..n as usize]);
                     }

@@ -143,7 +143,7 @@ impl MxFabric {
     }
 
     /// Packet payload size for the active link mode.
-    pub fn packet_payload(&self) -> u64 {
+    pub fn packet_payload(&self) -> simnet::Bytes {
         let c = &self.devices[0].calib;
         match self.mode {
             LinkMode::MxoM => c.mxom_packet_payload,
@@ -152,7 +152,7 @@ impl MxFabric {
     }
 
     /// Per-packet overhead bytes for the active link mode.
-    pub fn per_packet_overhead(&self) -> u64 {
+    pub fn per_packet_overhead(&self) -> simnet::Bytes {
         let c = &self.devices[0].calib;
         match self.mode {
             LinkMode::MxoM => c.mxom_packet_overhead,
@@ -257,7 +257,7 @@ mod tests {
             let path = fab.data_path(0, 1);
             let ovh = fab.per_packet_overhead();
             let bytes: u64 = 8 << 20;
-            sim.block_on(async move { path.transfer(bytes, ovh).await });
+            sim.block_on(async move { path.transfer(simnet::Bytes::new(bytes), ovh).await });
             let mbps = bytes as f64 / sim.now().as_secs_f64() / 1e6;
             assert!(
                 (850.0..985.0).contains(&mbps),

@@ -21,7 +21,7 @@
 //! With the plane disabled the function is one branch and a tail call to
 //! [`Pipeline::transfer`] — bit-identical to the pre-fault code path.
 
-use simnet::{FaultDecision, FaultPlane, Pipeline, Sim, SimDuration};
+use simnet::{Bytes, FaultDecision, FaultPlane, Pipeline, Sim, SimDuration};
 
 /// Resend-timer calibration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,23 +83,23 @@ pub async fn transfer_with_resend(
     plane: &FaultPlane,
     path: &Pipeline,
     stream: u64,
-    bytes: u64,
-    pkt: u64,
-    per_packet_overhead: u64,
+    bytes: Bytes,
+    pkt: Bytes,
+    per_packet_overhead: Bytes,
     tuning: &MxTuning,
 ) -> MxResendStats {
     if !plane.enabled() {
         path.transfer(bytes, per_packet_overhead).await;
         return MxResendStats::default();
     }
-    let pkt = pkt.max(1);
+    let pkt = pkt.max(Bytes::new(1));
     let npkts = bytes.div_ceil(pkt).max(1);
     // Byte length of the packet run [lo, hi): full packets plus a short tail.
-    let run_bytes = |lo: u64, hi: u64| -> u64 {
+    let run_bytes = |lo: u64, hi: u64| -> Bytes {
         if hi == npkts {
-            bytes - lo * pkt
+            bytes - pkt * lo
         } else {
-            (hi - lo) * pkt
+            pkt * (hi - lo)
         }
     };
     let mut stats = MxResendStats::default();
@@ -227,20 +227,20 @@ pub async fn transfer_with_resend(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet::{FaultConfig, Pipe, Stage};
+    use simnet::{ByteRate, FaultConfig, Pipe, Stage};
 
     fn test_path(sim: &Sim) -> Pipeline {
         let stages = vec![
             Stage::new(
-                Pipe::new(sim, 1_250_000_000, SimDuration::ZERO),
+                Pipe::new(sim, ByteRate::from_gbps(10), SimDuration::ZERO),
                 SimDuration::from_nanos(400),
             ),
             Stage::new(
-                Pipe::new(sim, 1_250_000_000, SimDuration::ZERO),
+                Pipe::new(sim, ByteRate::from_gbps(10), SimDuration::ZERO),
                 SimDuration::from_nanos(200),
             ),
         ];
-        Pipeline::new(sim, stages, 4096)
+        Pipeline::new(sim, stages, Bytes::new(4096))
     }
 
     fn run(plane: FaultPlane, bytes: u64) -> (f64, MxResendStats, simnet::SimStats) {
@@ -249,8 +249,17 @@ mod tests {
         let stats = sim.block_on({
             let sim2 = sim.clone();
             async move {
-                transfer_with_resend(&sim2, &plane, &path, 5, bytes, 4096, 16, &MxTuning::myri())
-                    .await
+                transfer_with_resend(
+                    &sim2,
+                    &plane,
+                    &path,
+                    5,
+                    Bytes::new(bytes),
+                    Bytes::new(4096),
+                    Bytes::new(16),
+                    &MxTuning::myri(),
+                )
+                .await
             }
         });
         (sim.now().as_micros_f64(), stats, sim.stats())
@@ -261,7 +270,7 @@ mod tests {
         let sim = Sim::new();
         let path = test_path(&sim);
         sim.block_on(async move {
-            path.transfer(1 << 20, 16).await;
+            path.transfer(Bytes::new(1 << 20), Bytes::new(16)).await;
         });
         let baseline = sim.now().as_nanos();
         let (t, stats, sstats) = run(FaultPlane::disabled(), 1 << 20);
@@ -348,9 +357,9 @@ mod tests {
                     &plane,
                     &path,
                     1,
-                    2 * 4096,
-                    4096,
-                    16,
+                    Bytes::new(2 * 4096),
+                    Bytes::new(4096),
+                    Bytes::new(16),
                     &MxTuning::myri(),
                 )
                 .await

@@ -116,10 +116,11 @@ pub fn run_dataflow(root: &Path, files: &[(PathBuf, String)]) -> DataflowOutcome
     found.sort();
     found.dedup();
 
-    // Known-rule list for allow parsing: classic + dataflow names, so a
-    // mixed annotation parses identically in both layers.
+    // Known-rule list for allow parsing: classic + dataflow + units names,
+    // so a mixed annotation parses identically in every layer.
     let mut known: Vec<&'static str> = crate::rules::all_rules().iter().map(|r| r.name()).collect();
     known.extend(DATAFLOW_RULES.iter().map(|(n, _)| *n));
+    known.extend(crate::units::UNITS_RULES.iter().map(|(n, _)| *n));
 
     let mut diags = Vec::new();
     let mut suppressed = Vec::new();

@@ -93,7 +93,7 @@ impl Index {
 
 /// Keywords that can syntactically precede a parenthesis without being a
 /// call (`if (cond)`, `while (cond)`, `match (tuple)`, `return (x)`, …).
-const NON_CALL_KEYWORDS: &[&str] = &[
+pub(crate) const NON_CALL_KEYWORDS: &[&str] = &[
     "if", "while", "for", "match", "return", "loop", "fn", "in", "move", "async", "await", "else",
     "let", "mut", "ref", "box", "yield", "dyn", "impl", "where",
 ];
@@ -209,7 +209,7 @@ fn index_item(file: &Path, item: &syn::Item, index: &mut Index) {
 }
 
 /// True for `#[cfg(test)]` items and `mod tests` bodies.
-fn is_test_item(item: &syn::Item) -> bool {
+pub(crate) fn is_test_item(item: &syn::Item) -> bool {
     if item.kind == syn::ItemKind::Mod && item.ident.as_ref().is_some_and(|i| *i == "tests") {
         return true;
     }

@@ -50,6 +50,7 @@ pub mod graph;
 pub mod rules;
 pub mod sarif;
 pub mod taint;
+pub mod units;
 
 // ---------------------------------------------------------------------------
 // Diagnostics
@@ -351,11 +352,12 @@ pub fn lint_source(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> Ve
 /// Like [`lint_source`], but also reports which findings were suppressed by
 /// allow annotations.
 pub fn lint_source_stats(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>]) -> LintOutcome {
-    // The dataflow-layer rule names are always legal in allow annotations,
-    // even in a classic-only run: the annotation's *validity* must not
-    // depend on which layer happens to be executing.
+    // The dataflow- and units-layer rule names are always legal in allow
+    // annotations, even in a classic-only run: the annotation's *validity*
+    // must not depend on which layer happens to be executing.
     let mut known: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
     known.extend(dataflow::DATAFLOW_RULES.iter().map(|(n, _)| *n));
+    known.extend(units::UNITS_RULES.iter().map(|(n, _)| *n));
     let mut diags = Vec::new();
     let mut suppressed = Vec::new();
     let mut allows = parse_allows(path, src, &known, &mut diags);
@@ -410,10 +412,16 @@ pub fn lint_source_stats(path: &Path, src: &str, rules: &[Box<dyn rules::Rule>])
         }
     }
     for a in &allows {
-        // Annotations naming any dataflow rule are audited by the dataflow
-        // layer instead (`run_dataflow` re-checks their usage); flagging
-        // them unused here would force-fail every justified suppression.
-        if !a.used && !a.rules.iter().any(|r| dataflow::is_dataflow_rule(r)) {
+        // Annotations naming any dataflow or units rule are audited by
+        // those layers instead (`run_dataflow`/`run_units` re-check their
+        // usage); flagging them unused here would force-fail every
+        // justified suppression.
+        if !a.used
+            && !a
+                .rules
+                .iter()
+                .any(|r| dataflow::is_dataflow_rule(r) || units::is_units_rule(r))
+        {
             diags.push(Diagnostic {
                 file: path.to_owned(),
                 line: a.decl_line,

@@ -9,6 +9,12 @@
 //!                                           #   hot-path panic audit, static
 //!                                           #   FSM conformance — gated on the
 //!                                           #   committed dataflow baseline
+//! cargo run -p simlint -- --units           # also run the dimensional
+//!                                           #   abstract interpretation pass
+//!                                           #   (unit-mismatch, unit-arith,
+//!                                           #   raw-quantity, lossy-time-cast)
+//!                                           #   — gated on the committed
+//!                                           #   units baseline
 //! cargo run -p simlint -- --json            # one aggregate JSON document:
 //!                                           #   files checked, per-rule
 //!                                           #   violation/allow counts, and
@@ -40,6 +46,7 @@ use simlint::dataflow::{
     DATAFLOW_RULES,
 };
 use simlint::rules::all_rules;
+use simlint::units::{render_units_baseline, run_units, UNITS_BASELINE_PATH, UNITS_RULES};
 use simlint::{find_workspace_root, lint_source_stats, workspace_files, Allow, Diagnostic};
 
 use std::collections::BTreeMap;
@@ -52,6 +59,7 @@ struct Options {
     list_rules: bool,
     audit_allows: bool,
     dataflow: bool,
+    units: bool,
     write_baseline: bool,
     baseline: Option<PathBuf>,
     sarif: Option<PathBuf>,
@@ -61,7 +69,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: simlint [--deny-all] [--json] [--list-rules] [--audit-allows] [--dataflow] \
+    "usage: simlint [--deny-all] [--json] [--list-rules] [--audit-allows] [--dataflow] [--units] \
      [--baseline FILE] [--write-baseline] [--sarif FILE] [--dump FILE] [--root DIR] [FILES...]"
 }
 
@@ -72,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
         list_rules: false,
         audit_allows: false,
         dataflow: false,
+        units: false,
         write_baseline: false,
         baseline: None,
         sarif: None,
@@ -92,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
             "--list-rules" => opts.list_rules = true,
             "--audit-allows" => opts.audit_allows = true,
             "--dataflow" => opts.dataflow = true,
+            "--units" => opts.units = true,
             "--write-baseline" => opts.write_baseline = true,
             "--baseline" => opts.baseline = Some(path_arg(&mut args, "--baseline")?),
             "--sarif" => opts.sarif = Some(path_arg(&mut args, "--sarif")?),
@@ -104,8 +114,15 @@ fn parse_args() -> Result<Options, String> {
             file => opts.files.push(PathBuf::from(file)),
         }
     }
-    if opts.write_baseline && !opts.dataflow {
-        return Err("--write-baseline requires --dataflow".to_owned());
+    if opts.write_baseline && !(opts.dataflow || opts.units) {
+        return Err("--write-baseline requires --dataflow or --units".to_owned());
+    }
+    if opts.baseline.is_some() && opts.dataflow && opts.units {
+        return Err(
+            "--baseline overrides one file; with both --dataflow and --units use the \
+             default per-layer locations"
+                .to_owned(),
+        );
     }
     Ok(opts)
 }
@@ -126,6 +143,10 @@ fn main() -> ExitCode {
         }
         println!("\ninterprocedural rules (run with --dataflow):");
         for (name, summary) in DATAFLOW_RULES {
+            println!("  {name:<18} {summary}");
+        }
+        println!("\ndimensional rules (run with --units):");
+        for (name, summary) in UNITS_RULES {
             println!("  {name:<18} {summary}");
         }
         println!(
@@ -185,14 +206,14 @@ fn main() -> ExitCode {
         return audit_allows(checked, &allows, opts.deny_all, opts.json);
     }
 
-    // --- interprocedural passes + baseline gate ----------------------------
+    // --- interprocedural passes + per-layer baseline gates -----------------
     let mut stale_baseline: Vec<String> = Vec::new();
     let mut baselined = 0usize;
-    if opts.dataflow {
+    if opts.dataflow || opts.units {
         // Workspace runs widen the file set (simcheck tables, bench
         // helpers); explicit-FILES runs analyze exactly what was given so
         // fixtures stay self-contained.
-        let dataflow_inputs = if opts.files.is_empty() {
+        let layer_inputs = if opts.files.is_empty() {
             match dataflow_files(&root) {
                 Ok(pairs) => pairs,
                 Err(err) => {
@@ -213,35 +234,54 @@ fn main() -> ExitCode {
             }
             pairs
         };
-        let outcome = run_dataflow(&root, &dataflow_inputs);
-        suppressed.extend(outcome.suppressed);
-
-        let baseline_path = opts
-            .baseline
-            .clone()
-            .unwrap_or_else(|| root.join(BASELINE_PATH));
-        if opts.write_baseline {
+        // Each layer runs independently against its own committed baseline
+        // (`--baseline` overrides whichever single layer is active).
+        let mut layers: Vec<(simlint::dataflow::DataflowOutcome, PathBuf, String)> = Vec::new();
+        if opts.dataflow {
+            let outcome = run_dataflow(&root, &layer_inputs);
+            let path = opts
+                .baseline
+                .clone()
+                .unwrap_or_else(|| root.join(BASELINE_PATH));
             let text = render_baseline(&root, &outcome.diags);
-            if let Err(err) = std::fs::write(&baseline_path, &text) {
-                eprintln!("simlint: writing {}: {err}", baseline_path.display());
-                return ExitCode::from(2);
+            layers.push((outcome, path, text));
+        }
+        if opts.units {
+            let outcome = run_units(&root, &layer_inputs);
+            let path = opts
+                .baseline
+                .clone()
+                .unwrap_or_else(|| root.join(UNITS_BASELINE_PATH));
+            let text = render_units_baseline(&root, &outcome.diags);
+            layers.push((outcome, path, text));
+        }
+        for (outcome, baseline_path, rendered) in layers {
+            suppressed.extend(outcome.suppressed);
+            if opts.write_baseline {
+                if let Err(err) = std::fs::write(&baseline_path, &rendered) {
+                    eprintln!("simlint: writing {}: {err}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "simlint: wrote {} finding{} to {}",
+                    outcome.diags.len(),
+                    if outcome.diags.len() == 1 { "" } else { "s" },
+                    baseline_path.display()
+                );
+                continue;
             }
-            println!(
-                "simlint: wrote {} finding{} to {}",
-                outcome.diags.len(),
-                if outcome.diags.len() == 1 { "" } else { "s" },
-                baseline_path.display()
-            );
+            let baseline = match std::fs::read_to_string(&baseline_path) {
+                Ok(text) => parse_baseline(&text),
+                Err(_) => Vec::new(), // no baseline file: everything is new
+            };
+            let (fresh, matched, stale) = apply_baseline(&root, outcome.diags, &baseline);
+            baselined += matched;
+            stale_baseline.extend(stale);
+            diags.extend(fresh);
+        }
+        if opts.write_baseline {
             return ExitCode::SUCCESS;
         }
-        let baseline = match std::fs::read_to_string(&baseline_path) {
-            Ok(text) => parse_baseline(&text),
-            Err(_) => Vec::new(), // no baseline file: everything is new
-        };
-        let (fresh, matched, stale) = apply_baseline(&root, outcome.diags, &baseline);
-        baselined = matched;
-        stale_baseline = stale;
-        diags.extend(fresh);
     }
 
     // One bad directive or one finding must report once even when both
@@ -259,6 +299,9 @@ fn main() -> ExitCode {
         for (name, summary) in DATAFLOW_RULES {
             summaries.insert(name, summary);
         }
+        for (name, summary) in UNITS_RULES {
+            summaries.insert(name, summary);
+        }
         let sarif = simlint::sarif::to_sarif(&root, &diags, &summaries);
         if let Err(err) = std::fs::write(sarif_path, &sarif) {
             eprintln!("simlint: writing {}: {err}", sarif_path.display());
@@ -269,7 +312,14 @@ fn main() -> ExitCode {
     if opts.json {
         println!(
             "{}",
-            aggregate_json(checked, &diags, &suppressed, opts.dataflow, baselined)
+            aggregate_json(
+                checked,
+                &diags,
+                &suppressed,
+                opts.dataflow,
+                opts.units,
+                baselined,
+            )
         );
     } else {
         for d in &diags {
@@ -279,14 +329,16 @@ fn main() -> ExitCode {
             println!("simlint: stale baseline entry (finding no longer occurs): {fp}");
         }
         if diags.is_empty() {
-            let passes = if opts.dataflow {
-                format!(
-                    ", {} dataflow rules, {baselined} baselined",
-                    DATAFLOW_RULES.len()
-                )
-            } else {
-                String::new()
-            };
+            let mut passes = String::new();
+            if opts.dataflow {
+                passes.push_str(&format!(", {} dataflow rules", DATAFLOW_RULES.len()));
+            }
+            if opts.units {
+                passes.push_str(&format!(", {} units rules", UNITS_RULES.len()));
+            }
+            if opts.dataflow || opts.units {
+                passes.push_str(&format!(", {baselined} baselined"));
+            }
             println!(
                 "simlint: clean ({checked} files checked, {} rules{passes})",
                 rules.len()
@@ -325,7 +377,7 @@ fn audit_allows(
     let is_dataflow_only = |a: &Allow| {
         a.rules
             .iter()
-            .all(|r| simlint::dataflow::is_dataflow_rule(r))
+            .all(|r| simlint::dataflow::is_dataflow_rule(r) || simlint::units::is_units_rule(r))
     };
     let stale = allows
         .iter()
@@ -386,6 +438,7 @@ fn aggregate_json(
     diags: &[Diagnostic],
     suppressed: &[Diagnostic],
     dataflow: bool,
+    units: bool,
     baselined: usize,
 ) -> String {
     let mut counts: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
@@ -394,6 +447,11 @@ fn aggregate_json(
     }
     if dataflow {
         for (name, _) in DATAFLOW_RULES {
+            counts.insert(name, (0, 0));
+        }
+    }
+    if units {
+        for (name, _) in UNITS_RULES {
             counts.insert(name, (0, 0));
         }
     }
@@ -413,7 +471,7 @@ fn aggregate_json(
         .iter()
         .map(|d| format!("    {}", d.to_json()))
         .collect();
-    let baseline_field = if dataflow {
+    let baseline_field = if dataflow || units {
         format!("\n  \"baselined\": {baselined},")
     } else {
         String::new()

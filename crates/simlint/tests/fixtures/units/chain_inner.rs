@@ -1,0 +1,12 @@
+//! Inner half of the cross-crate witness-chain fixture (mounted under
+//! `crates/simnet/`). `forward`'s raw `n` is only dimensioned because it
+//! flows verbatim into `admit`'s typed parameter — the interprocedural
+//! fixed point must lift that backwards.
+
+pub fn admit(bytes: Bytes) {
+    let _ = bytes;
+}
+
+pub fn forward(n: u64) {
+    admit(n);
+}

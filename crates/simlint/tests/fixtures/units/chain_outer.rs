@@ -1,0 +1,7 @@
+//! Outer half of the cross-crate witness-chain fixture (mounted under
+//! `crates/iwarp/`). The literal is two hops from the declaration that
+//! dimensions it; the finding's chain must spell out both.
+
+pub fn kick() {
+    forward(1448);
+}

@@ -1,0 +1,7 @@
+//! Ok twin of `lossy_time_cast_trigger.rs`: widening casts preserve every
+//! representable simulated instant.
+
+pub fn widen(dur: SimDuration) -> u64 {
+    let wide = dur.as_nanos() as u128;
+    wide as u64
+}

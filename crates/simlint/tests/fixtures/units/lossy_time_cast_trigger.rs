@@ -1,0 +1,7 @@
+//! Trigger fixture: a nanosecond quantity truncated by `as u32` — wraps
+//! after ~4.3 seconds of simulated time, which a long benchmark sweep
+//! exceeds without ever overflowing a test.
+
+pub fn truncate(dur: SimDuration) -> u32 {
+    dur.as_nanos() as u32
+}

@@ -1,0 +1,11 @@
+//! Ok twin of `raw_quantity_trigger.rs`: the literal enters through the
+//! blessed typed constructor, which is the sanctioned raw→dimension entry
+//! point.
+
+pub fn post(bytes: Bytes) {
+    let _ = bytes;
+}
+
+pub fn caller() {
+    post(Bytes::new(4096));
+}

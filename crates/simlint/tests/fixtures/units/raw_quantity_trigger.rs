@@ -1,0 +1,11 @@
+//! Trigger fixture: a bare integer literal flowing into a dimensioned
+//! parameter. The number is probably right today — and silently wrong the
+//! day the parameter's meaning changes.
+
+pub fn post(bytes: Bytes) {
+    let _ = bytes;
+}
+
+pub fn caller() {
+    post(4096);
+}

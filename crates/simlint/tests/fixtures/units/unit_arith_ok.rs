@@ -1,0 +1,12 @@
+//! Ok twin of `unit_arith_trigger.rs`: the entire legal algebra —
+//! scalars compose with anything, `bytes / rate` is a duration,
+//! `rate * duration` is bytes, `x / x` is a count.
+
+pub fn legal_algebra(bytes: Bytes, rate: ByteRate, n: u64) -> SimDuration {
+    let total = bytes * 4;
+    let per_segment = total / n;
+    let segments = per_segment / bytes;
+    let wire = rate * (bytes / rate);
+    let _ = (segments, wire);
+    bytes / rate
+}

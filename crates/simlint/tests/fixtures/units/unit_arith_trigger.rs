@@ -1,0 +1,16 @@
+//! Trigger fixture: multiplications and divisions with no physical
+//! meaning. `ns * ns` is a square duration; `bytes * rate` is bytes² per
+//! second — neither can ever be a simulation quantity.
+
+pub fn impossible_products(a: SimDuration, b: SimDuration, bytes: Bytes, rate: ByteRate) -> u64 {
+    let squared = a * b;
+    let huh = bytes * rate;
+    let _ = (squared, huh);
+    0
+}
+
+pub fn impossible_quotient(rate: ByteRate, bytes: Bytes) -> u64 {
+    let upside_down = rate / bytes;
+    let _ = upside_down;
+    0
+}

@@ -1,0 +1,15 @@
+//! Ok twin of `unit_mismatch_trigger.rs`: the same shapes with the
+//! dimensions lined up — conversion through the legal algebra and
+//! arguments in declared order.
+
+pub fn serialize_window(bytes: Bytes, rate: ByteRate) -> SimDuration {
+    bytes / rate
+}
+
+pub fn stamp(bytes: Bytes, dur: SimDuration) {
+    record(bytes, dur);
+}
+
+fn record(bytes: Bytes, dur: SimDuration) {
+    let _ = (bytes, dur);
+}

@@ -1,0 +1,20 @@
+//! Trigger fixture: cross-dimension `+` and swapped dimensioned arguments.
+//! Mounted at a virtual sim-scope path by `tests/units.rs`.
+
+/// Adding a byte count to a duration compiles when both are raw `u64`s —
+/// the units pass must catch the dimension clash anyway.
+pub fn skewed_window(bytes: Bytes, dur: SimDuration) -> u64 {
+    let skew = bytes + dur;
+    let _ = skew;
+    0
+}
+
+/// The classic swapped-argument bug: both parameters dimensioned, both
+/// crossed at the call site.
+pub fn stamp(bytes: Bytes, dur: SimDuration) {
+    record(dur, bytes);
+}
+
+fn record(bytes: Bytes, dur: SimDuration) {
+    let _ = (bytes, dur);
+}

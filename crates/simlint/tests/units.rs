@@ -1,0 +1,405 @@
+//! Integration tests for the `--units` layer: fixture trigger/ok pairs per
+//! dimensional rule, the exhaustive operator-legality matrix, the
+//! cross-crate witness chain, the committed-baseline byte-identity gate,
+//! and the CLI baseline round trip.
+//!
+//! Fixture files live under `tests/fixtures/units/`. Their on-disk paths
+//! start with `crates/simlint/…`, which is deliberately *outside*
+//! [`simlint::SIM_SCOPE`] — so each test reads the fixture *content* from
+//! disk and pairs it with a virtual sim-scope path (e.g.
+//! `crates/simnet/src/fixture.rs`) before handing it to the engine. That
+//! keeps the fixtures inert for workspace-wide runs while still exercising
+//! the exact scope logic production files hit.
+
+use simlint::units::{run_units, units_pass, UNITS_BASELINE_PATH, UNITS_RULES};
+use simlint::{find_workspace_root, Diagnostic};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/units")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("reading fixture {}: {err}", path.display()))
+}
+
+/// Run the units engine over fixture contents mounted at virtual sim-scope
+/// paths.
+fn run_virtual(files: &[(&str, String)]) -> Vec<Diagnostic> {
+    let owned: Vec<(PathBuf, String)> = files
+        .iter()
+        .map(|(p, s)| (PathBuf::from(p), s.clone()))
+        .collect();
+    run_units(Path::new(""), &owned).diags
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// unit-mismatch
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mismatch_fixture_trigger_flags_addition_and_both_swapped_args() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("unit_mismatch_trigger.rs"),
+    )]);
+    assert_eq!(
+        rules_of(&diags),
+        ["unit-mismatch", "unit-mismatch", "unit-mismatch"],
+        "{diags:?}"
+    );
+    // The addition names both dimensions; the swapped call names the chain.
+    assert!(
+        diags.iter().any(|d| d.message.contains("`+` combines")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`stamp` -> `record`")),
+        "swapped-argument finding must carry the call chain: {diags:?}"
+    );
+}
+
+#[test]
+fn mismatch_fixture_ok_twin_is_clean() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("unit_mismatch_ok.rs"),
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// unit-arith
+// ---------------------------------------------------------------------------
+
+#[test]
+fn arith_fixture_trigger_flags_each_impossible_combination() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("unit_arith_trigger.rs"),
+    )]);
+    assert_eq!(
+        rules_of(&diags),
+        ["unit-arith", "unit-arith", "unit-arith"],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn arith_fixture_ok_twin_exercises_the_whole_legal_algebra() {
+    let diags = run_virtual(&[("crates/simnet/src/fixture.rs", fixture("unit_arith_ok.rs"))]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// operator-legality matrix: every dimensioned pair × every operator
+// ---------------------------------------------------------------------------
+
+/// Evaluate `lhs op rhs` inside a probe function with one parameter per
+/// dimension and return the rules that fired.
+fn probe(expr: &str) -> Vec<&'static str> {
+    let src =
+        format!("fn probe(b: Bytes, d: SimDuration, r: ByteRate, n: u64) {{ let _ = {expr}; }}\n");
+    let files = vec![(PathBuf::from("crates/simnet/src/probe.rs"), src)];
+    let mut diags = Vec::new();
+    units_pass(Path::new(""), &files, &mut diags);
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn operator_legality_matrix_is_exhaustive() {
+    // (expression, expected rule or "" for legal)
+    let cases: &[(&str, &str)] = &[
+        // --- addition / subtraction: only like dimensions combine -------
+        ("b + b", ""),
+        ("d + d", ""),
+        ("r + r", ""),
+        ("b - b", ""),
+        ("b + n", ""),
+        ("n + d", ""),
+        ("b + 3", ""),
+        ("b + d", "unit-mismatch"),
+        ("d + b", "unit-mismatch"),
+        ("b + r", "unit-mismatch"),
+        ("r + b", "unit-mismatch"),
+        ("d + r", "unit-mismatch"),
+        ("r + d", "unit-mismatch"),
+        ("b - d", "unit-mismatch"),
+        ("r - d", "unit-mismatch"),
+        // --- multiplication: scalar*x and rate*duration only ------------
+        ("b * 4", ""),
+        ("4 * b", ""),
+        ("d * 2", ""),
+        ("r * d", ""), // rate * duration = bytes
+        ("d * r", ""),
+        ("b * b", "unit-arith"),
+        ("d * d", "unit-arith"),
+        ("r * r", "unit-arith"),
+        ("b * d", "unit-arith"),
+        ("d * b", "unit-arith"),
+        ("b * r", "unit-arith"),
+        ("r * b", "unit-arith"),
+        // --- division: x/scalar, x/x, bytes/rate only -------------------
+        ("b / 4", ""),
+        ("d / 2", ""),
+        ("r / 2", ""),
+        ("b / b", ""), // count
+        ("d / d", ""),
+        ("r / r", ""),
+        ("b / r", ""), // duration
+        ("b / d", "unit-arith"),
+        ("d / b", "unit-arith"),
+        ("d / r", "unit-arith"),
+        ("r / d", "unit-arith"),
+        ("r / b", "unit-arith"),
+        ("b % b", ""),
+        ("b % d", "unit-arith"),
+    ];
+    for (expr, expected) in cases {
+        let fired = probe(expr);
+        if expected.is_empty() {
+            assert!(fired.is_empty(), "`{expr}` must be legal, fired {fired:?}");
+        } else {
+            assert_eq!(
+                fired,
+                vec![*expected],
+                "`{expr}` must fire exactly [{expected}]"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// raw-quantity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_quantity_fixture_trigger_flags_bare_literal() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("raw_quantity_trigger.rs"),
+    )]);
+    assert_eq!(rules_of(&diags), ["raw-quantity"], "{diags:?}");
+    assert!(
+        diags[0].message.contains("`caller` -> `post`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn raw_quantity_fixture_ok_twin_uses_the_blessed_constructor() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("raw_quantity_ok.rs"),
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// lossy-time-cast
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lossy_cast_fixture_trigger_flags_narrowing() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("lossy_time_cast_trigger.rs"),
+    )]);
+    assert_eq!(rules_of(&diags), ["lossy-time-cast"], "{diags:?}");
+    assert!(diags[0].message.contains("as u32"), "{}", diags[0].message);
+}
+
+#[test]
+fn lossy_cast_fixture_ok_twin_widens_freely() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("lossy_time_cast_ok.rs"),
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// cross-crate witness chain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn witness_chain_crosses_crates_through_the_fixed_point() {
+    let diags = run_virtual(&[
+        ("crates/simnet/src/fixture.rs", fixture("chain_inner.rs")),
+        ("crates/iwarp/src/fixture.rs", fixture("chain_outer.rs")),
+    ]);
+    assert_eq!(rules_of(&diags), ["raw-quantity"], "{diags:?}");
+    assert!(
+        diags[0].message.contains("`kick` -> `forward` -> `admit`"),
+        "chain must spell out both hops: {}",
+        diags[0].message
+    );
+    // The finding anchors in the *caller's* crate.
+    assert_eq!(diags[0].file, PathBuf::from("crates/iwarp/src/fixture.rs"));
+}
+
+// ---------------------------------------------------------------------------
+// committed baseline: byte identity against a real workspace run
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_units_run_reproduces_committed_baseline_bytes() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root above simlint");
+    let files = simlint::dataflow::dataflow_files(&root).expect("collect dataflow scope");
+    let outcome = run_units(&root, &files);
+    let rendered = simlint::units::render_units_baseline(&root, &outcome.diags);
+    let committed =
+        std::fs::read_to_string(root.join(UNITS_BASELINE_PATH)).expect("committed baseline file");
+    assert_eq!(
+        rendered, committed,
+        "workspace findings drifted from crates/simlint/units.baseline; \
+         fix the finding or regenerate with --units --write-baseline"
+    );
+    // The migration to typed quantities is complete: the committed
+    // baseline is *empty* and must stay that way.
+    assert!(
+        outcome.diags.is_empty(),
+        "the units baseline is empty by design; new findings are real bugs: {:?}",
+        outcome.diags
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SARIF
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sarif_renders_units_findings_with_catalog_entries() {
+    let diags = run_virtual(&[(
+        "crates/simnet/src/fixture.rs",
+        fixture("lossy_time_cast_trigger.rs"),
+    )]);
+    let summaries: BTreeMap<&'static str, &'static str> = UNITS_RULES.iter().copied().collect();
+    let sarif = simlint::sarif::to_sarif(Path::new(""), &diags, &summaries);
+    assert!(sarif.contains("\"ruleId\": \"lossy-time-cast\""));
+    for (name, _) in UNITS_RULES {
+        assert!(sarif.contains(&format!("\"id\": \"{name}\"")), "{name}");
+    }
+    assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+}
+
+// ---------------------------------------------------------------------------
+// CLI: deny gate, baseline write, and round-trip acceptance
+// ---------------------------------------------------------------------------
+
+/// Build a throwaway workspace shell under `CARGO_TARGET_TMPDIR` with one
+/// sim-scope file, so CLI runs exercise real path/scope resolution.
+fn scratch_workspace(tag: &str, content: &str) -> (PathBuf, PathBuf) {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("units_cli_{tag}"));
+    let src_dir = root.join("crates/simnet/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch src dir");
+    std::fs::create_dir_all(root.join("crates/simlint")).expect("scratch baseline dir");
+    let file = src_dir.join("fixture.rs");
+    std::fs::write(&file, content).expect("write scratch fixture");
+    (root, file)
+}
+
+#[test]
+fn cli_units_deny_gate_fails_on_fresh_finding() {
+    let (root, file) = scratch_workspace("deny", &fixture("unit_mismatch_trigger.rs"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--units")
+        .arg("--deny-all")
+        .arg("--json")
+        .arg("--root")
+        .arg(&root)
+        .arg(&file)
+        .output()
+        .expect("run simlint binary");
+    assert!(
+        !out.status.success(),
+        "fresh units findings must fail --deny-all"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.contains("\"rule\":\"unit-mismatch\""),
+        "JSON must carry the finding:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"baselined\""),
+        "units mode must report the baselined count:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_units_baseline_round_trip_accepts_then_gates() {
+    let (root, file) = scratch_workspace("roundtrip", &fixture("raw_quantity_trigger.rs"));
+    let bin = env!("CARGO_BIN_EXE_simlint");
+    // 1. Accept the current findings into the baseline.
+    let write = std::process::Command::new(bin)
+        .arg("--units")
+        .arg("--write-baseline")
+        .arg("--root")
+        .arg(&root)
+        .arg(&file)
+        .output()
+        .expect("run simlint binary");
+    assert!(write.status.success(), "{write:?}");
+    let baseline = root.join(UNITS_BASELINE_PATH);
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(
+        text.contains("raw-quantity|crates/simnet/src/fixture.rs|"),
+        "baseline must hold the fingerprint:\n{text}"
+    );
+    // 2. The same run now passes the deny gate (finding is baselined).
+    let gated = std::process::Command::new(bin)
+        .arg("--units")
+        .arg("--deny-all")
+        .arg("--root")
+        .arg(&root)
+        .arg(&file)
+        .output()
+        .expect("run simlint binary");
+    assert!(
+        gated.status.success(),
+        "baselined finding must pass --deny-all: {:?}",
+        String::from_utf8_lossy(&gated.stdout)
+    );
+    // 3. Fixing the code strands the baseline entry: stale entries fail.
+    std::fs::write(&file, fixture("raw_quantity_ok.rs")).expect("rewrite fixture");
+    let stale = std::process::Command::new(bin)
+        .arg("--units")
+        .arg("--deny-all")
+        .arg("--root")
+        .arg(&root)
+        .arg(&file)
+        .output()
+        .expect("run simlint binary");
+    assert!(
+        !stale.status.success(),
+        "stale baseline entries must fail --deny-all"
+    );
+    let stdout = String::from_utf8(stale.stdout).expect("utf8");
+    assert!(
+        stdout.contains("stale baseline entry"),
+        "stale entry must be reported:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_list_rules_names_the_units_section() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run simlint binary");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("dimensional rules (run with --units):"));
+    for (name, _) in UNITS_RULES {
+        assert!(stdout.contains(name), "{name} missing:\n{stdout}");
+    }
+}

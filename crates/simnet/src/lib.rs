@@ -47,6 +47,7 @@ pub mod shard;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod units;
 
 pub use executor::{JoinHandle, Sim};
 pub use fault::{FaultConfig, FaultDecision, FaultPlane};
@@ -55,3 +56,4 @@ pub use pipe::{Link, Pipe, Pipeline, Stage};
 pub use shard::{CrossReceiver, CrossRecord, ShardCtx, ShardId, ShardOutcome, ShardedSim};
 pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};
+pub use units::{ByteRate, Bytes};

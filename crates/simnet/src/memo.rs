@@ -56,6 +56,8 @@
 //! [`Sim::tie_break_salt`]: crate::Sim::tie_break_salt
 //! [`FaultPlane::fingerprint`]: crate::FaultPlane::fingerprint
 
+use crate::units::Bytes;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Fingerprint of one memoizable transfer within a pipeline's cache.
@@ -66,10 +68,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// `simlint` `memo-key` rule fails the build if either is removed.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct MemoKey {
-    /// Message payload length in bytes.
-    pub bytes: u64,
-    /// Per-segment header overhead in bytes.
-    pub overhead: u64,
+    /// Message payload length.
+    pub bytes: Bytes,
+    /// Per-segment header overhead.
+    pub overhead: Bytes,
     /// The simulation's schedule-perturbation salt
     /// ([`crate::Sim::tie_break_salt`]); 0 in production runs.
     pub tie_salt: u64,
@@ -113,12 +115,15 @@ mod tests {
     #[test]
     fn key_orders_and_compares_by_value() {
         let a = MemoKey {
-            bytes: 1,
-            overhead: 2,
+            bytes: Bytes::new(1),
+            overhead: Bytes::new(2),
             tie_salt: 0,
             fault_fp: 0,
         };
-        let b = MemoKey { bytes: 2, ..a };
+        let b = MemoKey {
+            bytes: Bytes::new(2),
+            ..a
+        };
         assert!(a < b);
         assert_eq!(a, a);
     }

@@ -22,10 +22,11 @@ use std::task::{Context, Poll, Waker};
 use crate::executor::Sim;
 use crate::memo::{MemoKey, MEMO_CAPACITY};
 use crate::time::{SimDuration, SimTime};
+use crate::units::{ByteRate, Bytes};
 
 #[derive(Debug)]
 struct PipeState {
-    bytes_per_sec: u64,
+    rate: ByteRate,
     per_transfer_overhead: SimDuration,
     /// Reserved busy intervals, keyed by start time (ns → end ns). Kept
     /// sparse: intervals entirely in the past are pruned on every reserve,
@@ -109,14 +110,14 @@ fn insert_merged(iv: &mut BTreeMap<u64, u64>, st: u64, en: u64) {
 }
 
 impl Pipe {
-    /// Create a pipe with the given bandwidth (bytes/second) and a fixed
-    /// per-transfer overhead charged before the serialization time.
-    pub fn new(sim: &Sim, bytes_per_sec: u64, per_transfer_overhead: SimDuration) -> Self {
-        assert!(bytes_per_sec > 0, "pipe requires nonzero bandwidth");
+    /// Create a pipe with the given bandwidth and a fixed per-transfer
+    /// overhead charged before the serialization time.
+    pub fn new(sim: &Sim, rate: ByteRate, per_transfer_overhead: SimDuration) -> Self {
+        assert!(!rate.is_zero(), "pipe requires nonzero bandwidth");
         Pipe {
             sim: sim.clone(),
             state: Rc::new(PipeState {
-                bytes_per_sec,
+                rate,
                 per_transfer_overhead,
                 intervals: RefCell::new(BTreeMap::new()),
                 busy: Cell::new(SimDuration::ZERO),
@@ -134,9 +135,8 @@ impl Pipe {
 
     /// Occupancy of `n` back-to-back transfers totalling `bytes`: one
     /// per-transfer overhead each, one contiguous serialization.
-    fn bulk_service(&self, bytes: u64, n_transfers: u64) -> SimDuration {
-        self.state.per_transfer_overhead * n_transfers
-            + SimDuration::serialize(bytes, self.state.bytes_per_sec)
+    fn bulk_service(&self, bytes: Bytes, n_transfers: u64) -> SimDuration {
+        self.state.per_transfer_overhead * n_transfers + bytes / self.state.rate
     }
 
     /// If a live speculation is registered here, demote it to the
@@ -165,15 +165,15 @@ impl Pipe {
         }
     }
 
-    /// The configured bandwidth in bytes/second.
-    pub fn bandwidth(&self) -> u64 {
-        self.state.bytes_per_sec
+    /// The configured bandwidth.
+    pub fn bandwidth(&self) -> ByteRate {
+        self.state.rate
     }
 
     /// Service time for `bytes` on this pipe (overhead + serialization),
     /// without reserving anything.
-    pub fn service_time(&self, bytes: u64) -> SimDuration {
-        self.state.per_transfer_overhead + SimDuration::serialize(bytes, self.state.bytes_per_sec)
+    pub fn service_time(&self, bytes: Bytes) -> SimDuration {
+        self.state.per_transfer_overhead + bytes / self.state.rate
     }
 
     /// Reserve the pipe for `bytes` starting no earlier than `earliest`.
@@ -187,10 +187,10 @@ impl Pipe {
     /// competing flow slot its *present* segments into the gaps instead of
     /// queueing behind those future reservations — which is how real
     /// store-and-forward hardware interleaves independent flows.
-    pub fn reserve(&self, earliest: SimTime, bytes: u64) -> (SimTime, SimTime) {
+    pub fn reserve(&self, earliest: SimTime, bytes: Bytes) -> (SimTime, SimTime) {
         let (start, end) = self.reserve_service(earliest, self.service_time(bytes));
         self.state.transfers.set(self.state.transfers.get() + 1);
-        self.state.bytes.set(self.state.bytes.get() + bytes);
+        self.state.bytes.set(self.state.bytes.get() + bytes.get());
         (start, end)
     }
 
@@ -198,13 +198,18 @@ impl Pipe {
     /// `bytes` (one per-transfer overhead each, one contiguous occupancy).
     /// Used by [`Pipeline`] to move segment batches without paying one
     /// scheduling event per segment.
-    pub fn reserve_n(&self, earliest: SimTime, bytes: u64, n_transfers: u64) -> (SimTime, SimTime) {
+    pub fn reserve_n(
+        &self,
+        earliest: SimTime,
+        bytes: Bytes,
+        n_transfers: u64,
+    ) -> (SimTime, SimTime) {
         let service = self.bulk_service(bytes, n_transfers);
         let (start, end) = self.reserve_service(earliest, service);
         self.state
             .transfers
             .set(self.state.transfers.get() + n_transfers);
-        self.state.bytes.set(self.state.bytes.get() + bytes);
+        self.state.bytes.set(self.state.bytes.get() + bytes.get());
         (start, end)
     }
 
@@ -244,7 +249,7 @@ impl Pipe {
     /// The reservation is made when this method is *called*, not when the
     /// returned future is first polled, so ordering between competing
     /// transfers is determined by deterministic program order.
-    pub async fn transfer(&self, bytes: u64) {
+    pub async fn transfer(&self, bytes: Bytes) {
         let (_start, end) = self.reserve(self.sim.now(), bytes);
         self.sim.sleep_until(end).await;
     }
@@ -288,11 +293,11 @@ pub struct Link {
 }
 
 impl Link {
-    /// Create a link with `bytes_per_sec` bandwidth and fixed propagation
+    /// Create a link with `rate` bandwidth and fixed propagation
     /// `latency` (cable + receiver clock recovery, or switch port-to-port).
-    pub fn new(sim: &Sim, bytes_per_sec: u64, latency: SimDuration) -> Self {
+    pub fn new(sim: &Sim, rate: ByteRate, latency: SimDuration) -> Self {
         Link {
-            pipe: Pipe::new(sim, bytes_per_sec, SimDuration::ZERO),
+            pipe: Pipe::new(sim, rate, SimDuration::ZERO),
             latency,
             sim: sim.clone(),
         }
@@ -309,7 +314,7 @@ impl Link {
     }
 
     /// Transfer `bytes`: serialize onto the wire FIFO, then propagate.
-    pub async fn transfer(&self, bytes: u64) {
+    pub async fn transfer(&self, bytes: Bytes) {
         let (_s, end) = self.pipe.reserve(self.sim.now(), bytes);
         self.sim.sleep_until(end + self.latency).await;
     }
@@ -347,7 +352,7 @@ pub const PACE_CHUNK_SEGMENTS: u64 = 8;
 #[derive(Clone, Debug)]
 pub struct Pipeline {
     stages: Rc<[Stage]>,
-    segment: u64,
+    segment: Bytes,
     chunk: u64,
     sim: Sim,
     /// Whole-transfer memo cache (see [`crate::memo`]): fingerprint →
@@ -408,7 +413,7 @@ fn stage_totals(stages: &[Stage], metas: &[ChunkMeta]) -> Vec<(u64, u64, u64)> {
             let mut transfers = 0u64;
             for meta in metas {
                 busy += stage.pipe.bulk_service(meta.cwire, meta.csegs).as_nanos();
-                bytes += meta.cwire;
+                bytes += meta.cwire.get();
                 transfers += meta.csegs;
             }
             (busy, bytes, transfers)
@@ -422,8 +427,8 @@ fn stage_totals(stages: &[Stage], metas: &[ChunkMeta]) -> Vec<(u64, u64, u64)> {
 #[derive(Clone, Copy, Debug)]
 struct ChunkMeta {
     csegs: u64,
-    cwire: u64,
-    seg_wire: u64,
+    cwire: Bytes,
+    seg_wire: Bytes,
 }
 
 /// One (chunk, stage) reservation in a speculated traversal: the wall time
@@ -463,8 +468,8 @@ async fn chunk_walk(
             sim.sleep_until(by_start).await;
         }
         let seg_service = stage.pipe.service_time(meta.seg_wire);
-        let block =
-            stage.pipe.service_time(meta.cwire) + stage.pipe.service_time(0) * (meta.csegs - 1);
+        let block = stage.pipe.service_time(meta.cwire)
+            + stage.pipe.service_time(Bytes::ZERO) * (meta.csegs - 1);
         // The block may not drain here before it drained upstream.
         let floor = (prev_end + seg_service + prev_lat) - block;
         let earliest = sim.now().max(floor);
@@ -483,7 +488,7 @@ async fn chunk_walk(
 impl Pipeline {
     /// Build a pipeline with the given maximum segment size (e.g. the TCP
     /// MSS or the InfiniBand path MTU) and the default pacing chunk.
-    pub fn new(sim: &Sim, stages: Vec<Stage>, segment: u64) -> Self {
+    pub fn new(sim: &Sim, stages: Vec<Stage>, segment: Bytes) -> Self {
         Self::with_chunk(sim, stages, segment, PACE_CHUNK_SEGMENTS)
     }
 
@@ -492,8 +497,8 @@ impl Pipeline {
     /// tightly on shared stages at the cost of more scheduling events; the
     /// right value depends on the ratio of the shared stage's service time
     /// to the wire's.
-    pub fn with_chunk(sim: &Sim, stages: Vec<Stage>, segment: u64, chunk: u64) -> Self {
-        assert!(segment > 0, "pipeline requires nonzero segment size");
+    pub fn with_chunk(sim: &Sim, stages: Vec<Stage>, segment: Bytes, chunk: u64) -> Self {
+        assert!(!segment.is_zero(), "pipeline requires nonzero segment size");
         assert!(!stages.is_empty(), "pipeline requires at least one stage");
         assert!(chunk > 0, "pipeline requires nonzero pacing chunk");
         Pipeline {
@@ -508,28 +513,28 @@ impl Pipeline {
     /// Cut the message into pacing-chunk blocks. The partition depends only
     /// on the byte count, never on calendar state, so the closed-form
     /// replay and the live walk always agree on it.
-    fn chunk_partition(&self, bytes: u64, per_segment_overhead_bytes: u64) -> Vec<ChunkMeta> {
+    fn chunk_partition(&self, bytes: Bytes, per_segment_overhead_bytes: Bytes) -> Vec<ChunkMeta> {
         let nsegs = bytes.div_ceil(self.segment).max(1);
         let mut metas = Vec::with_capacity(nsegs.div_ceil(self.chunk) as usize);
         let mut segs_left = nsegs;
         let mut payload_left = bytes;
         while segs_left > 0 {
             let csegs = segs_left.min(self.chunk);
-            let cpayload = payload_left.min(csegs * self.segment);
+            let cpayload = payload_left.min(self.segment * csegs);
             payload_left -= cpayload;
             segs_left -= csegs;
-            let cwire = cpayload + csegs * per_segment_overhead_bytes;
+            let cwire = cpayload + per_segment_overhead_bytes * csegs;
             metas.push(ChunkMeta {
                 csegs,
                 cwire,
-                seg_wire: cwire.div_ceil(csegs),
+                seg_wire: cwire.div_ceil_count(csegs),
             });
         }
         metas
     }
 
     /// The segment size used to cut messages.
-    pub fn segment_size(&self) -> u64 {
+    pub fn segment_size(&self) -> Bytes {
         self.segment
     }
 
@@ -555,7 +560,7 @@ impl Pipeline {
     /// `per_segment_overhead_bytes` of headers on every segment) through all
     /// stages, starting now. Returns the completion time at the pipeline
     /// exit without sleeping — used when the caller wants to overlap.
-    pub fn reserve_message(&self, bytes: u64, per_segment_overhead_bytes: u64) -> SimTime {
+    pub fn reserve_message(&self, bytes: Bytes, per_segment_overhead_bytes: Bytes) -> SimTime {
         let now = self.sim.now();
         let nsegs = bytes.div_ceil(self.segment).max(1);
         let mut exit = now;
@@ -597,7 +602,7 @@ impl Pipeline {
     ///
     /// The block also may not finish stage `j+1` before one segment-time
     /// after it finished stage `j` (data cannot overtake itself).
-    pub async fn transfer(&self, bytes: u64, per_segment_overhead_bytes: u64) {
+    pub async fn transfer(&self, bytes: Bytes, per_segment_overhead_bytes: Bytes) {
         let nsegs = bytes.div_ceil(self.segment).max(1);
         if nsegs <= self.chunk {
             let done = self.reserve_message(bytes, per_segment_overhead_bytes);
@@ -679,8 +684,8 @@ impl Pipeline {
     /// and demotes it (see [`Speculation::demote`]).
     fn try_fast_path(
         &self,
-        bytes: u64,
-        per_segment_overhead_bytes: u64,
+        bytes: Bytes,
+        per_segment_overhead_bytes: Bytes,
         part: &mut Option<Rc<[ChunkMeta]>>,
     ) -> Option<Rc<Speculation>> {
         let now = self.sim.now();
@@ -908,8 +913,8 @@ fn compute_plan(stages: &[Stage], metas: &[ChunkMeta], now: SimTime) -> Option<P
                 coalesced += 1; // the by_start sleep
             }
             let seg_service = stage.pipe.service_time(meta.seg_wire);
-            let block =
-                stage.pipe.service_time(meta.cwire) + stage.pipe.service_time(0) * (meta.csegs - 1);
+            let block = stage.pipe.service_time(meta.cwire)
+                + stage.pipe.service_time(Bytes::ZERO) * (meta.csegs - 1);
             let floor = (prev_end + seg_service + prev_lat) - block;
             let earliest = tw.max(floor);
             if c > 0 && tw.as_nanos() <= last_wall[s] {
@@ -1112,7 +1117,9 @@ impl Speculation {
             pipe.state
                 .transfers
                 .set(pipe.state.transfers.get() + meta.csegs);
-            pipe.state.bytes.set(pipe.state.bytes.get() + meta.cwire);
+            pipe.state
+                .bytes
+                .set(pipe.state.bytes.get() + meta.cwire.get());
         }
         self.mat[s].set(c as u32);
     }
@@ -1160,7 +1167,9 @@ impl Speculation {
                     pipe.state
                         .transfers
                         .set(pipe.state.transfers.get() + meta.csegs);
-                    pipe.state.bytes.set(pipe.state.bytes.get() + meta.cwire);
+                    pipe.state
+                        .bytes
+                        .set(pipe.state.bytes.get() + meta.cwire.get());
                 }
             }
             self.mat[s].set(self.metas.len() as u32);
@@ -1184,7 +1193,7 @@ impl Speculation {
                     .pipe
                     .bulk_service(m.cwire, m.csegs)
                     .as_nanos();
-                Some((busy - b0, bytes - m.cwire, transfers - m.csegs))
+                Some((busy - b0, bytes - m.cwire.get(), transfers - m.csegs))
             }
             _ => None,
         }
@@ -1334,17 +1343,25 @@ mod tests {
         SimDuration::from_micros(n)
     }
 
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
+
+    fn gbps(n: u64) -> ByteRate {
+        ByteRate::from_gbps(n)
+    }
+
     #[test]
     fn pipe_serializes_back_to_back() {
         let sim = Sim::new();
         // 1 GB/s → 1000 bytes take 1 µs.
-        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let pipe = Pipe::new(&sim, gbps(8), SimDuration::ZERO);
         let p = pipe;
         let s = sim.clone();
         sim.block_on(async move {
-            p.transfer(1000).await;
+            p.transfer(b(1000)).await;
             assert_eq!(s.now().as_nanos(), 1_000);
-            p.transfer(1000).await;
+            p.transfer(b(1000)).await;
             assert_eq!(s.now().as_nanos(), 2_000);
         });
     }
@@ -1352,13 +1369,13 @@ mod tests {
     #[test]
     fn pipe_fifo_under_contention() {
         let sim = Sim::new();
-        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let pipe = Pipe::new(&sim, gbps(8), SimDuration::ZERO);
         let mut handles = Vec::new();
         for _ in 0..3 {
             let p = pipe.clone();
             let s = sim.clone();
             handles.push(sim.spawn(async move {
-                p.transfer(500).await;
+                p.transfer(b(500)).await;
                 s.now().as_nanos()
             }));
         }
@@ -1370,11 +1387,11 @@ mod tests {
     #[test]
     fn pipe_overhead_charged_per_transfer() {
         let sim = Sim::new();
-        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::from_nanos(200));
+        let pipe = Pipe::new(&sim, gbps(8), SimDuration::from_nanos(200));
         let p = pipe.clone();
         let s = sim.clone();
         sim.block_on(async move {
-            p.transfer(100).await; // 200 + 100 ns
+            p.transfer(b(100)).await; // 200 + 100 ns
             assert_eq!(s.now().as_nanos(), 300);
         });
         assert_eq!(pipe.total_transfers(), 1);
@@ -1384,11 +1401,11 @@ mod tests {
     #[test]
     fn link_adds_propagation_after_serialization() {
         let sim = Sim::new();
-        let link = Link::new(&sim, 1_250_000_000, us(1));
+        let link = Link::new(&sim, gbps(10), us(1));
         let l = link;
         let s = sim.clone();
         sim.block_on(async move {
-            l.transfer(1250).await; // 1 µs wire + 1 µs propagation
+            l.transfer(b(1250)).await; // 1 µs wire + 1 µs propagation
             assert_eq!(s.now().as_nanos(), 2_000);
         });
     }
@@ -1396,16 +1413,16 @@ mod tests {
     #[test]
     fn pipeline_single_segment_sums_stage_times() {
         let sim = Sim::new();
-        let a = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
-        let b = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
+        let a = Pipe::new(&sim, gbps(8), SimDuration::ZERO);
+        let b = Pipe::new(&sim, gbps(16), SimDuration::ZERO);
         let pl = Pipeline::new(
             &sim,
             vec![Stage::new(a, us(1)), Stage::new(b, SimDuration::ZERO)],
-            1500,
+            Bytes::new(1500),
         );
         let s = sim.clone();
         sim.block_on(async move {
-            pl.transfer(1000, 0).await;
+            pl.transfer(Bytes::new(1000), Bytes::ZERO).await;
             // 1000ns (stage a) + 1000ns latency + 500ns (stage b)
             assert_eq!(s.now().as_nanos(), 2_500);
         });
@@ -1414,15 +1431,15 @@ mod tests {
     #[test]
     fn pipeline_long_message_is_bottleneck_limited() {
         let sim = Sim::new();
-        let fast = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
-        let slow = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO); // bottleneck
+        let fast = Pipe::new(&sim, gbps(16), SimDuration::ZERO);
+        let slow = Pipe::new(&sim, gbps(8), SimDuration::ZERO); // bottleneck
         let pl = Pipeline::new(
             &sim,
             vec![
                 Stage::new(fast, SimDuration::ZERO),
                 Stage::new(slow, SimDuration::ZERO),
             ],
-            1000,
+            b(1000),
         );
         let s = sim.clone();
         sim.block_on(async move {
@@ -1430,7 +1447,7 @@ mod tests {
             // chunks: the first segment exits the fast stage at 500 ns and
             // the remaining 80 drain at the bottleneck rate — the ideal
             // wormhole-pipelined completion time.
-            pl.transfer(80_000, 0).await;
+            pl.transfer(b(80_000), Bytes::ZERO).await;
             assert_eq!(s.now().as_nanos(), 500 + 80 * 1_000);
         });
         let eff = 80_000.0 / sim.now().as_secs_f64() / 1e9;
@@ -1441,21 +1458,21 @@ mod tests {
     fn pipeline_short_message_pipelines_at_segment_granularity() {
         // At or below one pacing chunk, segments overlap stages exactly.
         let sim = Sim::new();
-        let fast = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
-        let slow = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let fast = Pipe::new(&sim, gbps(16), SimDuration::ZERO);
+        let slow = Pipe::new(&sim, gbps(8), SimDuration::ZERO);
         let pl = Pipeline::new(
             &sim,
             vec![
                 Stage::new(fast, SimDuration::ZERO),
                 Stage::new(slow, SimDuration::ZERO),
             ],
-            1000,
+            b(1000),
         );
         let s = sim.clone();
         sim.block_on(async move {
             // 8 segments: first exits at 500+1000; the rest drain at the
             // bottleneck (1000 ns each).
-            pl.transfer(8_000, 0).await;
+            pl.transfer(b(8_000), Bytes::ZERO).await;
             assert_eq!(s.now().as_nanos(), 1_500 + 7 * 1_000);
         });
     }
@@ -1467,21 +1484,21 @@ mod tests {
         // aggregate completes in less than 2x the single-connection time.
         let sim = Sim::new();
         let stages: Vec<Stage> = (0..3)
-            .map(|_| Stage::new(Pipe::new(&sim, 1_000_000_000, us(1)), SimDuration::ZERO))
+            .map(|_| Stage::new(Pipe::new(&sim, gbps(8), us(1)), SimDuration::ZERO))
             .collect();
-        let pl = Pipeline::new(&sim, stages, 1500);
+        let pl = Pipeline::new(&sim, stages, b(1500));
 
         // Serial: two messages one after the other.
         let serial = {
             let sim2 = Sim::new();
             let stages: Vec<Stage> = (0..3)
-                .map(|_| Stage::new(Pipe::new(&sim2, 1_000_000_000, us(1)), SimDuration::ZERO))
+                .map(|_| Stage::new(Pipe::new(&sim2, gbps(8), us(1)), SimDuration::ZERO))
                 .collect();
             let pl2 = Pipeline::new(&sim2, stages, pl.segment_size());
             let s = sim2.clone();
             sim2.block_on(async move {
-                pl2.transfer(1000, 0).await;
-                pl2.transfer(1000, 0).await;
+                pl2.transfer(b(1000), Bytes::ZERO).await;
+                pl2.transfer(b(1000), Bytes::ZERO).await;
                 s.now()
             })
         };
@@ -1489,9 +1506,9 @@ mod tests {
         // Overlapped: both messages enter together.
         let h1 = {
             let pl = pl.clone();
-            sim.spawn(async move { pl.transfer(1000, 0).await })
+            sim.spawn(async move { pl.transfer(b(1000), Bytes::ZERO).await })
         };
-        let h2 = { sim.spawn(async move { pl.transfer(1000, 0).await }) };
+        let h2 = { sim.spawn(async move { pl.transfer(b(1000), Bytes::ZERO).await }) };
         sim.block_on(async move {
             join_all(vec![h1, h2]).await;
         });
@@ -1505,12 +1522,12 @@ mod tests {
     #[test]
     fn pipeline_per_segment_overhead_inflates_wire_time() {
         let sim = Sim::new();
-        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
-        let pl = Pipeline::new(&sim, vec![Stage::new(pipe, SimDuration::ZERO)], 1000);
+        let pipe = Pipe::new(&sim, gbps(8), SimDuration::ZERO);
+        let pl = Pipeline::new(&sim, vec![Stage::new(pipe, SimDuration::ZERO)], b(1000));
         let s = sim.clone();
         sim.block_on(async move {
             // 2 segments x (1000 payload + 100 header) = 2200 ns.
-            pl.transfer(2000, 100).await;
+            pl.transfer(b(2000), b(100)).await;
             assert_eq!(s.now().as_nanos(), 2_200);
         });
     }
@@ -1519,9 +1536,21 @@ mod tests {
     /// inter-stage latencies — awkward enough that any arithmetic drift
     /// between the closed-form replay and the walk shows up.
     fn crooked_pipeline(sim: &Sim) -> Pipeline {
-        let a = Pipe::new(sim, 1_700_000_000, SimDuration::from_nanos(37));
-        let b = Pipe::new(sim, 900_000_000, SimDuration::from_nanos(11));
-        let c = Pipe::new(sim, 2_300_000_000, SimDuration::ZERO);
+        let a = Pipe::new(
+            sim,
+            ByteRate::from_bytes_per_sec(1_700_000_000),
+            SimDuration::from_nanos(37),
+        );
+        let b = Pipe::new(
+            sim,
+            ByteRate::from_bytes_per_sec(900_000_000),
+            SimDuration::from_nanos(11),
+        );
+        let c = Pipe::new(
+            sim,
+            ByteRate::from_bytes_per_sec(2_300_000_000),
+            SimDuration::ZERO,
+        );
         Pipeline::new(
             sim,
             vec![
@@ -1529,7 +1558,7 @@ mod tests {
                 Stage::new(b, SimDuration::ZERO),
                 Stage::new(c, SimDuration::from_nanos(92)),
             ],
-            1464,
+            Bytes::new(1464),
         )
     }
 
@@ -1548,19 +1577,19 @@ mod tests {
     #[test]
     fn fast_path_commits_when_uncontended() {
         let sim = Sim::new();
-        let fast = Pipe::new(&sim, 2_000_000_000, SimDuration::ZERO);
-        let slow = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let fast = Pipe::new(&sim, gbps(16), SimDuration::ZERO);
+        let slow = Pipe::new(&sim, gbps(8), SimDuration::ZERO);
         let pl = Pipeline::new(
             &sim,
             vec![
                 Stage::new(fast, SimDuration::ZERO),
                 Stage::new(slow, SimDuration::ZERO),
             ],
-            1000,
+            b(1000),
         );
         let s = sim.clone();
         sim.block_on(async move {
-            pl.transfer(80_000, 0).await;
+            pl.transfer(b(80_000), Bytes::ZERO).await;
             // Same pinned wormhole completion the per-segment walk gives.
             assert_eq!(s.now().as_nanos(), 500 + 80 * 1_000);
         });
@@ -1579,7 +1608,7 @@ mod tests {
             let pl2 = pl;
             let s = sim.clone();
             sim.block_on(async move {
-                pl2.transfer(123_456, 40).await;
+                pl2.transfer(b(123_456), b(40)).await;
                 observe(&pl2, s.now())
             })
         };
@@ -1600,12 +1629,12 @@ mod tests {
             let sa = sim.clone();
             let sb = sim.clone();
             let h1 = sim.spawn(async move {
-                pa.transfer(200_000, 0).await;
+                pa.transfer(b(200_000), Bytes::ZERO).await;
                 sa.now().as_nanos()
             });
             let h2 = sim.spawn(async move {
                 sb.sleep(SimDuration::from_micros(30)).await;
-                pb.transfer(64_000, 0).await;
+                pb.transfer(b(64_000), Bytes::ZERO).await;
                 sb.now().as_nanos()
             });
             let ends = sim.block_on(async move { join_all(vec![h1, h2]).await });
@@ -1629,7 +1658,7 @@ mod tests {
             sim.set_fast_path(enable);
             let pl = crooked_pipeline(&sim);
             let pt = pl.clone();
-            let h = sim.spawn(async move { pt.transfer(300_000, 20).await });
+            let h = sim.spawn(async move { pt.transfer(b(300_000), b(20)).await });
             let po = pl;
             let so = sim.clone();
             let obs = sim.spawn(async move {
@@ -1658,7 +1687,7 @@ mod tests {
             let s = sim.clone();
             let obs = sim.block_on(async move {
                 for _ in 0..4 {
-                    pl2.transfer(123_456, 40).await;
+                    pl2.transfer(b(123_456), b(40)).await;
                 }
                 observe(&pl2, s.now())
             });
@@ -1694,8 +1723,8 @@ mod tests {
             let sa = sim.clone();
             let sb = sim.clone();
             let h1 = sim.spawn(async move {
-                pa.transfer(200_000, 0).await; // primes the memo
-                pa.transfer(200_000, 0).await; // memo hit, then demoted
+                pa.transfer(b(200_000), Bytes::ZERO).await; // primes the memo
+                pa.transfer(b(200_000), Bytes::ZERO).await; // memo hit, then demoted
                 sa.now().as_nanos()
             });
             let h2 = sim.spawn(async move {
@@ -1703,7 +1732,7 @@ mod tests {
                 // the first 200 kB transfer drains at the ~0.9 GB/s
                 // bottleneck in ~225 µs, so 250 µs is inside [~225, ~450].
                 sb.sleep(SimDuration::from_micros(250)).await;
-                pb.transfer(64_000, 0).await;
+                pb.transfer(b(64_000), Bytes::ZERO).await;
                 sb.now().as_nanos()
             });
             let ends = sim.block_on(async move { join_all(vec![h1, h2]).await });
@@ -1733,7 +1762,7 @@ mod tests {
             // memo-eligible): each is a miss and the overflow evicts the
             // oldest key.
             for i in 0..(MEMO_CAPACITY as u64 + 8) {
-                pl2.transfer(30_000 + i * 971, 0).await;
+                pl2.transfer(b(30_000 + i * 971), Bytes::ZERO).await;
             }
             let _ = &s;
         });
@@ -1746,10 +1775,10 @@ mod tests {
     #[test]
     fn calendar_peak_len_is_tracked() {
         let sim = Sim::new();
-        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::ZERO);
+        let pipe = Pipe::new(&sim, gbps(8), SimDuration::ZERO);
         let p = pipe;
         sim.block_on(async move {
-            p.transfer(1000).await;
+            p.transfer(b(1000)).await;
         });
         assert!(sim.stats().calendar_peak_len >= 1);
     }
@@ -1757,11 +1786,11 @@ mod tests {
     #[test]
     fn zero_byte_message_still_occupies_one_segment_slot() {
         let sim = Sim::new();
-        let pipe = Pipe::new(&sim, 1_000_000_000, SimDuration::from_nanos(40));
-        let pl = Pipeline::new(&sim, vec![Stage::new(pipe, SimDuration::ZERO)], 1000);
+        let pipe = Pipe::new(&sim, gbps(8), SimDuration::from_nanos(40));
+        let pl = Pipeline::new(&sim, vec![Stage::new(pipe, SimDuration::ZERO)], b(1000));
         let s = sim.clone();
         sim.block_on(async move {
-            pl.transfer(0, 60).await; // one segment of pure header
+            pl.transfer(Bytes::ZERO, b(60)).await; // one segment of pure header
             assert_eq!(s.now().as_nanos(), 100);
         });
     }

@@ -141,8 +141,8 @@ pub struct HostPath {
     /// Cut-through hop between the halves: declare cross-shard links with
     /// this latency and timestamp payloads across it.
     pub wire_latency: SimDuration,
-    /// Per-segment wire/header overhead bytes for both halves.
-    pub overhead_bytes: u64,
+    /// Per-segment wire/header overhead for both halves.
+    pub overhead_bytes: crate::units::Bytes,
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,8 @@
 //! logic error into an obviously-stuck simulation instead of silent
 //! time travel.
 
+use crate::units::{ByteRate, Bytes};
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -124,21 +126,41 @@ impl SimDuration {
 
     /// Integer division by a count, rounding to nearest; used to normalize
     /// cumulative times over message counts.
+    ///
+    /// # Contract
+    ///
+    /// `n` must be positive: averaging over zero messages has no meaning,
+    /// and callers (benchmark reducers, stage normalizers) guarantee at
+    /// least one sample before dividing. Panics with the stated invariant
+    /// instead of surfacing a bare divide-by-zero.
     #[inline]
     pub fn div_count(self, n: u64) -> SimDuration {
-        debug_assert!(n > 0, "div_count by zero");
+        assert!(n > 0, "SimDuration::div_count over zero messages");
         SimDuration((self.0 + n / 2) / n)
     }
 
-    /// The time to serialize `bytes` at `bytes_per_sec`, rounded up.
+    /// The time to serialize `bytes` at `rate`, rounded up.
     ///
     /// This is the fundamental bandwidth→time conversion used by every
-    /// [`crate::pipe::Pipe`]. Computed in `u128` so that multi-gigabyte
-    /// transfers at multi-GB/s rates cannot overflow.
+    /// [`crate::pipe::Pipe`]; `Bytes / ByteRate` delegates here. Computed
+    /// in `u128` so that multi-gigabyte transfers at multi-GB/s rates
+    /// cannot overflow; the result saturates at `u64::MAX` ns.
+    ///
+    /// # Contract
+    ///
+    /// `rate` must be nonzero — serialization over a zero-bandwidth link
+    /// never completes, so there is no duration to return. Every rate in
+    /// the workspace comes from a calibration constant or [`crate::Pipe`]
+    /// construction, both of which reject zero; the check here turns a
+    /// bare `div_ceil` divide-by-zero into a stated invariant.
     #[inline]
-    pub fn serialize(bytes: u64, bytes_per_sec: u64) -> SimDuration {
-        debug_assert!(bytes_per_sec > 0, "zero-bandwidth serialization");
-        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+    pub fn serialize(bytes: Bytes, rate: ByteRate) -> SimDuration {
+        assert!(
+            !rate.is_zero(),
+            "SimDuration::serialize over a zero-bandwidth rate never completes"
+        );
+        let ns =
+            (bytes.get() as u128 * 1_000_000_000u128).div_ceil(rate.as_bytes_per_sec() as u128);
         SimDuration(ns.min(u64::MAX as u128) as u64)
     }
 }
@@ -214,8 +236,12 @@ impl Mul<u64> for SimDuration {
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
+    /// Floor division by a count. `rhs` must be positive (same contract as
+    /// [`SimDuration::div_count`]); panics with the stated invariant
+    /// instead of a bare divide-by-zero.
     #[inline]
     fn div(self, rhs: u64) -> SimDuration {
+        assert!(rhs > 0, "SimDuration division by a zero count");
         SimDuration(self.0 / rhs)
     }
 }
@@ -290,20 +316,48 @@ mod tests {
     #[test]
     fn serialization_time_rounds_up() {
         // 1 byte at 1 GB/s = 1 ns exactly.
-        assert_eq!(SimDuration::serialize(1, 1_000_000_000).as_nanos(), 1);
+        assert_eq!(
+            SimDuration::serialize(Bytes::new(1), ByteRate::from_gbps(8)).as_nanos(),
+            1
+        );
         // 1500 bytes at 1.25 GB/s (10GbE) = 1200 ns.
-        assert_eq!(SimDuration::serialize(1500, 1_250_000_000).as_nanos(), 1200);
+        assert_eq!(
+            SimDuration::serialize(Bytes::new(1500), ByteRate::from_gbps(10)).as_nanos(),
+            1200
+        );
         // Rounds up: 1 byte at 3 GB/s = ceil(1/3 ns) = 1 ns.
-        assert_eq!(SimDuration::serialize(1, 3_000_000_000).as_nanos(), 1);
+        assert_eq!(
+            SimDuration::serialize(Bytes::new(1), ByteRate::from_bytes_per_sec(3_000_000_000))
+                .as_nanos(),
+            1
+        );
         // Large transfer does not overflow: 16 GiB at 1 GB/s ≈ 17.18 s.
-        let d = SimDuration::serialize(16 << 30, 1_000_000_000);
+        let d = SimDuration::serialize(Bytes::new(16 << 30), ByteRate::from_gbps(8));
         assert!(d.as_secs_f64() > 17.0 && d.as_secs_f64() < 17.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn serialization_over_zero_rate_states_invariant() {
+        let _ = SimDuration::serialize(Bytes::new(1), ByteRate::from_bytes_per_sec(0));
     }
 
     #[test]
     fn div_count_rounds_to_nearest() {
         assert_eq!(SimDuration::from_nanos(10).div_count(4).as_nanos(), 3);
         assert_eq!(SimDuration::from_nanos(9).div_count(3).as_nanos(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero messages")]
+    fn div_count_by_zero_states_invariant() {
+        let _ = SimDuration::from_nanos(10).div_count(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero count")]
+    fn div_operator_by_zero_states_invariant() {
+        let _ = SimDuration::from_nanos(10) / 0;
     }
 
     #[test]

@@ -47,8 +47,8 @@ fn main() {
                 let iters = 20u64;
                 let t0 = sim.now();
                 for _ in 0..iters {
-                    fab.send_msg(0, 1, &ca, &cb, 4).await;
-                    fab.send_msg(1, 0, &cb, &ca, 4).await;
+                    fab.send_msg(0, 1, &ca, &cb, simnet::Bytes::new(4)).await;
+                    fab.send_msg(1, 0, &cb, &ca, simnet::Bytes::new(4)).await;
                 }
                 (sim.now() - t0).as_micros_f64() / (2.0 * iters as f64)
             }

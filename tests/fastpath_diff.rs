@@ -135,7 +135,7 @@ fn run(sc: &Scenario, fast_path: bool) -> (Vec<u64>, u64, u64) {
         .map(|p| {
             Pipe::new(
                 &sim,
-                p.bytes_per_sec,
+                simnet::ByteRate::from_bytes_per_sec(p.bytes_per_sec),
                 SimDuration::from_nanos(p.overhead_ns),
             )
         })
@@ -148,7 +148,7 @@ fn run(sc: &Scenario, fast_path: bool) -> (Vec<u64>, u64, u64) {
                 .iter()
                 .map(|s| Stage::new(pipes[s.pipe].clone(), SimDuration::from_nanos(s.latency_ns)))
                 .collect();
-            Pipeline::new(&sim, st, *segment)
+            Pipeline::new(&sim, st, simnet::Bytes::new(*segment))
         })
         .collect();
     let mut handles = Vec::new();
@@ -159,7 +159,8 @@ fn run(sc: &Scenario, fast_path: bool) -> (Vec<u64>, u64, u64) {
                 let s = sim.clone();
                 handles.push(sim.spawn(async move {
                     s.sleep(SimDuration::from_nanos(delay)).await;
-                    pl.transfer(bytes, hdr).await;
+                    pl.transfer(simnet::Bytes::new(bytes), simnet::Bytes::new(hdr))
+                        .await;
                     s.now().as_nanos()
                 }));
             }
@@ -168,7 +169,7 @@ fn run(sc: &Scenario, fast_path: bool) -> (Vec<u64>, u64, u64) {
                 let s = sim.clone();
                 handles.push(sim.spawn(async move {
                     s.sleep(SimDuration::from_nanos(delay)).await;
-                    p.transfer(bytes).await;
+                    p.transfer(simnet::Bytes::new(bytes)).await;
                     s.now().as_nanos()
                 }));
             }

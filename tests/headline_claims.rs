@@ -146,8 +146,8 @@ fn iwarp_latency_is_unprecedented_relative_to_host_tcp_ethernet() {
             let iters = 20u64;
             let t0 = sim.now();
             for _ in 0..iters {
-                fab.send_msg(0, 1, &ca, &cb, 4).await;
-                fab.send_msg(1, 0, &cb, &ca, 4).await;
+                fab.send_msg(0, 1, &ca, &cb, simnet::Bytes::new(4)).await;
+                fab.send_msg(1, 0, &cb, &ca, simnet::Bytes::new(4)).await;
             }
             (sim.now() - t0).as_micros_f64() / (2.0 * iters as f64)
         }
@@ -174,7 +174,8 @@ fn rdma_eliminates_host_cpu_involvement_host_tcp_does_not() {
         sim.block_on({
             let cb2 = cb.clone();
             async move {
-                fab.send_msg(0, 1, &ca, &cb2, 1 << 20).await;
+                fab.send_msg(0, 1, &ca, &cb2, simnet::Bytes::new(1 << 20))
+                    .await;
             }
         });
         cb.busy_time().as_micros_f64()

@@ -186,7 +186,7 @@ fn run(sc: &Scenario, memo: bool) -> RunOut {
         .map(|p| {
             Pipe::new(
                 &sim,
-                p.bytes_per_sec,
+                simnet::ByteRate::from_bytes_per_sec(p.bytes_per_sec),
                 SimDuration::from_nanos(p.overhead_ns),
             )
         })
@@ -199,7 +199,7 @@ fn run(sc: &Scenario, memo: bool) -> RunOut {
                 .iter()
                 .map(|s| Stage::new(pipes[s.pipe].clone(), SimDuration::from_nanos(s.latency_ns)))
                 .collect();
-            Pipeline::new(&sim, st, *segment)
+            Pipeline::new(&sim, st, simnet::Bytes::new(*segment))
         })
         .collect();
     let mut handles = Vec::new();
@@ -212,7 +212,8 @@ fn run(sc: &Scenario, memo: bool) -> RunOut {
                 handles.push(sim.spawn(async move {
                     s.sleep(SimDuration::from_nanos(delay)).await;
                     for _ in 0..reps {
-                        pl.transfer(bytes, hdr).await;
+                        pl.transfer(simnet::Bytes::new(bytes), simnet::Bytes::new(hdr))
+                            .await;
                     }
                     s.now().as_nanos()
                 }));
@@ -223,7 +224,8 @@ fn run(sc: &Scenario, memo: bool) -> RunOut {
                 let s = sim.clone();
                 handles.push(sim.spawn(async move {
                     s.sleep(SimDuration::from_nanos(delay)).await;
-                    pl.transfer(bytes, hdr).await;
+                    pl.transfer(simnet::Bytes::new(bytes), simnet::Bytes::new(hdr))
+                        .await;
                     s.now().as_nanos()
                 }));
             }
@@ -232,7 +234,7 @@ fn run(sc: &Scenario, memo: bool) -> RunOut {
                 let s = sim.clone();
                 handles.push(sim.spawn(async move {
                     s.sleep(SimDuration::from_nanos(delay)).await;
-                    p.transfer(bytes).await;
+                    p.transfer(simnet::Bytes::new(bytes)).await;
                     s.now().as_nanos()
                 }));
             }
@@ -252,16 +254,22 @@ fn run(sc: &Scenario, memo: bool) -> RunOut {
                 handles.push(sim.spawn(async move {
                     s.sleep(SimDuration::from_nanos(delay)).await;
                     match plane.judge(&s, stream) {
-                        FaultDecision::Deliver => pl.transfer(bytes, hdr).await,
+                        FaultDecision::Deliver => {
+                            pl.transfer(simnet::Bytes::new(bytes), simnet::Bytes::new(hdr))
+                                .await;
+                        }
                         FaultDecision::Drop | FaultDecision::Corrupt => {
                             // The unit is lost; resend after a fixed RTO.
-                            pl.transfer(bytes, hdr).await;
+                            pl.transfer(simnet::Bytes::new(bytes), simnet::Bytes::new(hdr))
+                                .await;
                             s.sleep(SimDuration::from_micros(50)).await;
-                            pl.transfer(bytes, hdr).await;
+                            pl.transfer(simnet::Bytes::new(bytes), simnet::Bytes::new(hdr))
+                                .await;
                         }
                         FaultDecision::Delay => {
                             s.sleep(plane.delay()).await;
-                            pl.transfer(bytes, hdr).await;
+                            pl.transfer(simnet::Bytes::new(bytes), simnet::Bytes::new(hdr))
+                                .await;
                         }
                     }
                     s.now().as_nanos()
@@ -370,15 +378,23 @@ fn fault_counters_advance_identically_on_memo_hits() {
         sim.set_fault_fingerprint(plane.fingerprint());
         let stages = vec![
             Stage::new(
-                Pipe::new(&sim, 1_250_000_000, SimDuration::from_nanos(40)),
+                Pipe::new(
+                    &sim,
+                    simnet::ByteRate::from_gbps(10),
+                    SimDuration::from_nanos(40),
+                ),
                 SimDuration::from_nanos(500),
             ),
             Stage::new(
-                Pipe::new(&sim, 900_000_001, SimDuration::from_nanos(25)),
+                Pipe::new(
+                    &sim,
+                    simnet::ByteRate::from_bytes_per_sec(900_000_001),
+                    SimDuration::from_nanos(25),
+                ),
                 SimDuration::ZERO,
             ),
         ];
-        let pl = Pipeline::new(&sim, stages, 1_000);
+        let pl = Pipeline::new(&sim, stages, simnet::Bytes::new(1_000));
         let p = plane;
         let s = sim.clone();
         let seq = sim.block_on(async move {
@@ -386,7 +402,8 @@ fn fault_counters_advance_identically_on_memo_hits() {
             for _ in 0..64 {
                 let d = p.judge(&s, 7);
                 seq.push(d as u64);
-                pl.transfer(24_000, 32).await;
+                pl.transfer(simnet::Bytes::new(24_000), simnet::Bytes::new(32))
+                    .await;
                 if d == FaultDecision::Delay {
                     s.sleep(p.delay()).await;
                 }

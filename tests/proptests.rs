@@ -235,10 +235,14 @@ proptest! {
         requests in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..50),
     ) {
         let sim = simnet::Sim::new();
-        let pipe = simnet::Pipe::new(&sim, 1_000_000_000, simnet::SimDuration::ZERO);
+        let pipe = simnet::Pipe::new(
+            &sim,
+            simnet::ByteRate::from_gbps(8),
+            simnet::SimDuration::ZERO,
+        );
         let mut intervals: Vec<(u64, u64)> = Vec::new();
         for (earliest, bytes) in requests {
-            let (s, e) = pipe.reserve(simnet::SimTime::from_nanos(earliest), bytes);
+            let (s, e) = pipe.reserve(simnet::SimTime::from_nanos(earliest), simnet::Bytes::new(bytes));
             prop_assert!(s.as_nanos() >= earliest);
             prop_assert!(e > s);
             for &(os, oe) in &intervals {
