@@ -149,12 +149,21 @@ if [ "$memo_on" != "$memo_off" ]; then
     exit 1
 fi
 
+echo "==> smoke + digest: fig-tail (open-loop workload engine end to end)"
+# The tail-latency family stacks the seeded arrival generators, the mpsc
+# flow queues, every fabric's host path and the quantile sketch; its
+# digest gate is the one that catches a nondeterministic workload engine.
+rm -f results/ci/fig-tail-*.json
+./target/release/figures fig-tail --json results/ci/ > /dev/null
+(cd results/ci && sha256sum -c ../fig-tail.sha256)
+
 echo "==> determinism: --threads 1 vs --threads 4 output is byte-identical"
 # The worker-pool cap (figure groups AND the sharded engine's worker
 # count) may change wall-clock time only. Compare the full table output
-# of the cheapest paper figure and of the sharded cluster figure across
-# thread counts; any byte of drift is a synchronization bug, not noise.
-for sel in fig1 shard; do
+# of the cheapest paper figure, the sharded cluster figure and the
+# open-loop workload figures across thread counts; any byte of drift is
+# a synchronization bug, not noise.
+for sel in fig1 shard fig-tail; do
     t1=$(./target/release/figures "$sel" --threads 1 | sha256sum | cut -d' ' -f1)
     t4=$(./target/release/figures "$sel" --threads 4 | sha256sum | cut -d' ' -f1)
     if [ "$t1" != "$t4" ]; then
@@ -220,6 +229,21 @@ rm -f results/ci-simcheck/fig1-*.json
 ./target/release/figures fig1 --json results/ci-simcheck/ > /dev/null
 (cd results/ci-simcheck && sha256sum -c ../fig1.sha256)
 
+echo "==> conformance: workload.conservation armed on a checked fig-tail run"
+# Every open-loop workload run re-derives flow conservation through the
+# shadow-tally oracle; the checked binary exits nonzero on any violation.
+# Assert the rule actually executed (a disconnected oracle would pass
+# silently) and that the checked bytes match the unchecked digest.
+rm -f results/ci-simcheck/fig-tail-*.json
+./target/release/figures fig-tail --json results/ci-simcheck/ \
+    2> results/ci/fig-tail-simcheck.stderr > /dev/null
+grep -q "workload.conservation" results/ci/fig-tail-simcheck.stderr || {
+    cat results/ci/fig-tail-simcheck.stderr >&2
+    echo "checked fig-tail run never exercised workload.conservation" >&2
+    exit 1
+}
+(cd results/ci-simcheck && sha256sum -c ../fig-tail.sha256)
+
 echo "==> perf trajectory: results/bench_summary.json (figures all, memo on vs off)"
 # Times the full figure suite with the transfer memo enabled and
 # force-disabled, asserts the two outputs are byte-identical, and folds
@@ -234,16 +258,15 @@ LOG = "results/figures.log"
 
 
 def run_once(extra):
-    try:
-        before = sum(1 for _ in open(LOG))
-    except FileNotFoundError:
-        before = 0
     out = subprocess.run(
         ["./target/release/figures", "all", *extra],
         check=True, capture_output=True,
     ).stdout
+    # Each figures process truncates the log on its first write (one run
+    # per log, no accretion), so after the subprocess exits the whole log
+    # is exactly that run's group lines.
     groups = {}
-    for line in list(open(LOG))[before:]:
+    for line in open(LOG):
         kv = dict(f.split("=", 1) for f in line.split())
         groups[kv["group"]] = int(kv["wall_ms"])
     return out, groups
@@ -280,6 +303,19 @@ summary = {
         "memo_misses": selftest["memo_misses"],
         "memo_evictions": selftest["memo_evictions"],
         "memo_hit_rate": selftest["memo_hit_rate"],
+    },
+    "fig_tail": {
+        # Wall clock of the open-loop workload group plus the selftest's
+        # sketch percentiles (nearest-rank, integer ns) — the workload
+        # engine's perf and tail shape tracked across PRs in one place.
+        "wall_ms_memo_on": on["fig-tail"],
+        "wall_ms_memo_off": off["fig-tail"],
+        "flows_issued": selftest["flows_issued"],
+        "flows_completed": selftest["flows_completed"],
+        "gen_backlog_peak": selftest["gen_backlog_peak"],
+        "flow_p50_ns": selftest["flow_p50_ns"],
+        "flow_p99_ns": selftest["flow_p99_ns"],
+        "flow_p999_ns": selftest["flow_p999_ns"],
     },
     "transfer_memo_median_ns": bench,
 }

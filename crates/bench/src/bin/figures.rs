@@ -249,13 +249,55 @@ fn run_selftest() {
     println!("  cross_shard_events {}", out.stats.cross_shard_events);
     println!("  lookahead_rounds  {}", out.stats.lookahead_rounds);
     println!("  merge_queue_peak  {}", out.stats.merge_queue_peak);
+
+    // Phase 5: the open-loop workload engine — a short overloaded RPC/KV
+    // run through its whole path (seeded arrivals, fabric round trips,
+    // quantile sketch), reporting the workload counters.
+    let t2 = std::time::Instant::now();
+    let spec = netbench::workload::WorkloadSpec::rpc_kv(
+        mpisim::FabricKind::Iwarp,
+        4,
+        256,
+        SimDuration::from_micros(2),
+        0x7A11,
+    );
+    let sketch = std::rc::Rc::new(std::cell::RefCell::new(bench::sketch::LatencySketch::new()));
+    let sink: netbench::workload::FlowSink = {
+        let sketch = std::rc::Rc::clone(&sketch);
+        std::rc::Rc::new(std::cell::RefCell::new(
+            move |_tenant: usize, lat: SimDuration| {
+                sketch.borrow_mut().record(lat.as_nanos());
+            },
+        ))
+    };
+    let wl = netbench::workload::run_workload(&spec, &sink);
+    let wl_wall = t2.elapsed();
+    let sk = sketch.borrow();
+    println!(
+        "workload selftest: {} events in {:.3}s wall ({} ns simulated)",
+        wl.stats.events(),
+        wl_wall.as_secs_f64(),
+        wl.end.as_nanos(),
+    );
+    println!("  flows_issued      {}", wl.stats.flows_issued);
+    println!("  flows_completed   {}", wl.stats.flows_completed);
+    println!("  gen_backlog_peak  {}", wl.stats.gen_backlog_peak);
+    println!("  flow_p50_ns       {}", sk.p50());
+    println!("  flow_p99_ns       {}", sk.p99());
+    println!("  flow_p999_ns      {}", sk.p999());
     if let Ok(path) = std::env::var("BENCH_JSON") {
         let out = format!(
-            "[\n  {{\"id\": \"figures/selftest\", \"events\": {events}, \"wall_ns\": {}, \"events_per_sec\": {eps:.0}, \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evictions\": {}, \"memo_hit_rate\": {memo_hit_rate:.3}}}\n]\n",
+            "[\n  {{\"id\": \"figures/selftest\", \"events\": {events}, \"wall_ns\": {}, \"events_per_sec\": {eps:.0}, \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evictions\": {}, \"memo_hit_rate\": {memo_hit_rate:.3}, \"flows_issued\": {}, \"flows_completed\": {}, \"gen_backlog_peak\": {}, \"flow_p50_ns\": {}, \"flow_p99_ns\": {}, \"flow_p999_ns\": {}}}\n]\n",
             wall.as_nanos(),
             st.memo_hits,
             st.memo_misses,
             st.memo_evictions,
+            wl.stats.flows_issued,
+            wl.stats.flows_completed,
+            wl.stats.gen_backlog_peak,
+            sk.p50(),
+            sk.p99(),
+            sk.p999(),
         );
         if let Some(dir) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(dir);

@@ -13,6 +13,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod sketch;
+pub mod tail;
+
 use netbench::Figure;
 
 /// The full experiment catalog: `(selector, generator)` pairs. Each
@@ -93,6 +96,9 @@ pub fn catalog() -> Vec<(&'static str, Generator)> {
             ]
         }),
         ("shard", || vec![netbench::cluster::fig_cluster_bandwidth()]),
+        ("fig-tail", || {
+            vec![tail::fig_tail_latency(), tail::fig_tail_knee()]
+        }),
     ]
 }
 
@@ -155,8 +161,17 @@ pub fn generate_parallel_with(which: &str, threads: usize) -> Vec<Figure> {
     slots.into_iter().flatten().flatten().collect()
 }
 
-/// Append per-group wall-clock timings to `results/figures.log`, one line
-/// per group: `group=<id> figures=<n> threads=<n> wall_ms=<ms>`. Best
+/// Whether this process has already written to `results/figures.log`.
+/// The first write of a process truncates the log (each run starts a
+/// fresh log instead of accreting onto every previous run's); subsequent
+/// writes in the same process append, so multi-call runs (e.g. a binary
+/// generating several selections) still see all their own lines.
+static FIGURES_LOG_STARTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Log per-group wall-clock timings to `results/figures.log`, one line
+/// per group: `group=<id> threads=<n> wall_ms=<ms>`. The log holds one
+/// run: the process's first write truncates it, later writes append. Best
 /// effort: resolved against the workspace first, then the current
 /// directory; silently skipped when neither has a `results/` directory.
 fn log_group_timings(
@@ -174,11 +189,14 @@ fn log_group_timings(
             wall.as_millis()
         ));
     }
-    if let Ok(mut f) = std::fs::OpenOptions::new()
-        .append(true)
-        .create(true)
-        .open(&path)
-    {
+    let first = !FIGURES_LOG_STARTED.swap(true, std::sync::atomic::Ordering::SeqCst);
+    let mut opts = std::fs::OpenOptions::new();
+    if first {
+        opts.write(true).truncate(true);
+    } else {
+        opts.append(true);
+    }
+    if let Ok(mut f) = opts.create(true).open(&path) {
         use std::io::Write;
         let _ = f.write_all(lines.as_bytes());
     }

@@ -20,6 +20,7 @@
 //! | (§6, omitted for space) | [`hotspot::hotspot_latency`] | hot-spot communication |
 //! | (beyond the paper) | [`loss::fig_loss_latency`] / [`loss::fig_loss_bandwidth`] | recovery under injected loss |
 //! | (beyond the paper) | [`cluster::fig_cluster_bandwidth`] | sharded multi-host exchange |
+//! | (beyond the paper) | [`workload::run_workload`] | open-loop tail latency vs offered load |
 //!
 //! Each generator builds a fresh deterministic simulation, runs the
 //! workload, and returns a [`report::Figure`] whose series carry the same
@@ -42,5 +43,6 @@ pub mod report;
 pub mod reuse;
 pub mod sweep;
 pub mod userlevel;
+pub mod workload;
 
 pub use report::{Figure, Series};

@@ -226,6 +226,16 @@ impl HostTcpFabric {
 /// and interrupt-driven RX stack as `ingress`; the XG700's cut-through
 /// forwarding delay as the cross-shard `wire_latency`.
 pub fn shard_host_path(sim: &Sim, calib: HostTcpCalib) -> simnet::shard::HostPath {
+    shard_host_path_at(sim, 0, calib)
+}
+
+/// [`shard_host_path`] for an explicit host placement, matching the other
+/// fabrics' node-indexed constructors. The software stack carries no
+/// per-node device state — every call already builds private pipes — so
+/// `node` here only documents the placement; it exists so the open-loop
+/// workload engine can materialize a client/server pair with one uniform
+/// signature across all four fabrics.
+pub fn shard_host_path_at(sim: &Sim, _node: usize, calib: HostTcpCalib) -> simnet::shard::HostPath {
     // A stack that takes `per_seg` per MSS-sized segment is a "bandwidth"
     // resource of mss/per_seg bytes per second (same formula as
     // `HostTcpFabric::with_calib`).

@@ -32,7 +32,7 @@ pub mod switch;
 pub mod tcp;
 
 pub use frame::{EthernetHeader, ETHERTYPE_IPV4, ETH_HEADER_LEN, ETH_MTU, ETH_WIRE_OVERHEAD};
-pub use hostnic::{shard_host_path, HostTcpCalib, HostTcpFabric};
+pub use hostnic::{shard_host_path, shard_host_path_at, HostTcpCalib, HostTcpFabric};
 pub use ipv4::Ipv4Header;
 pub use recovery::{transfer_with_recovery, RecoveryStats, TcpTuning};
 pub use switch::{CutThroughSwitch, SwitchConfig};

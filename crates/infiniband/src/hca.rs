@@ -227,7 +227,15 @@ impl IbFabric {
 /// send and receive directions contend within its shard exactly as in
 /// [`IbFabric::data_path`].
 pub fn shard_host_path(sim: &Sim, calib: MellanoxCalib) -> simnet::shard::HostPath {
-    let dev = HcaDevice::new(sim, 0, calib);
+    shard_host_path_at(sim, 0, calib)
+}
+
+/// [`shard_host_path`] for an explicit host placement: the HCA is built
+/// as node `node`, so multiple hosts materialized on *one* calendar (the
+/// open-loop workload engine's client/server pair) get distinct devices
+/// with private pipes instead of two aliases of node 0.
+pub fn shard_host_path_at(sim: &Sim, node: usize, calib: MellanoxCalib) -> simnet::shard::HostPath {
+    let dev = HcaDevice::new(sim, node, calib);
     let c = dev.calib;
     let egress = Pipeline::with_chunk(
         sim,

@@ -244,7 +244,19 @@ impl IwarpFabric {
 /// handles, the returned pipelines share their stage calendars across
 /// clones, so every endpoint on the shard contends on the same pipes.
 pub fn shard_host_path(sim: &Sim, calib: NetEffectCalib) -> simnet::shard::HostPath {
-    let dev = RnicDevice::new(sim, 0, calib);
+    shard_host_path_at(sim, 0, calib)
+}
+
+/// [`shard_host_path`] for an explicit host placement: the RNIC is built
+/// as node `node`, so multiple hosts materialized on *one* calendar (the
+/// open-loop workload engine's client/server pair) get distinct devices
+/// with private pipes instead of two aliases of node 0.
+pub fn shard_host_path_at(
+    sim: &Sim,
+    node: usize,
+    calib: NetEffectCalib,
+) -> simnet::shard::HostPath {
+    let dev = RnicDevice::new(sim, node, calib);
     let c = dev.calib;
     let egress = Pipeline::new(
         sim,

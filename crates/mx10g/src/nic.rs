@@ -199,7 +199,20 @@ impl MxFabric {
 /// switch (Myricom crossbar for MXoM, XG700 for MXoE) contributing its
 /// forwarding delay as the cross-shard `wire_latency`.
 pub fn shard_host_path(sim: &Sim, mode: LinkMode, calib: MyriCalib) -> simnet::shard::HostPath {
-    let dev = MxNic::new(sim, 0, calib);
+    shard_host_path_at(sim, 0, mode, calib)
+}
+
+/// [`shard_host_path`] for an explicit host placement: the NIC is built
+/// as node `node`, so multiple hosts materialized on *one* calendar (the
+/// open-loop workload engine's client/server pair) get distinct devices
+/// with private pipes instead of two aliases of node 0.
+pub fn shard_host_path_at(
+    sim: &Sim,
+    node: usize,
+    mode: LinkMode,
+    calib: MyriCalib,
+) -> simnet::shard::HostPath {
+    let dev = MxNic::new(sim, node, calib);
     let c = dev.calib;
     let (cfg, payload, overhead) = match mode {
         LinkMode::MxoM => (

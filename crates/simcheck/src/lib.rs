@@ -43,6 +43,7 @@ pub mod ib;
 pub mod iwarp;
 pub mod mx;
 pub mod shard;
+pub mod workload;
 
 /// Conformance rules, one per oracle check. The string ids are stable and
 /// appear in reports, CI output, and DESIGN.md.
@@ -92,11 +93,16 @@ pub enum Rule {
     /// one lookahead window after its send time — the invariant that makes
     /// barrier-synchronous sharded execution safe.
     ShardLookahead,
+    /// Open-loop workload conservation: per tenant, every flow the arrival
+    /// generator issued is either completed or still in flight at quiesce
+    /// (`issued == completed + in_flight`), and a drained run has zero
+    /// in-flight flows.
+    WorkloadConservation,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::MpaFraming,
         Rule::DdpMsn,
         Rule::RdmapState,
@@ -111,6 +117,7 @@ impl Rule {
         Rule::FaultRetxBound,
         Rule::ShardMergeOrder,
         Rule::ShardLookahead,
+        Rule::WorkloadConservation,
     ];
 
     /// Stable string id, `<fabric>.<rule>`.
@@ -130,6 +137,7 @@ impl Rule {
             Rule::FaultRetxBound => "fault.retx-bound",
             Rule::ShardMergeOrder => "shard.merge-order",
             Rule::ShardLookahead => "shard.lookahead",
+            Rule::WorkloadConservation => "workload.conservation",
         }
     }
 
@@ -149,6 +157,7 @@ impl Rule {
             Rule::FaultRetxBound => 11,
             Rule::ShardMergeOrder => 12,
             Rule::ShardLookahead => 13,
+            Rule::WorkloadConservation => 14,
         }
     }
 }

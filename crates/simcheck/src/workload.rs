@@ -1,0 +1,174 @@
+//! Open-loop workload conservation oracle (`workload.conservation`).
+//!
+//! The workload engine (`netbench::workload`) issues flows from a seeded
+//! arrival generator and completes them through a fabric data path. The
+//! conservation invariant is per tenant: every flow the generator issued
+//! is either completed or still in flight at quiesce
+//! (`issued == completed + in_flight`), and a run that drained its queues
+//! must report zero in-flight flows.
+//!
+//! A [`ConservationOracle`] keeps an independent shadow tally — the engine
+//! reports each issue/completion as it happens, then asserts its *own*
+//! bookkeeping against the shadow at quiesce. A miscounted queue (a flow
+//! dropped on the floor, or counted twice) diverges from the shadow and
+//! fires.
+
+use crate::{note_check, record, Rule, Violation};
+
+/// Shadow per-tenant issue/completion tallies for one workload run.
+#[derive(Debug)]
+pub struct ConservationOracle {
+    fabric: &'static str,
+    issued: Vec<u64>,
+    completed: Vec<u64>,
+}
+
+impl ConservationOracle {
+    /// Track a run of `tenants` independent generators on `fabric`.
+    pub fn new(fabric: &'static str, tenants: usize) -> Self {
+        ConservationOracle {
+            fabric,
+            issued: vec![0; tenants],
+            completed: vec![0; tenants],
+        }
+    }
+
+    /// Record one flow issued by tenant `tenant`'s generator.
+    pub fn on_issue(&mut self, tenant: usize) {
+        if let Some(n) = self.issued.get_mut(tenant) {
+            *n += 1;
+        }
+    }
+
+    /// Record one flow completed for tenant `tenant`.
+    pub fn on_complete(&mut self, tenant: usize) {
+        if let Some(n) = self.completed.get_mut(tenant) {
+            *n += 1;
+        }
+    }
+
+    /// Cross-check the engine's own per-tenant tallies against the shadow
+    /// at quiesce. `drained` declares that the engine believes every queue
+    /// is empty, in which case in-flight must be zero for every tenant.
+    /// Returns every violation found (empty = conserved).
+    pub fn check_quiesce(
+        &self,
+        engine_issued: &[u64],
+        engine_completed: &[u64],
+        drained: bool,
+        now_ns: Option<u64>,
+    ) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for tenant in 0..self.issued.len() {
+            note_check(Rule::WorkloadConservation);
+            let issued = self.issued[tenant];
+            let completed = self.completed[tenant];
+            let e_issued = engine_issued.get(tenant).copied().unwrap_or(0);
+            let e_completed = engine_completed.get(tenant).copied().unwrap_or(0);
+            if e_issued != issued || e_completed != completed {
+                out.push(record(Violation {
+                    rule: Rule::WorkloadConservation,
+                    sim_time_ns: now_ns,
+                    fabric: self.fabric,
+                    conn: tenant as u64,
+                    detail: format!(
+                        "engine tallies diverge from shadow: engine \
+                         issued={e_issued} completed={e_completed}, \
+                         shadow issued={issued} completed={completed}"
+                    ),
+                }));
+                continue;
+            }
+            if completed > issued {
+                out.push(record(Violation {
+                    rule: Rule::WorkloadConservation,
+                    sim_time_ns: now_ns,
+                    fabric: self.fabric,
+                    conn: tenant as u64,
+                    detail: format!("completed {completed} flows but only {issued} were issued"),
+                }));
+                continue;
+            }
+            let in_flight = issued - completed;
+            if drained && in_flight != 0 {
+                out.push(record(Violation {
+                    rule: Rule::WorkloadConservation,
+                    sim_time_ns: now_ns,
+                    fabric: self.fabric,
+                    conn: tenant as u64,
+                    detail: format!(
+                        "drained run left {in_flight} flows in flight \
+                         (issued={issued} completed={completed})"
+                    ),
+                }));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conserved_run_passes() {
+        let mut o = ConservationOracle::new("iwarp", 2);
+        for _ in 0..5 {
+            o.on_issue(0);
+            o.on_complete(0);
+        }
+        o.on_issue(1);
+        // Tenant 1's flow is still in flight — legal while not drained.
+        assert!(o.check_quiesce(&[5, 1], &[5, 0], false, None).is_empty());
+        o.on_complete(1);
+        assert!(o.check_quiesce(&[5, 1], &[5, 1], true, Some(9)).is_empty());
+    }
+
+    #[test]
+    fn engine_shadow_divergence_fires() {
+        // Seeded corruption: the engine under-reports a completion (a flow
+        // dropped on the floor between queue and tally).
+        let mut o = ConservationOracle::new("ib", 1);
+        o.on_issue(0);
+        o.on_complete(0);
+        let vs = o.check_quiesce(&[1], &[0], true, Some(3));
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, Rule::WorkloadConservation);
+        assert!(
+            vs[0].detail.contains("diverge from shadow"),
+            "{}",
+            vs[0].detail
+        );
+    }
+
+    #[test]
+    fn undrained_flows_fire_at_quiesce() {
+        // Seeded corruption: engine claims drained while a flow is open.
+        let mut o = ConservationOracle::new("mx10g", 1);
+        o.on_issue(0);
+        let vs = o.check_quiesce(&[1], &[0], true, None);
+        assert_eq!(vs.len(), 1);
+        assert!(
+            vs[0].detail.contains("1 flows in flight"),
+            "{}",
+            vs[0].detail
+        );
+    }
+
+    #[test]
+    fn overcompletion_fires() {
+        // Seeded corruption: a completion counted twice on both sides.
+        let mut o = ConservationOracle::new("ether", 1);
+        o.on_issue(0);
+        o.on_complete(0);
+        o.on_complete(0);
+        let vs = o.check_quiesce(&[1], &[2], false, None);
+        assert_eq!(vs.len(), 1);
+        assert!(
+            vs[0].detail.contains("only 1 were issued"),
+            "{}",
+            vs[0].detail
+        );
+    }
+}

@@ -252,6 +252,10 @@ struct Core {
     /// Cross-shard events delivered *into* this simulation by the sharded
     /// engine's merge channels (see [`crate::shard`]).
     cross_shard_events: u64,
+    // Open-loop workload accounting (updated by `netbench::workload`).
+    flows_issued: u64,
+    flows_completed: u64,
+    gen_backlog_peak: u64,
     /// `(deadline, armed)` of the most recently fired timer.
     last_fired: Option<(SimTime, SimTime)>,
     /// Schedule-perturbation salt captured from [`crate::perturb`] at
@@ -353,6 +357,9 @@ impl Sim {
                 retransmits: 0,
                 rto_fires: 0,
                 cross_shard_events: 0,
+                flows_issued: 0,
+                flows_completed: 0,
+                gen_backlog_peak: 0,
                 last_fired: None,
                 tie_salt,
                 trace_digest: FNV_OFFSET,
@@ -399,6 +406,9 @@ impl Sim {
             shards: 0,
             lookahead_rounds: 0,
             merge_queue_peak: 0,
+            flows_issued: core.flows_issued,
+            flows_completed: core.flows_completed,
+            gen_backlog_peak: core.gen_backlog_peak,
         }
     }
 
@@ -507,6 +517,29 @@ impl Sim {
     /// the sharded engine's merge channels (see [`crate::shard`]).
     pub(crate) fn note_cross_shard_event(&self) {
         self.core.borrow_mut().cross_shard_events += 1;
+    }
+
+    /// Record one flow issued by an open-loop workload generator. Public
+    /// because the workload engine (`netbench::workload`) drives the
+    /// fabric data paths from outside `simnet`.
+    pub fn note_flow_issued(&self) {
+        self.core.borrow_mut().flows_issued += 1;
+    }
+
+    /// Record one flow whose response (or final streaming byte) completed.
+    /// At quiesce the `workload.conservation` oracle requires
+    /// `flows_issued == flows_completed + in-flight`.
+    pub fn note_flow_completed(&self) {
+        self.core.borrow_mut().flows_completed += 1;
+    }
+
+    /// Track the high-water mark of a workload generator's backlog (flows
+    /// issued but not yet picked up by a service loop).
+    pub fn note_gen_backlog(&self, depth: u64) {
+        let mut core = self.core.borrow_mut();
+        if depth > core.gen_backlog_peak {
+            core.gen_backlog_peak = depth;
+        }
     }
 
     /// `(deadline, armed)` of the most recently fired timer. At equal

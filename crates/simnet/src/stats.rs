@@ -76,6 +76,18 @@ pub struct SimStats {
     /// (the merge queue): bounds the memory the exchange can pin and, like
     /// `calendar_peak_len`, guards against unbounded growth.
     pub merge_queue_peak: u64,
+    /// Flows issued by an open-loop workload generator (`netbench::workload`):
+    /// every arrival the generator handed to a service queue, whether or
+    /// not it has completed yet.
+    pub flows_issued: u64,
+    /// Flows whose response (or final streaming byte) completed — at
+    /// quiesce the conservation oracle requires
+    /// `flows_issued == flows_completed + in-flight`.
+    pub flows_completed: u64,
+    /// High-water mark of any one tenant's generator backlog (arrivals
+    /// issued but not yet picked up by the service loop): the open-loop
+    /// queue depth that closed-loop ping-pongs structurally cannot grow.
+    pub gen_backlog_peak: u64,
 }
 
 impl SimStats {
@@ -114,6 +126,9 @@ impl SimStats {
         self.shards += other.shards;
         self.lookahead_rounds = self.lookahead_rounds.max(other.lookahead_rounds);
         self.merge_queue_peak = self.merge_queue_peak.max(other.merge_queue_peak);
+        self.flows_issued += other.flows_issued;
+        self.flows_completed += other.flows_completed;
+        self.gen_backlog_peak = self.gen_backlog_peak.max(other.gen_backlog_peak);
     }
 }
 

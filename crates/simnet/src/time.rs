@@ -89,14 +89,34 @@ impl SimDuration {
     }
 
     /// Construct from fractional seconds; negative values clamp to zero.
+    ///
+    /// # Contract
+    ///
+    /// The span must be finite: NaN and infinity are never a meaningful
+    /// duration — they arise from a bad rate/interarrival config (divide
+    /// by zero, log of zero) and should fail loudly, not saturate
+    /// silently. Debug builds assert; release builds clamp NaN to zero
+    /// and ±infinity to the saturation bounds (0 / `u64::MAX` ns).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(
+            s.is_finite(),
+            "SimDuration::from_secs_f64 requires a finite span, got {s}"
+        );
+        // NaN.max(0.0) is 0.0 and `as u64` saturates, so the release
+        // clamps fall out of the expression; the assert is the loud path.
         SimDuration((s.max(0.0) * 1e9).round() as u64)
     }
 
-    /// Construct from fractional microseconds; negative values clamp to zero.
+    /// Construct from fractional microseconds; negative values clamp to
+    /// zero. Same finiteness contract as [`SimDuration::from_secs_f64`]:
+    /// debug builds assert on NaN/infinity, release builds clamp.
     #[inline]
     pub fn from_micros_f64(us: f64) -> Self {
+        debug_assert!(
+            us.is_finite(),
+            "SimDuration::from_micros_f64 requires a finite span, got {us}"
+        );
         SimDuration((us.max(0.0) * 1e3).round() as u64)
     }
 
@@ -287,6 +307,26 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
         assert_eq!(SimDuration::from_micros_f64(0.5).as_nanos(), 500);
         assert_eq!(SimDuration::from_secs_f64(-1.0).as_nanos(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "finite span"))]
+    fn float_construction_rejects_nan() {
+        // Debug builds state the invariant; release builds clamp NaN to
+        // zero (the `max(0.0)`/saturating-cast path), so the assert below
+        // documents the release behavior.
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN).as_nanos(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "finite span"))]
+    fn float_construction_rejects_infinity() {
+        // Release builds saturate +inf at u64::MAX ns, -inf clamps to 0.
+        assert_eq!(
+            SimDuration::from_micros_f64(f64::INFINITY).as_nanos(),
+            u64::MAX
+        );
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY).as_nanos(), 0);
     }
 
     #[test]

@@ -134,9 +134,40 @@ impl ByteRate {
 
     /// Construct from a link rate in gigabits per second:
     /// `from_gbps(10)` is 10 GbE's 1.25 GB/s, `from_gbps(8)` is 1 GB/s.
+    /// The integer form cannot express NaN/infinity by construction; for
+    /// fractional or computed rates use [`ByteRate::from_gbps_f64`], which
+    /// carries the finiteness contract.
     #[inline]
     pub const fn from_gbps(gigabits_per_sec: u64) -> Self {
         ByteRate(gigabits_per_sec.saturating_mul(125_000_000))
+    }
+
+    /// Construct from a fractional link rate in gigabits per second — the
+    /// form offered-load sweeps compute (`target_gbps * scale`).
+    ///
+    /// # Contract
+    ///
+    /// The rate must be finite and non-negative: NaN/infinity only arise
+    /// from a bad load config (divide by zero upstream) and must fail
+    /// loudly rather than saturate silently. Debug builds assert; release
+    /// builds clamp NaN and negatives to zero and +infinity to the
+    /// saturation bound (`u64::MAX` B/s).
+    #[inline]
+    pub fn from_gbps_f64(gigabits_per_sec: f64) -> Self {
+        debug_assert!(
+            gigabits_per_sec.is_finite(),
+            "ByteRate::from_gbps_f64 requires a finite rate, got {gigabits_per_sec}"
+        );
+        // NaN reaches this comparison only in release (the finiteness
+        // assert above fires first in debug), where both asserts vanish —
+        // so plain >= is safe here despite the partial order.
+        debug_assert!(
+            gigabits_per_sec >= 0.0,
+            "ByteRate::from_gbps_f64 requires a non-negative rate, got {gigabits_per_sec}"
+        );
+        // NaN.max(0.0) is 0.0 and `as u64` saturates, so the release
+        // clamps fall out of the expression; the asserts are the loud path.
+        ByteRate((gigabits_per_sec.max(0.0) * 125_000_000.0).round() as u64)
     }
 
     /// The raw bytes-per-second figure.
@@ -295,6 +326,38 @@ mod tests {
             ByteRate::from_bytes_per_sec(1_845_000_000).as_bytes_per_sec(),
             1_845_000_000
         );
+    }
+
+    #[test]
+    fn fractional_gbps_rounds() {
+        // 2.5 Gb/s = 312.5 MB/s; 10.0 matches the integer constructor.
+        assert_eq!(ByteRate::from_gbps_f64(2.5).as_bytes_per_sec(), 312_500_000);
+        assert_eq!(ByteRate::from_gbps_f64(10.0), ByteRate::from_gbps(10));
+        assert_eq!(ByteRate::from_gbps_f64(0.0).as_bytes_per_sec(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "finite rate"))]
+    fn fractional_gbps_rejects_nan() {
+        // Debug builds state the invariant; release builds clamp NaN to a
+        // zero rate rather than fabricating bandwidth.
+        assert_eq!(ByteRate::from_gbps_f64(f64::NAN).as_bytes_per_sec(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "finite rate"))]
+    fn fractional_gbps_rejects_infinity() {
+        // Release builds saturate +inf at u64::MAX B/s.
+        assert_eq!(
+            ByteRate::from_gbps_f64(f64::INFINITY).as_bytes_per_sec(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-negative rate"))]
+    fn fractional_gbps_rejects_negative() {
+        assert_eq!(ByteRate::from_gbps_f64(-1.0).as_bytes_per_sec(), 0);
     }
 
     #[test]

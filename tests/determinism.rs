@@ -167,6 +167,55 @@ fn fig1_digest_is_thread_count_invariant_with_memo() {
     }
 }
 
+/// The open-loop workload figures (`fig-tail`) stack every layer this
+/// suite gates — seeded arrival generators, mpsc queues, fabric pipelines,
+/// the quantile sketch — so their digest is the broadest single check the
+/// workload engine answers to. Two serial runs must match exactly.
+#[test]
+fn fig_tail_digest_is_stable_across_double_runs() {
+    let a = figure_digest(&bench::generate("fig-tail"));
+    let b = figure_digest(&bench::generate("fig-tail"));
+    assert_eq!(
+        a, b,
+        "two serial fig-tail runs must produce identical digests"
+    );
+}
+
+/// fig-tail under the whole-transfer memo: the workload engine's RPC and
+/// streaming flows ride `Pipeline::transfer`, the memo's replay target, so
+/// force-disabling the memo must not move a byte of tail-latency output.
+#[test]
+fn fig_tail_digest_is_memo_invariant() {
+    let memo_on = figure_digest(&bench::generate("fig-tail"));
+    simnet::memo::set_default_enabled(false);
+    let memo_off = figure_digest(&bench::generate("fig-tail"));
+    simnet::memo::set_default_enabled(true);
+    assert_eq!(
+        memo_on, memo_off,
+        "fig-tail output changed when the transfer memo was force-disabled"
+    );
+}
+
+/// fig-tail thread sweep, same contract as the fig1/fig2 sweeps: worker
+/// count may change wall time only. Ignored in debug builds for wall-clock
+/// (the knee figure alone runs 100 workload simulations); ci.sh runs the
+/// determinism suite in release with `--include-ignored`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug builds; ci.sh runs this in release via --include-ignored"
+)]
+fn fig_tail_digest_is_thread_count_invariant() {
+    let serial = figure_digest(&bench::generate("fig-tail"));
+    for threads in [1usize, 4, 8] {
+        let par = figure_digest(&bench::generate_parallel_with("fig-tail", threads));
+        assert_eq!(
+            serial, par,
+            "fig-tail output diverged from serial at {threads} threads"
+        );
+    }
+}
+
 /// Schedule-perturbation replay: scrambling the executor's tie-break rank
 /// among simultaneously-ready timers (via [`simnet::perturb`]) permutes the
 /// internal pop order of same-deadline events but must NOT change any

@@ -84,6 +84,27 @@ fn run_shard_workload() {
     assert!(out.cross_events > 0, "ring exchange must cross shards");
 }
 
+/// Drive the open-loop workload engine once. Every paper figure is
+/// closed-loop, so the `workload.conservation` shadow tally only sees
+/// traffic here (the engine cross-checks its per-tenant counters against
+/// the oracle at quiesce).
+fn run_openloop_workload() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let spec = netbench::workload::WorkloadSpec::rpc_kv(
+        mpisim::FabricKind::Iwarp,
+        2,
+        8,
+        simnet::SimDuration::from_micros(20),
+        7,
+    );
+    let sink: netbench::workload::FlowSink =
+        Rc::new(RefCell::new(|_t: usize, _l: simnet::SimDuration| {}));
+    let out = netbench::workload::run_workload(&spec, &sink);
+    assert_eq!(out.issued, out.completed, "drained run must conserve flows");
+}
+
 #[test]
 fn fig1_runs_clean_under_conformance_oracles() {
     simcheck::reset();
@@ -92,6 +113,7 @@ fn fig1_runs_clean_under_conformance_oracles() {
     run_codec_workload();
     run_fault_workload();
     run_shard_workload();
+    run_openloop_workload();
 
     let summary = simcheck::summary();
     assert!(
@@ -109,7 +131,7 @@ fn fig1_runs_clean_under_conformance_oracles() {
     for stats in &summary.rules {
         assert!(
             stats.checks > 0,
-            "rule {} was never checked (fig1 + codec + fault + shard workloads)",
+            "rule {} was never checked (fig1 + codec + fault + shard + open-loop workloads)",
             stats.rule
         );
     }

@@ -127,7 +127,15 @@ impl BenchmarkGroup<'_> {
             }
         }
         per_iter.sort_unstable();
-        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0);
+        // Nearest-rank median (the workspace percentile definition — see
+        // `bench::sketch`): rank ceil(0.5·N) is 1-based index (N+1)/2, so
+        // an even N reports the *lower* middle sample, never an
+        // interpolated value.
+        let median = if per_iter.is_empty() {
+            0
+        } else {
+            per_iter[(per_iter.len() - 1) / 2]
+        };
         println!(
             "{id:<56} median {:>12} ns/iter  ({} samples)",
             median,
